@@ -1,0 +1,52 @@
+//! Criterion bench for the FFT substrate: the "FFT" row of Table I at
+//! laptop scale — serial 3-D transforms and the slab-parallel transform
+//! over mpisim.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use greem_fft::{fft3d, fft3d_inverse, Cpx, Fft1d, Mesh3, SlabFft};
+use mpisim::{NetModel, World};
+use std::hint::black_box;
+
+fn bench_serial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft3d_serial");
+    group.sample_size(10);
+    for &n in &[32usize, 64] {
+        let plan = Fft1d::new(n);
+        let vals: Vec<f64> = (0..n * n * n).map(|i| (i as f64 * 0.37).sin()).collect();
+        group.throughput(Throughput::Elements((n * n * n) as u64));
+        group.bench_with_input(BenchmarkId::new("roundtrip", n), &n, |b, _| {
+            b.iter(|| {
+                let mut m = Mesh3::from_real(n, &vals);
+                fft3d(&mut m, &plan);
+                fft3d_inverse(&mut m, &plan);
+                black_box(m.get(0, 0, 0))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_slab(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft3d_slab_parallel");
+    group.sample_size(10);
+    let n = 32;
+    for &p in &[1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("forward", p), &p, |b, &p| {
+            b.iter(|| {
+                let out = World::new(p).with_net(NetModel::free()).run(|ctx, world| {
+                    let fft = SlabFft::new(n, world.clone());
+                    let (_, nxl) = fft.my_planes();
+                    let slab: Vec<Cpx> =
+                        (0..nxl * n * n).map(|i| Cpx::real((i % 17) as f64)).collect();
+                    let k = fft.forward(ctx, slab);
+                    k[0]
+                });
+                black_box(out)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serial, bench_slab);
+criterion_main!(benches);

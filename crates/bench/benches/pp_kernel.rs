@@ -1,0 +1,56 @@
+//! Criterion bench for the §II-A kernel claims: the optimised
+//! (blocked, approximate-rsqrt, branchless-cutoff) force loop vs the
+//! scalar reference, plus the no-cutoff Newtonian loop to isolate the
+//! cutoff polynomial's cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use greem_kernels::{
+    newton_accel_blocked, pp_accel_phantom, pp_accel_scalar, SourceList, Targets,
+};
+use greem_math::{ForceSplit, Vec3};
+use std::hint::black_box;
+
+fn positions(n: usize, seed: u64) -> Vec<Vec3> {
+    let mut s = seed;
+    let mut next = move || {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (s >> 11) as f64 / (1u64 << 53) as f64
+    };
+    (0..n).map(|_| Vec3::new(next(), next(), next())).collect()
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pp_kernel_o_n2");
+    group.sample_size(20);
+    for &n in &[256usize, 1024] {
+        let pos = positions(n, 42);
+        let sources: SourceList = pos.iter().map(|&p| (p, 1.0 / n as f64)).collect();
+        let split = ForceSplit::new(4.0, 0.0); // all pairs inside cutoff
+        group.throughput(Throughput::Elements((n * n) as u64));
+        group.bench_with_input(BenchmarkId::new("phantom", n), &n, |b, _| {
+            let mut t = Targets::from_positions(&pos);
+            b.iter(|| {
+                t.reset_accel();
+                black_box(pp_accel_phantom(&mut t, &sources, &split))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("scalar_ref", n), &n, |b, _| {
+            let mut t = Targets::from_positions(&pos);
+            b.iter(|| {
+                t.reset_accel();
+                black_box(pp_accel_scalar(&mut t, &sources, &split))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("newton_no_cutoff", n), &n, |b, _| {
+            let mut t = Targets::from_positions(&pos);
+            b.iter(|| {
+                t.reset_accel();
+                black_box(newton_accel_blocked(&mut t, &sources, 1e-4))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench for the §I cost argument: the short-range solvers
+//! (P3M's direct-in-cell vs TreePM's tree) on uniform vs clustered
+//! distributions. Clustering blows up P3M's pair count (O(n²) per
+//! dense cell) while the tree's grows gently — the reason the paper
+//! uses TreePM.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use greem::{TreePm, TreePmConfig};
+use greem_baselines::p3m_short_range;
+use greem_bench::workloads;
+use greem_math::ForceSplit;
+use std::hint::black_box;
+
+fn bench_methods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("short_range_uniform_vs_clustered");
+    group.sample_size(10);
+    let n = 6_000;
+    let uniform = workloads::uniform(n, 3);
+    let clustered = workloads::clustered(n, 2, 0.7, 3);
+    let mass = workloads::unit_masses(n);
+    let split = ForceSplit::new(3.0 / 32.0, 1e-4);
+    for (label, pos) in [("uniform", &uniform), ("clustered", &clustered)] {
+        group.bench_with_input(BenchmarkId::new("p3m_direct", label), &(), |b, _| {
+            b.iter(|| black_box(p3m_short_range(pos, &mass, &split).1.pair_interactions));
+        });
+        group.bench_with_input(BenchmarkId::new("treepm_tree", label), &(), |b, _| {
+            let solver = TreePm::new(TreePmConfig {
+                r_cut: split.r_cut,
+                eps: split.eps,
+                ..TreePmConfig::standard(32)
+            });
+            b.iter(|| black_box(solver.compute_pp(pos, &mass).1.interactions));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion bench for the tree pipeline: construction, group
+//! traversal, and the ⟨Ni⟩ trade-off (§II) — the "local tree", "tree
+//! construction" and "tree traversal" rows of Table I.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use greem::{TreePm, TreePmConfig};
+use greem_bench::workloads;
+use greem_math::Aabb;
+use greem_tree::{GroupWalk, Octree, TraverseParams, TreeParams};
+use std::hint::black_box;
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_build");
+    group.sample_size(20);
+    for &n in &[2_000usize, 10_000] {
+        let pos = workloads::clustered(n, 4, 0.4, 7);
+        let mass = workloads::unit_masses(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                black_box(Octree::build(&pos, &mass, Aabb::UNIT, TreeParams::default()).len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_traversal_group_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("group_walk_ni_tradeoff");
+    group.sample_size(10);
+    let n = 8_000;
+    let pos = workloads::clustered(n, 4, 0.4, 11);
+    let mass = workloads::unit_masses(n);
+    let tree = Octree::build(&pos, &mass, Aabb::UNIT, TreeParams::default());
+    for &gs in &[16usize, 64, 256] {
+        group.bench_with_input(BenchmarkId::new("walk_only", gs), &gs, |b, &gs| {
+            let walk = GroupWalk::new(
+                &tree,
+                TraverseParams {
+                    theta: 0.5,
+                    group_size: gs,
+                    r_cut: Some(3.0 / 32.0),
+                    periodic: true,
+                    multipole: Default::default(),
+                },
+            );
+            b.iter(|| black_box(walk.for_each_group(|_, _| {}).interactions));
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_pp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_pp_force");
+    group.sample_size(10);
+    let n = 8_000;
+    let pos = workloads::clustered(n, 4, 0.4, 13);
+    let mass = workloads::unit_masses(n);
+    for &gs in &[32usize, 128] {
+        group.bench_with_input(BenchmarkId::new("walk_plus_kernel", gs), &gs, |b, &gs| {
+            let solver = TreePm::new(TreePmConfig {
+                group_size: gs,
+                ..TreePmConfig::standard(32)
+            });
+            b.iter(|| black_box(solver.compute_pp(&pos, &mass).1.interactions));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_traversal_group_size, bench_full_pp);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion bench for the full TreePM step (Table I's "Total" line at
+//! laptop scale): the serial driver and the PM cycle in isolation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use greem::{Simulation, SimulationMode, TreePm, TreePmConfig};
+use greem_bench::workloads;
+use std::hint::black_box;
+
+fn bench_full_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("treepm_step");
+    group.sample_size(10);
+    for &n in &[2_000usize, 8_000] {
+        let pos = workloads::clustered(n, 3, 0.4, 5);
+        let bodies = workloads::bodies_at_rest(&pos);
+        group.bench_with_input(BenchmarkId::new("static_step", n), &n, |b, _| {
+            let mut sim = Simulation::new(
+                TreePmConfig::standard(32),
+                bodies.clone(),
+                SimulationMode::Static,
+            );
+            b.iter(|| {
+                black_box(sim.step(1e-4).total());
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_pm_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pm_cycle");
+    group.sample_size(10);
+    let n = 8_000;
+    let pos = workloads::clustered(n, 3, 0.4, 9);
+    let mass = workloads::unit_masses(n);
+    for &mesh in &[32usize, 64] {
+        group.bench_with_input(BenchmarkId::new("serial_pm", mesh), &mesh, |b, &mesh| {
+            let solver = TreePm::new(TreePmConfig::standard(mesh));
+            b.iter(|| black_box(solver.compute_pm(&pos, &mass).0.accel[0]));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_step, bench_pm_cycle);
+criterion_main!(benches);

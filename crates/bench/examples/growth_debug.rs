@@ -1,0 +1,43 @@
+//! Debug: single-run growth trace.
+use greem::{Simulation, SimulationMode, TreePmConfig};
+use greem_cosmo::{generate_ics, Cosmology, IcParams, PowerSpectrum};
+
+fn delta_rms(bodies: &[greem::Body], m: usize) -> f64 {
+    let mut rho = vec![0.0f64; m * m * m];
+    let c = |x: f64| ((x * m as f64) as usize).min(m - 1);
+    for b in bodies {
+        rho[(c(b.pos.x) * m + c(b.pos.y)) * m + c(b.pos.z)] += b.mass;
+    }
+    let mean = 1.0 / (m * m * m) as f64;
+    (rho.iter().map(|r| ((r - mean) / mean).powi(2)).sum::<f64>() / rho.len() as f64).sqrt()
+}
+
+fn main() {
+    let cosmo = Cosmology::wmap7();
+    let a0 = 1.0 / 401.0;
+    let n_side = 8;
+    let ics = generate_ics(&IcParams {
+        n_per_side: n_side,
+        a_start: a0,
+        spectrum: PowerSpectrum::microhalo(1.0, 2.0 * std::f64::consts::PI * 2.0),
+        cosmology: cosmo,
+        seed: 7,
+        normalize_rms_delta: Some(0.08),
+    });
+    println!("max_disp={} spacings, delta_rms={}", ics.max_displacement, ics.delta_rms);
+    let bodies: Vec<greem::Body> = ics.pos.iter().zip(&ics.vel).enumerate()
+        .map(|(i, (q, v))| greem::Body { pos: *q, vel: *v, mass: ics.mass, id: i as u64 }).collect();
+    let cfg = TreePmConfig::standard(16);
+    let mut sim = Simulation::new(cfg, bodies, SimulationMode::Cosmological { cosmology: cosmo, a: a0 });
+    let steps = 20;
+    let a_end: f64 = 1.0 / 32.0;
+    let ratio = (a_end / a0).powf(1.0 / steps as f64);
+    let mut a = a0;
+    println!("step a z delta4 D/D0 vmag");
+    let d0 = cosmo.growth(a0);
+    for s in 0..=steps {
+        let vmag: f64 = sim.bodies().iter().map(|b| b.vel.norm()).sum::<f64>() / 512.0;
+        println!("{s} {:.5} {:.0} {:.4} {:.2} {:.3e}", a, 1.0/a-1.0, delta_rms(sim.bodies(), 4), cosmo.growth(a)/d0, vmag);
+        if s < steps { a *= ratio; sim.step(a); }
+    }
+}

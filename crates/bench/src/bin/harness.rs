@@ -1,0 +1,95 @@
+//! The table/figure regeneration harness.
+//!
+//! ```text
+//! cargo run --release -p greem-bench --bin harness -- <experiment> [--small]
+//! ```
+//!
+//! Experiments: `table1`, `fig1`, `fig2`, `fig3`, `fig4`, `fig5`,
+//! `fig6`, `kernel`, `ni_sweep`, `accuracy`, `tree_vs_treepm`,
+//! `scaling`, `all`. `--small` shrinks every workload (a smoke mode for
+//! slow machines / debug builds).
+
+use greem_bench::experiments::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let small = args.iter().any(|a| a == "--small");
+    let which = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
+
+    let run = |name: &str| -> Option<String> {
+        let report = match name {
+            "table1" => {
+                let run = if small {
+                    table1::MeasuredRun {
+                        n_particles: 1500,
+                        n_mesh: 16,
+                        ranks: 4,
+                        div: [2, 2, 1],
+                        steps: 1,
+                    }
+                } else {
+                    table1::MeasuredRun::default()
+                };
+                table1::report(&run)
+            }
+            "fig1" => fig1::report(if small { 800 } else { 5000 }),
+            "fig2" => fig2::report(if small { 32 } else { 64 }),
+            "fig3" => fig3::report(if small { 2000 } else { 20000 }),
+            "fig4" => fig4::report(),
+            "fig5" => {
+                if small {
+                    fig5::report(8, 2, 16)
+                } else {
+                    // The funnel regime: many ranks converging on few
+                    // FFT ranks with sizeable slabs — where the relay
+                    // schedule visibly wins on the simulated network.
+                    fig5::report(48, 2, 32)
+                }
+            }
+            "fig6" => {
+                let run = if small {
+                    fig6::MicrohaloRun {
+                        n_side: 8,
+                        n_mesh: 16,
+                        steps: 12,
+                        ..Default::default()
+                    }
+                } else {
+                    fig6::MicrohaloRun::default()
+                };
+                fig6::report(&run)
+            }
+            "kernel" => kernel::report(),
+            "multipole" => multipole_ablation::report(if small { 300 } else { 800 }),
+            "ni_sweep" => ni_sweep::report(if small { 2000 } else { 20000 }),
+            "accuracy" => accuracy::report(if small { 200 } else { 600 }),
+            "tree_vs_treepm" => tree_vs_treepm::report(if small { 500 } else { 2000 }),
+            "scaling" => scaling::report(if small { 1000 } else { 6000 }),
+            _ => return None,
+        };
+        Some(report)
+    };
+
+    let all = [
+        "table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "kernel", "ni_sweep",
+        "accuracy", "tree_vs_treepm", "multipole", "scaling",
+    ];
+    if which == "all" {
+        for name in all {
+            println!("\n################ {name} ################\n");
+            println!("{}", run(name).unwrap());
+        }
+    } else {
+        match run(&which) {
+            Some(r) => println!("{r}"),
+            None => {
+                eprintln!("unknown experiment '{which}'. Available: {all:?} or 'all'");
+                std::process::exit(2);
+            }
+        }
+    }
+}

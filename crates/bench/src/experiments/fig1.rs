@@ -1,0 +1,88 @@
+//! **Figure 1** — the hierarchical tree algorithm: particle-particle
+//! vs particle-multipole interactions.
+//!
+//! The schematic's quantitative content is the census of the two
+//! interaction kinds as the opening angle varies: at θ = 0 everything is
+//! particle-particle (direct summation); growing θ converts distant
+//! particles into multipole (node) entries, which is where the
+//! O(N log N) saving comes from.
+
+use greem_math::Aabb;
+use greem_tree::{GroupWalk, Octree, TraverseParams, TreeParams};
+
+use crate::workloads;
+
+/// One row of the census.
+#[derive(Debug, Clone, Copy)]
+pub struct CensusRow {
+    pub theta: f64,
+    pub particle_entries: u64,
+    pub node_entries: u64,
+    pub mean_nj: f64,
+    pub interactions: u64,
+}
+
+/// Census over a θ grid for a uniform N-body snapshot.
+pub fn census(n: usize, thetas: &[f64], seed: u64) -> Vec<CensusRow> {
+    let pos = workloads::uniform(n, seed);
+    let mass = workloads::unit_masses(n);
+    let tree = Octree::build(&pos, &mass, Aabb::UNIT, TreeParams::default());
+    thetas
+        .iter()
+        .map(|&theta| {
+            let stats = GroupWalk::new(
+                &tree,
+                TraverseParams {
+                    theta,
+                    group_size: 32,
+                    r_cut: None,
+                    periodic: true,
+                    multipole: Default::default(),
+                },
+            )
+            .for_each_group(|_, _| {});
+            CensusRow {
+                theta,
+                particle_entries: stats.particle_entries,
+                node_entries: stats.node_entries,
+                mean_nj: stats.mean_nj(),
+                interactions: stats.interactions,
+            }
+        })
+        .collect()
+}
+
+/// The report.
+pub fn report(n: usize) -> String {
+    let rows = census(n, &[0.0, 0.2, 0.4, 0.6, 0.8, 1.0], 7);
+    let mut s = String::from(
+        "=== Fig. 1: tree interaction census (red arrows = particle-particle,\n\
+         blue arrows = particle-multipole) ==============================\n\
+         theta   P-P entries   P-M entries     <Nj>   pair interactions\n",
+    );
+    for r in &rows {
+        s.push_str(&format!(
+            "{:>5.2} {:>13} {:>13} {:>8.1} {:>19}\n",
+            r.theta, r.particle_entries, r.node_entries, r.mean_nj, r.interactions
+        ));
+    }
+    s.push_str("\n(theta=0 reduces to direct summation: every entry is P-P.)\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn census_shape() {
+        let rows = census(500, &[0.0, 0.5, 1.0], 3);
+        // θ=0: no multipoles.
+        assert_eq!(rows[0].node_entries, 0);
+        assert!(rows[0].particle_entries > 0);
+        // Growing θ: multipoles appear, work shrinks.
+        assert!(rows[1].node_entries > 0);
+        assert!(rows[2].interactions < rows[0].interactions);
+        assert!(rows[2].particle_entries < rows[0].particle_entries);
+    }
+}

@@ -1,0 +1,60 @@
+//! **§II-A** — the optimised particle-particle force loop.
+//!
+//! The paper's claims: 51 flops per interaction; a 12 Gflops/core
+//! theoretical bound (75 % of peak, set by the 17-FMA/17-non-FMA mix);
+//! 11.65 Gflops measured (97 % of the bound) on an O(N²) kernel
+//! benchmark. On a host CPU the absolute numbers differ, so the
+//! reproducible quantities are the interaction rate, the paper-
+//! accounting flop rate (51 × rate), and the speedup of the blocked
+//! approximate-rsqrt kernel over the scalar reference.
+
+use greem_kernels::{kernel_benchmark, KernelBenchReport};
+use greem_perfmodel::KMachine;
+
+/// Run the O(N²) benchmark at a few sizes.
+pub fn sweep(sizes: &[usize], iters: usize) -> Vec<KernelBenchReport> {
+    sizes.iter().map(|&n| kernel_benchmark(n, iters)).collect()
+}
+
+/// The report.
+pub fn report() -> String {
+    let k = KMachine::new();
+    let mut s = String::from("=== Sec. II-A: O(N^2) kernel benchmark =========================\n");
+    s.push_str(&format!(
+        "paper: 51 flops/interaction; bound {:.1} Gflops/core (75% of peak);\n\
+         measured 11.65 Gflops/core = {:.0}% of bound = {:.2e} interactions/s/core\n\n",
+        k.kernel_bound_per_core() / 1e9,
+        100.0 * k.kernel_flops_per_core / k.kernel_bound_per_core(),
+        k.kernel_flops_per_core / 51.0
+    ));
+    s.push_str("this host (single thread):\n");
+    s.push_str("     N   phantom int/s   51-flop Gflops   scalar int/s   speedup\n");
+    for r in sweep(&[256, 512, 1024], 8) {
+        s.push_str(&format!(
+            "{:>6} {:>15.3e} {:>16.2} {:>14.3e} {:>9.2}x\n",
+            r.n,
+            r.phantom_interactions_per_sec,
+            r.phantom_flops / 1e9,
+            r.scalar_interactions_per_sec,
+            r.speedup
+        ));
+    }
+    s.push_str(
+        "\n(the blocked approximate-rsqrt pipeline must clearly outrun the\n\
+         scalar exact-sqrt reference; the 51-flop accounting matches the paper's.)\n",
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_reports_positive_rates() {
+        let r = sweep(&[64], 2);
+        assert_eq!(r.len(), 1);
+        assert!(r[0].phantom_interactions_per_sec > 0.0);
+        assert!(r[0].phantom_flops > r[0].phantom_interactions_per_sec);
+    }
+}

@@ -1,0 +1,17 @@
+//! One module per reproduced table/figure. Every experiment returns its
+//! report as a `String` (the harness prints it; the tests smoke-run
+//! scaled-down versions).
+
+pub mod accuracy;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod kernel;
+pub mod multipole_ablation;
+pub mod ni_sweep;
+pub mod scaling;
+pub mod table1;
+pub mod tree_vs_treepm;

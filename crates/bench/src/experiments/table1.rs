@@ -1,0 +1,120 @@
+//! **Table I** — calculation cost of each part per step and the
+//! performance statistics, at 24576 and 82944 nodes.
+//!
+//! Three blocks:
+//! 1. the published columns,
+//! 2. the perfmodel predictions (force row first-principles, local rows
+//!    calibrated at 24576 and validated at 82944),
+//! 3. a *measured* breakdown of the same row structure from a real
+//!    multi-rank run of this implementation (scaled down to the host).
+
+use greem::{ParallelTreePm, SimulationMode, StepBreakdown, TreePmConfig};
+use greem_perfmodel::{model_table, paper_table};
+use mpisim::{NetModel, World};
+
+use crate::workloads;
+
+/// Scaled-down measured run parameters.
+pub struct MeasuredRun {
+    pub n_particles: usize,
+    pub n_mesh: usize,
+    pub ranks: usize,
+    pub div: [usize; 3],
+    pub steps: usize,
+}
+
+impl Default for MeasuredRun {
+    fn default() -> Self {
+        MeasuredRun {
+            n_particles: 8_000,
+            n_mesh: 32,
+            ranks: 8,
+            div: [2, 2, 2],
+            steps: 3,
+        }
+    }
+}
+
+/// Run the measured block: a real `ParallelTreePm` over mpisim,
+/// averaging the per-step breakdown over `steps` steps on rank 0.
+pub fn measured_breakdown(run: &MeasuredRun) -> StepBreakdown {
+    let pos = workloads::clustered(run.n_particles, 4, 0.4, 42);
+    let bodies = workloads::bodies_at_rest(&pos);
+    let steps = run.steps;
+    let n_mesh = run.n_mesh;
+    let div = run.div;
+    let out = World::new(run.ranks)
+        .with_net(NetModel::k_computer())
+        .run(move |ctx, world| {
+            let cfg = TreePmConfig {
+                group_size: 100,
+                ..TreePmConfig::standard(n_mesh)
+            };
+            let root_bodies = (world.rank() == 0).then(|| bodies.clone());
+            let mut sim = ParallelTreePm::new(
+                ctx,
+                world,
+                cfg,
+                div,
+                4.min(world.size()),
+                None,
+                root_bodies,
+                SimulationMode::Static,
+            );
+            let mut acc = StepBreakdown::default();
+            for _ in 0..steps {
+                let s = sim.step(ctx, world, 1e-3);
+                acc.accumulate(&s.breakdown);
+            }
+            acc
+        });
+    out.into_iter().next().unwrap()
+}
+
+/// The full Table I report.
+pub fn report(run: &MeasuredRun) -> String {
+    let mut s = String::new();
+    s.push_str("=== Table I: published columns =================================\n");
+    for p in [24576usize, 82944] {
+        s.push_str(&paper_table(p).render());
+        s.push('\n');
+    }
+    s.push_str("=== Table I: perfmodel prediction ==============================\n");
+    s.push_str("(force row first-principles from the Sec. II-A kernel rate;\n");
+    s.push_str(" local rows calibrated at p=24576; 82944 is held out)\n\n");
+    for p in [24576usize, 82944] {
+        s.push_str(&model_table(p).render());
+        s.push('\n');
+    }
+    s.push_str("=== Table I: measured on this implementation (scaled down) =====\n");
+    s.push_str(&format!(
+        "N = {} particles, mesh {}^3, {} mpisim ranks, {} steps (mean/step)\n\n",
+        run.n_particles, run.n_mesh, run.ranks, run.steps
+    ));
+    let bd = measured_breakdown(run);
+    s.push_str(&bd.table(run.steps as f64));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_measured_run_produces_all_rows() {
+        let run = MeasuredRun {
+            n_particles: 400,
+            n_mesh: 8,
+            ranks: 2,
+            div: [2, 1, 1],
+            steps: 1,
+        };
+        let bd = measured_breakdown(&run);
+        assert!(bd.walk.interactions > 0);
+        assert!(bd.pp_force_calculation > 0.0);
+        assert!(bd.pm.communication_sim > 0.0);
+        assert!(bd.dd_particle_exchange > 0.0);
+        let table = bd.table(1.0);
+        assert!(table.contains("FFT"));
+    }
+}

@@ -1,0 +1,188 @@
+//! `greem-run` — the command-line front end of the TreePM library.
+//!
+//! Runs a cosmological simulation from generated initial conditions (or
+//! a checkpoint) and reports the Table-I-style per-step costs:
+//!
+//! ```text
+//! greem-run [--n-side 16] [--mesh 32] [--steps 24]
+//!           [--z-start 400] [--z-end 31] [--cutoff-modes 4]
+//!           [--delta0 0.1] [--seed 1] [--theta 0.5] [--group 100]
+//!           [--checkpoint-out PATH] [--resume PATH] [--quiet]
+//! ```
+//!
+//! With `--resume` the particle state and epoch come from the
+//! checkpoint and the IC options are ignored.
+
+use greem::{projected_density, Body, Simulation, SimulationMode, StepBreakdown, TreePmConfig};
+use greem_cosmo::{generate_ics, Cosmology, IcParams, PowerSpectrum};
+
+#[derive(Debug)]
+struct Opts {
+    n_side: usize,
+    mesh: usize,
+    steps: usize,
+    z_start: f64,
+    z_end: f64,
+    cutoff_modes: f64,
+    delta0: f64,
+    seed: u64,
+    theta: f64,
+    group: usize,
+    checkpoint_out: Option<String>,
+    resume: Option<String>,
+    quiet: bool,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts {
+            n_side: 16,
+            mesh: 32,
+            steps: 24,
+            z_start: 400.0,
+            z_end: 31.0,
+            cutoff_modes: 4.0,
+            delta0: 0.1,
+            seed: 1,
+            theta: 0.5,
+            group: 100,
+            checkpoint_out: None,
+            resume: None,
+            quiet: false,
+        }
+    }
+}
+
+fn parse_args() -> Result<Opts, String> {
+    let mut o = Opts::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = |name: &str| -> Result<String, String> {
+            args.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--n-side" => o.n_side = val(&a)?.parse().map_err(|e| format!("{a}: {e}"))?,
+            "--mesh" => o.mesh = val(&a)?.parse().map_err(|e| format!("{a}: {e}"))?,
+            "--steps" => o.steps = val(&a)?.parse().map_err(|e| format!("{a}: {e}"))?,
+            "--z-start" => o.z_start = val(&a)?.parse().map_err(|e| format!("{a}: {e}"))?,
+            "--z-end" => o.z_end = val(&a)?.parse().map_err(|e| format!("{a}: {e}"))?,
+            "--cutoff-modes" => o.cutoff_modes = val(&a)?.parse().map_err(|e| format!("{a}: {e}"))?,
+            "--delta0" => o.delta0 = val(&a)?.parse().map_err(|e| format!("{a}: {e}"))?,
+            "--seed" => o.seed = val(&a)?.parse().map_err(|e| format!("{a}: {e}"))?,
+            "--theta" => o.theta = val(&a)?.parse().map_err(|e| format!("{a}: {e}"))?,
+            "--group" => o.group = val(&a)?.parse().map_err(|e| format!("{a}: {e}"))?,
+            "--checkpoint-out" => o.checkpoint_out = Some(val(&a)?),
+            "--resume" => o.resume = Some(val(&a)?),
+            "--quiet" => o.quiet = true,
+            "--help" | "-h" => {
+                println!("see the module docs at the top of greem-run.rs / README.md");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown option '{other}' (try --help)")),
+        }
+    }
+    if o.z_end >= o.z_start {
+        return Err("--z-end must be below --z-start".into());
+    }
+    Ok(o)
+}
+
+fn main() {
+    let o = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("greem-run: {e}");
+            std::process::exit(2);
+        }
+    };
+    let cfg = TreePmConfig {
+        theta: o.theta,
+        group_size: o.group,
+        ..TreePmConfig::standard(o.mesh)
+    };
+    let cosmo = Cosmology::wmap7();
+
+    let mut sim = if let Some(path) = &o.resume {
+        match Simulation::resume_checkpoint(cfg, path) {
+            Ok(s) => {
+                println!("resumed {} bodies from {path}", s.bodies().len());
+                s
+            }
+            Err(e) => {
+                eprintln!("greem-run: cannot resume from {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        let a0 = 1.0 / (1.0 + o.z_start);
+        let ics = generate_ics(&IcParams {
+            n_per_side: o.n_side,
+            a_start: a0,
+            spectrum: PowerSpectrum::microhalo(
+                1.0,
+                2.0 * std::f64::consts::PI * o.cutoff_modes,
+            ),
+            cosmology: cosmo,
+            seed: o.seed,
+            normalize_rms_delta: Some(o.delta0),
+        });
+        println!(
+            "ICs: {}^3 particles at z = {} (delta_rms {:.3}, max displacement {:.2} spacings)",
+            o.n_side, o.z_start, ics.delta_rms, ics.max_displacement
+        );
+        let bodies: Vec<Body> = ics
+            .pos
+            .iter()
+            .zip(&ics.vel)
+            .enumerate()
+            .map(|(i, (p, v))| Body {
+                pos: *p,
+                vel: *v,
+                mass: ics.mass,
+                id: i as u64,
+            })
+            .collect();
+        Simulation::new(cfg, bodies, SimulationMode::Cosmological { cosmology: cosmo, a: a0 })
+    };
+
+    let a0 = match sim.mode() {
+        SimulationMode::Cosmological { a, .. } => a,
+        SimulationMode::Static => {
+            eprintln!("greem-run drives cosmological runs; static mode is for the library API");
+            std::process::exit(1);
+        }
+    };
+    let a_end = 1.0 / (1.0 + o.z_end);
+    let ratio = (a_end / a0).powf(1.0 / o.steps as f64);
+    let mut a = a0;
+    let mut total = StepBreakdown::default();
+    for step in 1..=o.steps {
+        a *= ratio;
+        let bd = sim.step(a);
+        total.accumulate(&bd);
+        if !o.quiet {
+            println!(
+                "step {step:>3}/{}: a = {a:.5} (z = {:6.1})  {:7.3}s  {:>11} interactions",
+                o.steps,
+                1.0 / a - 1.0,
+                bd.total(),
+                bd.walk.interactions
+            );
+        }
+    }
+    println!("\nmean per-step cost breakdown:");
+    println!("{}", total.table(o.steps as f64));
+    let snap = projected_density(sim.bodies(), 48, 2, "final");
+    println!("final projected density (peak contrast {:.1}):", snap.peak_contrast());
+    println!("{}", snap.ascii());
+
+    if let Some(path) = &o.checkpoint_out {
+        match sim.save_checkpoint(path) {
+            Ok(()) => println!("checkpoint written to {path}"),
+            Err(e) => {
+                eprintln!("greem-run: checkpoint failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

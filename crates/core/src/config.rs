@@ -1,0 +1,110 @@
+//! TreePM configuration.
+
+use greem_math::ForceSplit;
+use greem_pm::PmParams;
+use greem_tree::{Multipole, TraverseParams, TreeParams};
+
+/// Every knob of the TreePM solver, with the paper's choices as
+/// defaults.
+#[derive(Debug, Clone, Copy)]
+pub struct TreePmConfig {
+    /// PM mesh cells per side (power of two). The paper keeps
+    /// `N ∈ [N_PM·2³, N_PM·4³]` particles per run, i.e. a mesh of
+    /// N^(1/3)/2 … N^(1/3)/4 per side, "in order to minimize the force
+    /// error".
+    pub n_mesh: usize,
+    /// Short-range cutoff radius. Default `3/n_mesh` (§III-A).
+    pub r_cut: f64,
+    /// Opening angle of the tree walk. TreePM tolerates a relatively
+    /// large θ because distant contributions go through the FFT (§I).
+    pub theta: f64,
+    /// Group size ⟨Ni⟩ target of Barnes' modified traversal
+    /// (~100 on K computer, ~500 on GPU clusters, §II).
+    pub group_size: usize,
+    /// Plummer softening of the short-range force, ε ≪ r_cut.
+    pub eps: f64,
+    /// Octree leaf capacity.
+    pub leaf_capacity: usize,
+    /// TSC deconvolution in the PM Green's function.
+    pub deconvolve: bool,
+    /// Multipole order of accepted tree nodes. GreeM runs
+    /// monopole-only; the pseudo-particle quadrupole is this library's
+    /// accuracy extension (see `greem_tree::multipole`).
+    pub multipole: Multipole,
+}
+
+impl TreePmConfig {
+    /// Paper-standard configuration for a given PM mesh side.
+    pub fn standard(n_mesh: usize) -> Self {
+        let r_cut = 3.0 / n_mesh as f64;
+        TreePmConfig {
+            n_mesh,
+            r_cut,
+            theta: 0.5,
+            group_size: 100,
+            eps: r_cut / 30.0,
+            leaf_capacity: 8,
+            deconvolve: true,
+            multipole: Multipole::Monopole,
+        }
+    }
+
+    /// The force split (cutoff + softening) both solvers share.
+    pub fn split(&self) -> ForceSplit {
+        ForceSplit::new(self.r_cut, self.eps)
+    }
+
+    /// Tree construction parameters.
+    pub fn tree_params(&self) -> TreeParams {
+        TreeParams {
+            leaf_capacity: self.leaf_capacity,
+            max_depth: greem_math::morton::MORTON_BITS,
+        }
+    }
+
+    /// Tree traversal parameters (periodic, cutoff-pruned).
+    pub fn traverse_params(&self) -> TraverseParams {
+        TraverseParams {
+            theta: self.theta,
+            group_size: self.group_size,
+            r_cut: Some(self.r_cut),
+            periodic: true,
+            multipole: self.multipole,
+        }
+    }
+
+    /// Serial PM solver parameters.
+    pub fn pm_params(&self) -> PmParams {
+        PmParams {
+            n_mesh: self.n_mesh,
+            r_cut: self.r_cut,
+            deconvolve: self.deconvolve,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_matches_paper_rules() {
+        let c = TreePmConfig::standard(64);
+        assert!((c.r_cut - 3.0 / 64.0).abs() < 1e-15);
+        assert_eq!(c.group_size, 100);
+        assert!(c.eps < c.r_cut);
+        // The paper's production choice: N_PM = 4096 gives
+        // r_cut ≈ 7.32e-4.
+        let big = TreePmConfig::standard(4096);
+        assert!((big.r_cut - 7.324e-4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn derived_param_structs_consistent() {
+        let c = TreePmConfig::standard(32);
+        assert_eq!(c.split().r_cut, c.r_cut);
+        assert_eq!(c.traverse_params().r_cut, Some(c.r_cut));
+        assert_eq!(c.pm_params().n_mesh, 32);
+        assert_eq!(c.tree_params().leaf_capacity, c.leaf_capacity);
+    }
+}

@@ -1,0 +1,342 @@
+//! The single-address-space TreePM force engine.
+//!
+//! One [`TreePm`] owns the serial PM solver and the tree/kernel
+//! configuration; [`TreePm::compute`] evaluates the full force split on
+//! a particle snapshot, running one rayon task per particle group — the
+//! within-process data parallelism that plays the role of the paper's
+//! OpenMP threads inside each MPI process.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use greem_kernels::{pp_accel_phantom, SourceList, Targets};
+use greem_math::{Aabb, Vec3};
+use greem_pm::{PmSolver, PmResult};
+use greem_tree::{GroupWalk, Octree, WalkStats};
+use rayon::prelude::*;
+
+use crate::config::TreePmConfig;
+
+/// Wall/CPU seconds of the PP pipeline phases of one force evaluation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PpTimes {
+    /// Morton sort + octree construction (the "local tree" /
+    /// "tree construction" work; one address space has no split).
+    pub tree_build: f64,
+    /// Sum over tasks of interaction-list building time.
+    pub traversal: f64,
+    /// Sum over tasks of kernel time.
+    pub force: f64,
+}
+
+/// The result of one full TreePM force evaluation.
+#[derive(Debug, Clone)]
+pub struct ForceResult {
+    /// Total acceleration (PP + PM) per particle.
+    pub accel: Vec<Vec3>,
+    /// Short-range part.
+    pub pp_accel: Vec<Vec3>,
+    /// Long-range part.
+    pub pm_accel: Vec<Vec3>,
+    /// Walk statistics (⟨Ni⟩, ⟨Nj⟩, interaction counts).
+    pub walk: WalkStats,
+    /// PP phase timings.
+    pub pp_times: PpTimes,
+    /// PM phase timings (serial path: assignment/FFT/差分/interpolation
+    /// wall times; no communication).
+    pub pm_times: greem_pm::PmPhaseTimes,
+}
+
+/// Single-process TreePM solver.
+///
+/// ```
+/// use greem::{TreePm, TreePmConfig};
+/// use greem_math::Vec3;
+///
+/// let solver = TreePm::new(TreePmConfig::standard(16));
+/// let pos = vec![Vec3::new(0.40, 0.5, 0.5), Vec3::new(0.45, 0.5, 0.5)];
+/// let mass = vec![0.5, 0.5];
+/// let res = solver.compute(&pos, &mass);
+/// // The pair attracts along x, with equal and opposite forces.
+/// assert!(res.accel[0].x > 0.0 && res.accel[1].x < 0.0);
+/// assert!((res.accel[0] + res.accel[1]).norm() < 1e-6 * res.accel[0].norm());
+/// ```
+pub struct TreePm {
+    cfg: TreePmConfig,
+    pm: PmSolver,
+}
+
+impl TreePm {
+    /// Build a solver from a configuration.
+    pub fn new(cfg: TreePmConfig) -> Self {
+        TreePm {
+            pm: PmSolver::new(cfg.pm_params()),
+            cfg,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TreePmConfig {
+        &self.cfg
+    }
+
+    /// Evaluate PP accelerations only (tree + kernel) on a snapshot.
+    pub fn compute_pp(&self, pos: &[Vec3], mass: &[f64]) -> (Vec<Vec3>, WalkStats, PpTimes) {
+        assert_eq!(pos.len(), mass.len());
+        let mut times = PpTimes::default();
+        let t0 = Instant::now();
+        let tree = Octree::build(pos, mass, Aabb::UNIT, self.cfg.tree_params());
+        times.tree_build = t0.elapsed().as_secs_f64();
+
+        let walk = GroupWalk::new(&tree, self.cfg.traverse_params());
+        let groups = walk.groups();
+        let split = self.cfg.split();
+        let traversal_ns = AtomicU64::new(0);
+        let force_ns = AtomicU64::new(0);
+
+        // One task per group; each returns (original indices, accels).
+        let per_group: Vec<(Vec<u32>, Vec<Vec3>, WalkStats)> = groups
+            .par_iter()
+            .map(|&group| {
+                let mut stack = Vec::new();
+                let mut list = Vec::new();
+                let t = Instant::now();
+                let stats = walk.list_for_group(group, &mut stack, &mut list);
+                traversal_ns.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+
+                let t = Instant::now();
+                let lo = group.first as usize;
+                let hi = lo + group.count as usize;
+                let mut targets = Targets::from_positions(&tree.pos()[lo..hi]);
+                let mut sources = SourceList::with_capacity(list.len());
+                for s in &list {
+                    sources.push(s.pos, s.mass);
+                }
+                pp_accel_phantom(&mut targets, &sources, &split);
+                force_ns.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+
+                let idx: Vec<u32> = tree.orig_index()[lo..hi].to_vec();
+                let acc: Vec<Vec3> = (0..targets.len()).map(|i| targets.accel(i)).collect();
+                (idx, acc, stats)
+            })
+            .collect();
+
+        let mut accel = vec![Vec3::ZERO; pos.len()];
+        let mut walk_stats = WalkStats::default();
+        for (idx, acc, stats) in per_group {
+            for (i, a) in idx.into_iter().zip(acc) {
+                accel[i as usize] = a;
+            }
+            walk_stats.merge(&stats);
+        }
+        times.traversal = traversal_ns.load(Ordering::Relaxed) as f64 * 1e-9;
+        times.force = force_ns.load(Ordering::Relaxed) as f64 * 1e-9;
+        (accel, walk_stats, times)
+    }
+
+    /// Evaluate PM accelerations only.
+    pub fn compute_pm(&self, pos: &[Vec3], mass: &[f64]) -> (PmResult, greem_pm::PmPhaseTimes) {
+        let mut t = greem_pm::PmPhaseTimes::default();
+        let t0 = Instant::now();
+        let rho = self.pm.assign_density(pos, mass);
+        t.density_assignment = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        let phi = self.pm.potential_mesh(&rho);
+        t.fft = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        let acc = self.pm.accel_meshes(&phi);
+        t.acceleration_on_mesh = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        let ax = self.pm.interpolate(&acc[0], pos);
+        let ay = self.pm.interpolate(&acc[1], pos);
+        let az = self.pm.interpolate(&acc[2], pos);
+        let potential = self.pm.interpolate(&phi, pos);
+        t.force_interpolation = t0.elapsed().as_secs_f64();
+        let accel = ax
+            .into_iter()
+            .zip(ay)
+            .zip(az)
+            .map(|((x, y), z)| Vec3::new(x, y, z))
+            .collect();
+        (PmResult { accel, potential }, t)
+    }
+
+    /// Full TreePM force evaluation: PM + PP.
+    pub fn compute(&self, pos: &[Vec3], mass: &[f64]) -> ForceResult {
+        let (pm, pm_times) = self.compute_pm(pos, mass);
+        let (pp_accel, walk, pp_times) = self.compute_pp(pos, mass);
+        let accel = pp_accel
+            .iter()
+            .zip(&pm.accel)
+            .map(|(a, b)| *a + *b)
+            .collect();
+        ForceResult {
+            accel,
+            pp_accel,
+            pm_accel: pm.accel,
+            walk,
+            pp_times,
+            pm_times,
+        }
+    }
+
+    /// Total gravitational potential energy of the snapshot (G = 1):
+    /// `U = ½Σ m_i·φ_i` with φ the PM mesh potential (self-energy
+    /// subtracted analytically) plus the pairwise short-range potential.
+    /// Diagnostics-grade (scalar loops).
+    pub fn potential_energy(&self, pos: &[Vec3], mass: &[f64]) -> f64 {
+        // PM part.
+        let (pm, _) = self.compute_pm(pos, mass);
+        // Self-energy of the S2-filtered particle: φ_self =
+        // −(2/π)·(2/r_cut)·∫₀^∞ S̃2(u)² du per unit mass.
+        let s2_int = {
+            // ∫ S̃2² du converges fast (integrand ~ u^-8 beyond u≈5).
+            let n = 200_000;
+            let du = 60.0 / n as f64;
+            (0..n)
+                .map(|i| {
+                    let u = (i as f64 + 0.5) * du;
+                    let w = greem_math::s2_fourier(u);
+                    w * w * du
+                })
+                .sum::<f64>()
+        };
+        let phi_self_per_mass = -(2.0 / std::f64::consts::PI) * (2.0 / self.cfg.r_cut) * s2_int;
+        let mut u_pm = 0.0;
+        for i in 0..pos.len() {
+            u_pm += 0.5 * mass[i] * (pm.potential[i] - mass[i] * phi_self_per_mass);
+        }
+        // PP part via the group walk and the pairwise potential shape.
+        let tree = Octree::build(pos, mass, Aabb::UNIT, self.cfg.tree_params());
+        let walk = GroupWalk::new(&tree, self.cfg.traverse_params());
+        let mut u_pp = 0.0;
+        walk.for_each_group(|group, list| {
+            for slot in group.first..group.first + group.count {
+                let p = tree.pos()[slot as usize];
+                let m = tree.mass()[slot as usize];
+                for s in list {
+                    let r = (s.pos - p).norm();
+                    if r > 0.0 {
+                        u_pp += 0.5 * m * s.mass * self.cfg.split().pp_potential(r);
+                    }
+                }
+            }
+        });
+        u_pm + u_pp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use greem_math::min_image_vec;
+
+    fn rand_pos(n: usize, seed: u64) -> Vec<Vec3> {
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n).map(|_| Vec3::new(next(), next(), next())).collect()
+    }
+
+    #[test]
+    fn pp_matches_brute_force() {
+        let cfg = TreePmConfig {
+            theta: 0.0, // exact walk
+            ..TreePmConfig::standard(16)
+        };
+        let solver = TreePm::new(cfg);
+        let n = 120;
+        let pos = rand_pos(n, 3);
+        let mass = vec![1.0 / n as f64; n];
+        let (acc, walk, _) = solver.compute_pp(&pos, &mass);
+        let split = cfg.split();
+        for i in 0..n {
+            let mut want = Vec3::ZERO;
+            for j in 0..n {
+                if i != j {
+                    want += split.pp_accel(min_image_vec(pos[j], pos[i]), mass[j]);
+                }
+            }
+            assert!(
+                (acc[i] - want).norm() < 1e-6 * want.norm().max(1e-9),
+                "i={i}: {:?} vs {want:?}",
+                acc[i]
+            );
+        }
+        assert_eq!(walk.sum_ni, n as u64);
+    }
+
+    #[test]
+    fn total_force_momentum_conserves() {
+        let solver = TreePm::new(TreePmConfig::standard(16));
+        let n = 150;
+        let pos = rand_pos(n, 9);
+        let mass: Vec<f64> = (0..n).map(|i| (1.0 + (i % 3) as f64) / n as f64).collect();
+        let res = solver.compute(&pos, &mass);
+        let ptot: Vec3 = res.accel.iter().zip(&mass).map(|(a, &m)| *a * m).sum();
+        let scale: f64 = res
+            .accel
+            .iter()
+            .zip(&mass)
+            .map(|(a, &m)| (*a * m).norm())
+            .sum();
+        assert!(ptot.norm() < 1e-4 * scale, "net momentum {ptot:?} / {scale}");
+    }
+
+    #[test]
+    fn split_parts_are_returned_consistently() {
+        let solver = TreePm::new(TreePmConfig::standard(16));
+        let pos = rand_pos(50, 4);
+        let mass = vec![0.02; 50];
+        let res = solver.compute(&pos, &mass);
+        for i in 0..50 {
+            let sum = res.pp_accel[i] + res.pm_accel[i];
+            assert!((res.accel[i] - sum).norm() < 1e-14 * sum.norm().max(1e-30));
+        }
+        assert!(res.walk.interactions > 0);
+    }
+
+    #[test]
+    fn isolated_pair_total_force_is_newtonian() {
+        // Inside the cutoff the PP + PM total must reproduce ~1/r²
+        // regardless of where r sits relative to r_cut.
+        let n_mesh = 32;
+        let cfg = TreePmConfig {
+            eps: 0.0,
+            r_cut: 8.0 / n_mesh as f64,
+            ..TreePmConfig::standard(n_mesh)
+        };
+        let solver = TreePm::new(cfg);
+        // r ≲ 0.2 only: beyond that the periodic images and the
+        // neutralising background pull the true (Ewald) force well
+        // below 1/r² — at r = 0.3 by ~15 % — which the baselines crate's
+        // Ewald reference quantifies.
+        for r in [0.06, 0.12, 0.2] {
+            let pos = vec![Vec3::new(0.3, 0.5, 0.5), Vec3::new(0.3 + r, 0.5, 0.5)];
+            let mass = vec![1.0, 1.0];
+            let res = solver.compute(&pos, &mass);
+            let f = res.accel[0].x;
+            let newton = 1.0 / (r * r);
+            assert!(
+                (f - newton).abs() < 0.06 * newton,
+                "r={r}: total {f} vs newton {newton} (pp {}, pm {})",
+                res.pp_accel[0].x,
+                res.pm_accel[0].x
+            );
+        }
+    }
+
+    #[test]
+    fn potential_energy_is_negative_for_clustered() {
+        let solver = TreePm::new(TreePmConfig::standard(16));
+        // A tight clump: strongly bound.
+        let pos: Vec<Vec3> = (0..20)
+            .map(|i| Vec3::splat(0.5) + Vec3::new(1e-3 * i as f64, 0.0, 0.0))
+            .collect();
+        let mass = vec![0.05; 20];
+        let u = solver.potential_energy(&pos, &mass);
+        assert!(u < 0.0, "clustered potential energy {u}");
+    }
+}

@@ -1,0 +1,270 @@
+//! Friends-of-friends (FoF) halo finding.
+//!
+//! The paper's science target is the population of the *smallest dark
+//! matter structures* ("represented by more than ~100,000 particles",
+//! §III-A) — and structures in N-body snapshots are identified with the
+//! standard friends-of-friends algorithm: particles closer than a
+//! linking length `b` (canonically 0.2× the mean interparticle
+//! separation) belong to the same group, transitively.
+//!
+//! Implementation: a periodic chaining mesh with cells ≥ `b` plus
+//! union-find with path halving — O(N) memory, near-O(N) time.
+
+use greem_math::{min_image_vec, Vec3};
+
+use crate::particle::Body;
+
+/// One identified halo.
+#[derive(Debug, Clone)]
+pub struct Halo {
+    /// Indices into the input snapshot, ascending.
+    pub members: Vec<u32>,
+    /// Total mass.
+    pub mass: f64,
+    /// Centre of mass (computed with minimum-image unwrapping around
+    /// the first member, then wrapped back into the box).
+    pub center: Vec3,
+}
+
+/// Disjoint-set forest with path halving + union by size.
+struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+        }
+    }
+    fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            self.parent[x as usize] = self.parent[self.parent[x as usize] as usize];
+            x = self.parent[x as usize];
+        }
+        x
+    }
+    fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        let (big, small) = if self.size[ra as usize] >= self.size[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small as usize] = big;
+        self.size[big as usize] += self.size[small as usize];
+    }
+}
+
+/// Group particle indices by the FoF criterion with linking length `b`
+/// (box units, periodic). Only groups with at least `min_members`
+/// particles are returned, sorted by descending member count.
+pub fn friends_of_friends(pos: &[Vec3], b: f64, min_members: usize) -> Vec<Vec<u32>> {
+    assert!(b > 0.0 && b < 0.5, "linking length must be in (0, 1/2)");
+    let n = pos.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Chaining mesh with cells at least b wide.
+    let nc = ((1.0 / b).floor() as usize).clamp(1, 256);
+    let cell = |x: f64| -> usize { ((x * nc as f64) as usize).min(nc - 1) };
+    let mut cells: Vec<Vec<u32>> = vec![Vec::new(); nc * nc * nc];
+    for (i, p) in pos.iter().enumerate() {
+        cells[(cell(p.x) * nc + cell(p.y)) * nc + cell(p.z)].push(i as u32);
+    }
+    let b2 = b * b;
+    let mut uf = UnionFind::new(n);
+    // Scan each cell against itself and its 26-neighbourhood (half of it
+    // suffices, but deduping the wrapped neighbour list is simpler and
+    // the union is idempotent).
+    let mut neigh: Vec<usize> = Vec::with_capacity(27);
+    for cx in 0..nc {
+        for cy in 0..nc {
+            for cz in 0..nc {
+                let here_id = (cx * nc + cy) * nc + cz;
+                let here = &cells[here_id];
+                if here.is_empty() {
+                    continue;
+                }
+                neigh.clear();
+                for dx in -1i64..=1 {
+                    for dy in -1i64..=1 {
+                        for dz in -1i64..=1 {
+                            let nx = (cx as i64 + dx).rem_euclid(nc as i64) as usize;
+                            let ny = (cy as i64 + dy).rem_euclid(nc as i64) as usize;
+                            let nz = (cz as i64 + dz).rem_euclid(nc as i64) as usize;
+                            let id = (nx * nc + ny) * nc + nz;
+                            if id >= here_id && !neigh.contains(&id) {
+                                neigh.push(id);
+                            }
+                        }
+                    }
+                }
+                for &cid in &neigh {
+                    let other = &cells[cid];
+                    for &i in here {
+                        for &j in other {
+                            if cid == here_id && j <= i {
+                                continue;
+                            }
+                            let d = min_image_vec(pos[j as usize], pos[i as usize]);
+                            if d.norm2() <= b2 {
+                                uf.union(i, j);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Collect groups.
+    let mut groups: std::collections::HashMap<u32, Vec<u32>> = std::collections::HashMap::new();
+    for i in 0..n as u32 {
+        groups.entry(uf.find(i)).or_default().push(i);
+    }
+    let mut out: Vec<Vec<u32>> = groups
+        .into_values()
+        .filter(|g| g.len() >= min_members)
+        .collect();
+    for g in out.iter_mut() {
+        g.sort_unstable();
+    }
+    out.sort_by_key(|g| std::cmp::Reverse(g.len()));
+    out
+}
+
+/// Find halos in a body snapshot: FoF at `linking_fraction` of the mean
+/// interparticle separation (the canonical 0.2), keeping groups of at
+/// least `min_members`.
+pub fn find_halos(bodies: &[Body], linking_fraction: f64, min_members: usize) -> Vec<Halo> {
+    let n = bodies.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mean_sep = (1.0 / n as f64).cbrt();
+    let b = (linking_fraction * mean_sep).min(0.49);
+    let pos: Vec<Vec3> = bodies.iter().map(|x| x.pos).collect();
+    friends_of_friends(&pos, b, min_members)
+        .into_iter()
+        .map(|members| {
+            let anchor = bodies[members[0] as usize].pos;
+            let mut mass = 0.0;
+            let mut com = Vec3::ZERO;
+            for &i in &members {
+                let b = &bodies[i as usize];
+                mass += b.mass;
+                // Unwrap around the anchor so halos straddling the
+                // boundary get a sensible centre.
+                com += (anchor + min_image_vec(b.pos, anchor)) * b.mass;
+            }
+            Halo {
+                center: greem_math::wrap01(com / mass),
+                members,
+                mass,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clump(center: Vec3, n: usize, radius: f64, seed: u64) -> Vec<Vec3> {
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        (0..n)
+            .map(|_| {
+                greem_math::wrap01(center + Vec3::new(next(), next(), next()) * radius)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn two_separated_clumps_found() {
+        let mut pos = clump(Vec3::splat(0.25), 50, 0.01, 1);
+        pos.extend(clump(Vec3::splat(0.75), 30, 0.01, 2));
+        let groups = friends_of_friends(&pos, 0.05, 5);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].len(), 50);
+        assert_eq!(groups[1].len(), 30);
+        // Membership is exactly by construction order.
+        assert!(groups[0].iter().all(|&i| i < 50));
+        assert!(groups[1].iter().all(|&i| i >= 50));
+    }
+
+    #[test]
+    fn chain_links_transitively() {
+        // A string of particles each 0.9·b apart forms ONE group even
+        // though its ends are far apart.
+        let b = 0.02;
+        let pos: Vec<Vec3> = (0..20)
+            .map(|i| Vec3::new(0.1 + i as f64 * 0.9 * b, 0.5, 0.5))
+            .collect();
+        let groups = friends_of_friends(&pos, b, 2);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].len(), 20);
+    }
+
+    #[test]
+    fn halo_across_periodic_boundary() {
+        // A clump straddling x = 0/1 must be one halo with a sensible
+        // centre near the boundary.
+        let mut pos = clump(Vec3::new(0.001, 0.5, 0.5), 40, 0.01, 3);
+        pos.extend(clump(Vec3::new(0.999, 0.5, 0.5), 40, 0.01, 4));
+        let bodies: Vec<Body> = pos
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| Body::at_rest(p, 1.0 / 80.0, i as u64))
+            .collect();
+        let halos = find_halos(&bodies, 2.0, 10); // generous linking
+        assert_eq!(halos.len(), 1, "wrapped clump split: {:?}", halos.len());
+        let cx = halos[0].center.x;
+        assert!(
+            cx < 0.05 || cx > 0.95,
+            "centre should sit near the boundary, got {cx}"
+        );
+        assert!((halos[0].mass - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sparse_field_has_no_halos() {
+        // A near-uniform sprinkle at low density with a small linking
+        // length yields nothing above the membership threshold.
+        let pos: Vec<Vec3> = (0..64)
+            .map(|i| {
+                Vec3::new(
+                    (i % 4) as f64 / 4.0 + 0.125,
+                    ((i / 4) % 4) as f64 / 4.0 + 0.125,
+                    (i / 16) as f64 / 4.0 + 0.125,
+                )
+            })
+            .collect();
+        let groups = friends_of_friends(&pos, 0.05, 3);
+        assert!(groups.is_empty(), "{} spurious groups", groups.len());
+    }
+
+    #[test]
+    fn min_members_filters() {
+        let mut pos = clump(Vec3::splat(0.3), 12, 0.005, 9);
+        pos.push(Vec3::splat(0.8)); // isolated singleton
+        let all = friends_of_friends(&pos, 0.03, 1);
+        assert_eq!(all.len(), 2);
+        let big = friends_of_friends(&pos, 0.03, 5);
+        assert_eq!(big.len(), 1);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(friends_of_friends(&[], 0.1, 1).is_empty());
+        assert!(find_halos(&[], 0.2, 1).is_empty());
+    }
+}

@@ -1,0 +1,244 @@
+//! The ΛCDM background: expansion history, growth factor, and the
+//! kick/drift integrals of the comoving leapfrog.
+//!
+//! Unit conventions: `a` is the scale factor (a = 1 today,
+//! a = 1/(1+z)); time is measured in units of `1/H0`; comoving
+//! lengths are box units. With the box's total mass normalised so the
+//! mean comoving density is `ρ̄ = 1` and `G = 1` (the solver crates'
+//! convention), the comoving equations of motion are
+//!
+//! ```text
+//! dx/dt = p / a²          p = a²·dx/dt   (comoving momentum)
+//! dp/dt = g(x) / a        g = comoving unit-box acceleration × 3Ωm/(8π)·H0²·L³-normalisation
+//! ```
+//!
+//! so one leapfrog step only needs the two integrals this module
+//! provides: `drift = ∫ dt/a² = ∫ da/(a³H)` and `kick = ∫ dt/a =
+//! ∫ da/(a²H)` [Quinn et al. 1997; GADGET-2].
+
+/// ΛCDM background parameters (flat unless Ωm+ΩΛ ≠ 1).
+///
+/// ```
+/// use greem_cosmo::Cosmology;
+///
+/// let c = Cosmology::wmap7();             // the paper's cosmology
+/// assert!((c.e_of_a(1.0) - 1.0).abs() < 1e-12);
+/// // Growth is normalised to today and matter-dominated early on.
+/// assert!((c.growth(1.0) - 1.0).abs() < 1e-12);
+/// let kd = c.kick_drift(0.01, 0.0105);    // one leapfrog step's integrals
+/// assert!(kd.kick > 0.0 && kd.drift > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cosmology {
+    /// Matter density parameter today.
+    pub omega_m: f64,
+    /// Dark-energy density parameter today.
+    pub omega_l: f64,
+    /// Hubble parameter today in units of 100 km/s/Mpc.
+    pub h: f64,
+    /// Primordial spectral index.
+    pub n_s: f64,
+}
+
+impl Cosmology {
+    /// The WMAP-7 concordance parameters the paper adopts
+    /// (Komatsu et al. 2011).
+    pub fn wmap7() -> Self {
+        Cosmology {
+            omega_m: 0.272,
+            omega_l: 0.728,
+            h: 0.704,
+            n_s: 0.963,
+        }
+    }
+
+    /// Einstein-de Sitter (flat, matter only) — the analytic test case.
+    pub fn eds() -> Self {
+        Cosmology {
+            omega_m: 1.0,
+            omega_l: 0.0,
+            h: 0.7,
+            n_s: 1.0,
+        }
+    }
+
+    /// Curvature parameter.
+    pub fn omega_k(&self) -> f64 {
+        1.0 - self.omega_m - self.omega_l
+    }
+
+    /// Dimensionless expansion rate `E(a) = H(a)/H0`.
+    pub fn e_of_a(&self, a: f64) -> f64 {
+        debug_assert!(a > 0.0);
+        (self.omega_m / (a * a * a) + self.omega_k() / (a * a) + self.omega_l).sqrt()
+    }
+
+    /// `H(a)` in units of H0 (identical to [`Cosmology::e_of_a`]; kept
+    /// for readability at call sites).
+    pub fn hubble(&self, a: f64) -> f64 {
+        self.e_of_a(a)
+    }
+
+    /// Cosmic time since the Big Bang at scale factor `a`, in 1/H0
+    /// units: `t(a) = ∫₀ᵃ da'/(a'·H(a'))`.
+    pub fn time_of_a(&self, a: f64) -> f64 {
+        integrate(|x| 1.0 / (x * self.e_of_a(x)), 1e-8, a, 4096)
+    }
+
+    /// Matter density parameter at scale factor `a`.
+    pub fn omega_m_of_a(&self, a: f64) -> f64 {
+        let e2 = self.e_of_a(a).powi(2);
+        self.omega_m / (a * a * a) / e2
+    }
+
+    /// Linear growth factor `D(a)`, normalised to `D(1) = 1`:
+    /// `D(a) ∝ H(a)·∫₀ᵃ da'/(a'H(a'))³` (Heath 1977).
+    pub fn growth(&self, a: f64) -> f64 {
+        self.growth_unnormalised(a) / self.growth_unnormalised(1.0)
+    }
+
+    fn growth_unnormalised(&self, a: f64) -> f64 {
+        let integral = integrate(
+            |x| 1.0 / (x * self.e_of_a(x)).powi(3),
+            1e-8,
+            a,
+            4096,
+        );
+        2.5 * self.omega_m * self.e_of_a(a) * integral
+    }
+
+    /// Logarithmic growth rate `f = dlnD/dlna` (numerically
+    /// differentiated; ≈ Ωm(a)^0.55 to well under a percent).
+    pub fn growth_rate(&self, a: f64) -> f64 {
+        let h = 1e-4 * a;
+        let dp = self.growth(a + h).ln();
+        let dm = self.growth(a - h).ln();
+        (dp - dm) / ((a + h).ln() - (a - h).ln())
+    }
+
+    /// Leapfrog coefficients for a step from `a0` to `a1`
+    /// (in 1/H0 time units).
+    pub fn kick_drift(&self, a0: f64, a1: f64) -> KickDrift {
+        assert!(a0 > 0.0 && a1 > a0, "need 0 < a0 < a1");
+        KickDrift {
+            drift: integrate(|a| 1.0 / (a * a * a * self.e_of_a(a)), a0, a1, 512),
+            kick: integrate(|a| 1.0 / (a * a * self.e_of_a(a)), a0, a1, 512),
+        }
+    }
+}
+
+/// The two leapfrog integrals of one step: `drift = ∫dt/a²`,
+/// `kick = ∫dt/a`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KickDrift {
+    pub drift: f64,
+    pub kick: f64,
+}
+
+/// Composite Simpson on `[a, b]` with `n` (even) panels.
+fn integrate(f: impl Fn(f64) -> f64, a: f64, b: f64, n: usize) -> f64 {
+    debug_assert!(n % 2 == 0 && b > a);
+    let h = (b - a) / n as f64;
+    let mut s = f(a) + f(b);
+    for i in 1..n {
+        let x = a + i as f64 * h;
+        s += f(x) * if i % 2 == 1 { 4.0 } else { 2.0 };
+    }
+    s * h / 3.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eds_analytic_relations() {
+        let c = Cosmology::eds();
+        // E(a) = a^{-3/2}; t(a) = (2/3)a^{3/2}; D(a) = a.
+        for a in [0.01, 0.1, 0.5, 1.0] {
+            assert!((c.e_of_a(a) - a.powf(-1.5)).abs() < 1e-12);
+            assert!(
+                (c.time_of_a(a) - 2.0 / 3.0 * a.powf(1.5)).abs() < 1e-5,
+                "t({a})"
+            );
+            assert!((c.growth(a) - a).abs() < 1e-4, "D({a}) = {}", c.growth(a));
+            assert!((c.growth_rate(a) - 1.0).abs() < 1e-5, "f({a})");
+        }
+    }
+
+    #[test]
+    fn eds_kick_drift_closed_forms() {
+        let c = Cosmology::eds();
+        // kick = ∫ a^{-1/2} da = 2(√a1−√a0);
+        // drift = ∫ a^{-3/2} da = 2(1/√a0 − 1/√a1).
+        let (a0, a1) = (0.2, 0.4);
+        let kd = c.kick_drift(a0, a1);
+        let kick = 2.0 * (a1.sqrt() - a0.sqrt());
+        let drift = 2.0 * (1.0 / a0.sqrt() - 1.0 / a1.sqrt());
+        assert!((kd.kick - kick).abs() < 1e-10);
+        assert!((kd.drift - drift).abs() < 1e-10);
+    }
+
+    #[test]
+    fn wmap7_sanity() {
+        let c = Cosmology::wmap7();
+        assert!((c.omega_k()).abs() < 1e-12, "flat");
+        assert!((c.e_of_a(1.0) - 1.0).abs() < 1e-12);
+        // Age of a flat ΛCDM universe:
+        // t0·H0 = (2/3)/√ΩΛ·asinh(√(ΩΛ/Ωm)) ≈ 0.991 for WMAP-7
+        // (13.75 Gyr at h = 0.704).
+        let age = c.time_of_a(1.0);
+        let analytic =
+            2.0 / 3.0 / c.omega_l.sqrt() * ((c.omega_l / c.omega_m).sqrt()).asinh();
+        assert!((age - analytic).abs() < 1e-4, "age {age} vs {analytic}");
+        // Growth is suppressed relative to EdS at late times.
+        assert!(c.growth(0.5) > 0.55 && c.growth(0.5) < 0.65, "{}", c.growth(0.5));
+        // Growth rate ≈ Ωm(a)^0.55.
+        for a in [0.3, 0.6, 1.0] {
+            let f = c.growth_rate(a);
+            let approx = c.omega_m_of_a(a).powf(0.55);
+            assert!((f - approx).abs() < 5e-3, "f({a}) = {f} vs {approx}");
+        }
+    }
+
+    #[test]
+    fn high_redshift_is_matter_dominated() {
+        // At the paper's starting redshift (z = 400) ΛCDM is EdS-like:
+        // D ∝ a to a part in ~1e3.
+        let c = Cosmology::wmap7();
+        let a400 = 1.0 / 401.0;
+        let a200 = 1.0 / 201.0;
+        let ratio = c.growth(a200) / c.growth(a400);
+        assert!(
+            (ratio - a200 / a400).abs() < 3e-3 * ratio,
+            "growth ratio {ratio} vs {}",
+            a200 / a400
+        );
+    }
+
+    #[test]
+    fn growth_is_monotone() {
+        let c = Cosmology::wmap7();
+        let mut last = 0.0;
+        for i in 1..=20 {
+            let a = i as f64 / 20.0;
+            let d = c.growth(a);
+            assert!(d > last);
+            last = d;
+        }
+        assert!((c.growth(1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kick_drift_additive_over_substeps() {
+        // The multiple-stepsize scheme relies on ∫[a0,a1] = ∫[a0,am] +
+        // ∫[am,a1] for both factors.
+        let c = Cosmology::wmap7();
+        let (a0, am, a1) = (0.1, 0.13, 0.16);
+        let whole = c.kick_drift(a0, a1);
+        let p1 = c.kick_drift(a0, am);
+        let p2 = c.kick_drift(am, a1);
+        assert!((whole.kick - p1.kick - p2.kick).abs() < 1e-9);
+        assert!((whole.drift - p1.drift - p2.drift).abs() < 1e-9);
+    }
+}

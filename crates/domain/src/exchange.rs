@@ -1,0 +1,84 @@
+//! Bucketed particle exchange after a decomposition update.
+//!
+//! "particle exchange" in the paper's Table I: after the boundaries
+//! move (and after particles drift), every rank routes each of its items
+//! to the rank whose domain now contains it, with one `Alltoallv`.
+
+use mpisim::{Comm, Ctx};
+
+/// Route each item to the rank `dest(&item)` says owns it; returns the
+/// items this rank received (its own keepers included, order: grouped by
+/// source rank). One collective `Alltoallv` over `world`.
+pub fn exchange<T, F>(ctx: &mut Ctx, world: &Comm, items: Vec<T>, dest: F) -> Vec<T>
+where
+    T: Send + Clone + 'static,
+    F: Fn(&T) -> usize,
+{
+    let p = world.size();
+    let mut buckets: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
+    for it in items {
+        let d = dest(&it);
+        assert!(d < p, "destination {d} out of range (p={p})");
+        buckets[d].push(it);
+    }
+    world
+        .alltoallv(ctx, buckets)
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::DomainGrid;
+    use greem_math::Vec3;
+    use mpisim::{NetModel, World};
+
+    #[test]
+    fn exchange_conserves_and_routes() {
+        let p = 4;
+        let grid = DomainGrid::uniform([4, 1, 1]);
+        let out = World::new(p).with_net(NetModel::free()).run(|ctx, world| {
+            // Every rank starts with particles all over the box.
+            let me = world.rank();
+            let mut mine = Vec::new();
+            for i in 0..40 {
+                let x = ((me * 40 + i) as f64 * 0.02483) % 1.0;
+                mine.push(Vec3::new(x, 0.5, 0.5));
+            }
+            let grid = DomainGrid::uniform([4, 1, 1]);
+            let received = exchange(ctx, world, mine, |v| grid.rank_of_point(*v));
+            received
+        });
+        let total: usize = out.iter().map(Vec::len).sum();
+        assert_eq!(total, 4 * 40, "no particle may be lost or duplicated");
+        for (r, items) in out.iter().enumerate() {
+            for v in items {
+                assert_eq!(
+                    grid.rank_of_point(*v),
+                    r,
+                    "particle {v:?} landed on wrong rank {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_exchange() {
+        let out = World::new(3).with_net(NetModel::free()).run(|ctx, world| {
+            exchange(ctx, world, Vec::<u64>::new(), |_| 0)
+        });
+        assert!(out.iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn all_to_one() {
+        let out = World::new(3).with_net(NetModel::free()).run(|ctx, world| {
+            let mine = vec![world.rank() as u64; 5];
+            exchange(ctx, world, mine, |_| 2)
+        });
+        assert!(out[0].is_empty() && out[1].is_empty());
+        assert_eq!(out[2].len(), 15);
+    }
+}

@@ -1,0 +1,156 @@
+//! The rectangular domain grid of the 3-D multisection decomposition.
+
+use greem_math::{Aabb, Vec3};
+
+/// A full 3-D multisection of the unit box: `div[0]` slabs along x, each
+/// independently cut into `div[1]` columns along y, each cut into
+/// `div[2]` cells along z — so y boundaries vary per x-slab and z
+/// boundaries vary per (x,y) column, exactly the freedom the paper's
+/// fig. 3 shows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DomainGrid {
+    /// Divisions per axis (the paper uses the physical node grid, e.g.
+    /// 32×54×48 on the full K computer).
+    pub div: [usize; 3],
+    /// x boundaries, length `div[0]+1`, from 0.0 to 1.0.
+    pub x_bounds: Vec<f64>,
+    /// y boundaries per x-slab: `div[0]` rows of length `div[1]+1`.
+    pub y_bounds: Vec<Vec<f64>>,
+    /// z boundaries per (x,y) column: `div[0]·div[1]` rows of length
+    /// `div[2]+1`, indexed `ix·div[1] + iy`.
+    pub z_bounds: Vec<Vec<f64>>,
+}
+
+impl DomainGrid {
+    /// The uniform decomposition (the initial state before any feedback).
+    pub fn uniform(div: [usize; 3]) -> Self {
+        assert!(div.iter().all(|&d| d >= 1));
+        let axis = |d: usize| -> Vec<f64> { (0..=d).map(|i| i as f64 / d as f64).collect() };
+        DomainGrid {
+            div,
+            x_bounds: axis(div[0]),
+            y_bounds: vec![axis(div[1]); div[0]],
+            z_bounds: vec![axis(div[2]); div[0] * div[1]],
+        }
+    }
+
+    /// Total number of domains (= ranks).
+    pub fn len(&self) -> usize {
+        self.div[0] * self.div[1] * self.div[2]
+    }
+
+    /// True for a degenerate grid (never constructed).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Rank of the domain at grid coordinates.
+    pub fn rank_of_coords(&self, ix: usize, iy: usize, iz: usize) -> usize {
+        debug_assert!(ix < self.div[0] && iy < self.div[1] && iz < self.div[2]);
+        (ix * self.div[1] + iy) * self.div[2] + iz
+    }
+
+    /// Grid coordinates of a rank.
+    pub fn coords_of_rank(&self, r: usize) -> (usize, usize, usize) {
+        debug_assert!(r < self.len());
+        let iz = r % self.div[2];
+        let iy = (r / self.div[2]) % self.div[1];
+        let ix = r / (self.div[2] * self.div[1]);
+        (ix, iy, iz)
+    }
+
+    /// The rectangular domain of a rank.
+    pub fn domain(&self, r: usize) -> Aabb {
+        let (ix, iy, iz) = self.coords_of_rank(r);
+        let yb = &self.y_bounds[ix];
+        let zb = &self.z_bounds[ix * self.div[1] + iy];
+        Aabb::new(
+            Vec3::new(self.x_bounds[ix], yb[iy], zb[iz]),
+            Vec3::new(self.x_bounds[ix + 1], yb[iy + 1], zb[iz + 1]),
+        )
+    }
+
+    /// The rank owning a point of the unit box (positions must be
+    /// wrapped into `[0,1)` first).
+    pub fn rank_of_point(&self, p: Vec3) -> usize {
+        let ix = bracket(&self.x_bounds, p.x);
+        let iy = bracket(&self.y_bounds[ix], p.y);
+        let iz = bracket(&self.z_bounds[ix * self.div[1] + iy], p.z);
+        self.rank_of_coords(ix, iy, iz)
+    }
+}
+
+/// Index `i` with `bounds[i] <= v < bounds[i+1]`, clamped to the ends
+/// (guards against v == 1.0 or boundary rounding).
+fn bracket(bounds: &[f64], v: f64) -> usize {
+    let n = bounds.len() - 1;
+    match bounds[1..n].binary_search_by(|b| b.partial_cmp(&v).unwrap()) {
+        Ok(i) => i + 1,
+        Err(i) => i,
+    }
+    .min(n - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_grid_partitions_box() {
+        let g = DomainGrid::uniform([2, 3, 2]);
+        assert_eq!(g.len(), 12);
+        let total: f64 = (0..12).map(|r| g.domain(r).volume()).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_coords_roundtrip() {
+        let g = DomainGrid::uniform([3, 4, 5]);
+        for r in 0..g.len() {
+            let (x, y, z) = g.coords_of_rank(r);
+            assert_eq!(g.rank_of_coords(x, y, z), r);
+        }
+    }
+
+    #[test]
+    fn point_lookup_agrees_with_domains() {
+        let g = DomainGrid::uniform([2, 2, 2]);
+        let mut s = 5u64;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for _ in 0..500 {
+            let p = Vec3::new(next(), next(), next());
+            let r = g.rank_of_point(p);
+            assert!(g.domain(r).contains(p), "point {p:?} not in domain {r}");
+        }
+    }
+
+    #[test]
+    fn boundary_points_are_owned_once() {
+        let g = DomainGrid::uniform([2, 2, 2]);
+        // Exactly on an internal boundary: belongs to the upper cell
+        // (half-open convention).
+        let p = Vec3::new(0.5, 0.25, 0.75);
+        let r = g.rank_of_point(p);
+        assert!(g.domain(r).contains(p));
+        // And the extreme corners don't panic.
+        assert!(g.domain(g.rank_of_point(Vec3::ZERO)).contains(Vec3::ZERO));
+        let almost_one = Vec3::splat(1.0 - 1e-12);
+        let r = g.rank_of_point(almost_one);
+        assert!(g.domain(r).contains(almost_one));
+    }
+
+    #[test]
+    fn irregular_boundaries_respected() {
+        let mut g = DomainGrid::uniform([2, 2, 1]);
+        g.x_bounds = vec![0.0, 0.7, 1.0];
+        g.y_bounds = vec![vec![0.0, 0.3, 1.0], vec![0.0, 0.9, 1.0]];
+        let p = Vec3::new(0.8, 0.5, 0.5); // x-slab 1, y in [0,0.9) -> iy 0
+        let r = g.rank_of_point(p);
+        assert_eq!(g.coords_of_rank(r), (1, 0, 0));
+        let q = Vec3::new(0.1, 0.5, 0.5); // x-slab 0, y in [0.3,1) -> iy 1
+        assert_eq!(g.coords_of_rank(g.rank_of_point(q)), (0, 1, 0));
+    }
+}

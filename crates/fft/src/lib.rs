@@ -1,0 +1,29 @@
+//! # greem-fft — from-scratch FFTs for the PM gravity solver
+//!
+//! The paper's long-range (PM) force is solved by FFT on a 4096³ mesh
+//! using "the MPI version of the FFTW 3.3 library", whose parallel
+//! transform supports **only a 1-D slab decomposition** (§II-B) — the
+//! property that caps FFT parallelism at `N_PM` planes (4096 ranks out of
+//! 82944) and motivates the paper's relay mesh method.
+//!
+//! We rebuild that substrate from scratch:
+//!
+//! * [`Cpx`] — a minimal complex number,
+//! * [`Fft1d`] — an iterative radix-2 Cooley-Tukey plan with precomputed
+//!   twiddles (power-of-two sizes, like the paper's meshes),
+//! * [`fft3d`] — serial in-place 3-D transforms for the single-rank path
+//!   and for references in tests,
+//! * [`SlabFft`] — the parallel 3-D FFT over `mpisim` with exactly
+//!   FFTW-MPI's data layout: contiguous x-plane slabs per rank, one
+//!   all-to-all transpose to an intermediate y-distributed layout, and
+//!   the same "at most `n` ranks can participate" restriction.
+
+pub mod complex;
+pub mod fft1d;
+pub mod fft3d;
+pub mod slab;
+
+pub use complex::Cpx;
+pub use fft1d::Fft1d;
+pub use fft3d::{fft3d, fft3d_inverse, Mesh3};
+pub use slab::{slab_owner, slab_planes, SlabFft};

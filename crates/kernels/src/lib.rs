@@ -1,0 +1,42 @@
+//! # greem-kernels — optimised particle-particle force loops
+//!
+//! "Most of the CPU time is spent for the evaluation of the
+//! particle-particle interactions. Therefore we have developed a highly
+//! optimized loop for that part." (§II-A)
+//!
+//! The paper's loop is **Phantom-GRAPE** ported to the HPC-ACE SIMD
+//! architecture of K computer: the cutoff polynomial of eq. (3)
+//! restructured for FMA, forces from 4 particles to 4 particles per
+//! iteration, an 8-bit approximate reciprocal square root refined by a
+//! third-order step, 51 flops per interaction, and 11.65 of a 12 Gflops
+//! theoretical bound (97 %) on an O(N²) kernel benchmark.
+//!
+//! This crate rebuilds that layer portably:
+//!
+//! * [`SourceList`] — structure-of-arrays interaction lists (the "j"
+//!   particles: tree nodes' centres of mass and nearby particles),
+//! * [`scalar`] — the obviously-correct reference kernel built directly
+//!   on [`greem_math::ForceSplit`],
+//! * [`phantom`] — the blocked 4×4 kernel with the approximate-rsqrt
+//!   pipeline, written so LLVM's auto-vectoriser sees straight-line
+//!   FMA-friendly lanes,
+//! * [`newton`] — the same structure without the cutoff (pure tree /
+//!   direct-summation baselines),
+//! * [`benchmark`] — the O(N²) kernel benchmark of §II-A, reporting
+//!   interactions/s and the paper's 51-flops/interaction flop rate.
+
+pub mod benchmark;
+pub mod newton;
+pub mod phantom;
+pub mod scalar;
+pub mod sources;
+
+pub use benchmark::{kernel_benchmark, KernelBenchReport};
+pub use newton::{newton_accel_blocked, newton_accel_scalar};
+pub use phantom::pp_accel_phantom;
+pub use scalar::pp_accel_scalar;
+pub use sources::{SourceList, Targets};
+
+/// Count of pairwise interactions, used for the paper's flop accounting
+/// (51 flops each — [`greem_math::FLOPS_PER_INTERACTION`]).
+pub type InteractionCount = u64;

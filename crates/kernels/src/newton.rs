@@ -1,0 +1,146 @@
+//! Plain Newtonian (no cutoff) kernels.
+//!
+//! These serve the baselines the paper compares against conceptually: the
+//! pure tree codes of the 1990s Gordon-Bell winners (open boundary, no
+//! force split) and direct summation. Structure matches the phantom
+//! kernel so timing comparisons isolate the cutoff cost.
+
+use greem_math::{rsqrt_refine, rsqrt_seed};
+
+use crate::sources::{SourceList, Targets};
+use crate::InteractionCount;
+
+/// Reference scalar Newtonian accumulation with Plummer softening.
+pub fn newton_accel_scalar(targets: &mut Targets, sources: &SourceList, eps: f64) -> InteractionCount {
+    let eps2 = eps * eps;
+    for i in 0..targets.len() {
+        let (px, py, pz) = (targets.x[i], targets.y[i], targets.z[i]);
+        let (mut ax, mut ay, mut az) = (0.0, 0.0, 0.0);
+        for j in 0..sources.len() {
+            let dx = sources.x[j] - px;
+            let dy = sources.y[j] - py;
+            let dz = sources.z[j] - pz;
+            let r2 = dx * dx + dy * dy + dz * dz + eps2;
+            if r2 == 0.0 {
+                continue;
+            }
+            let inv = 1.0 / (r2 * r2.sqrt());
+            let f = sources.m[j] * inv;
+            ax += f * dx;
+            ay += f * dy;
+            az += f * dz;
+        }
+        targets.ax[i] += ax;
+        targets.ay[i] += ay;
+        targets.az[i] += az;
+    }
+    (targets.len() * sources.len()) as InteractionCount
+}
+
+/// Blocked Newtonian kernel with the approximate-rsqrt pipeline — the
+/// classic GRAPE-style force loop without the cutoff polynomial.
+pub fn newton_accel_blocked(targets: &mut Targets, sources: &SourceList, eps: f64) -> InteractionCount {
+    const LANES: usize = 4;
+    let nt = targets.len();
+    let ns = sources.len();
+    let eps2 = eps * eps;
+    let mut i0 = 0;
+    while i0 < nt {
+        let lanes = LANES.min(nt - i0);
+        let mut xi_ = [0.0f64; LANES];
+        let mut yi_ = [0.0f64; LANES];
+        let mut zi_ = [0.0f64; LANES];
+        for l in 0..LANES {
+            let i = i0 + l.min(lanes - 1);
+            xi_[l] = targets.x[i];
+            yi_[l] = targets.y[i];
+            zi_[l] = targets.z[i];
+        }
+        let mut ax = [0.0f64; LANES];
+        let mut ay = [0.0f64; LANES];
+        let mut az = [0.0f64; LANES];
+        for j in 0..ns {
+            let (sx, sy, sz, sm) = (sources.x[j], sources.y[j], sources.z[j], sources.m[j]);
+            for l in 0..LANES {
+                let dx = sx - xi_[l];
+                let dy = sy - yi_[l];
+                let dz = sz - zi_[l];
+                let r2 = dx * dx + dy * dy + dz * dz + eps2;
+                let r2s = if r2 > 0.0 { r2 } else { 1.0 };
+                let yinv = rsqrt_refine(r2s, rsqrt_seed(r2s));
+                let mask = if r2 > 0.0 { 1.0 } else { 0.0 };
+                let f = sm * (yinv * yinv * yinv) * mask;
+                ax[l] += f * dx;
+                ay[l] += f * dy;
+                az[l] += f * dz;
+            }
+        }
+        for l in 0..lanes {
+            targets.ax[i0 + l] += ax[l];
+            targets.ay[i0 + l] += ay[l];
+            targets.az[i0 + l] += az[l];
+        }
+        i0 += lanes;
+    }
+    (nt * ns) as InteractionCount
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use greem_math::Vec3;
+
+    fn rand_positions(n: usize, seed: u64) -> Vec<Vec3> {
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n).map(|_| Vec3::new(next(), next(), next())).collect()
+    }
+
+    #[test]
+    fn blocked_matches_scalar() {
+        for (nt, ns) in [(1, 5), (4, 4), (7, 13), (32, 50)] {
+            let tp = rand_positions(nt, 3);
+            let sp = rand_positions(ns, 4);
+            let sources: SourceList = sp.iter().map(|&p| (p, 1.0)).collect();
+            let mut a = Targets::from_positions(&tp);
+            let mut b = Targets::from_positions(&tp);
+            newton_accel_scalar(&mut a, &sources, 1e-3);
+            newton_accel_blocked(&mut b, &sources, 1e-3);
+            for i in 0..nt {
+                let (fa, fb) = (a.accel(i), b.accel(i));
+                assert!(
+                    (fa - fb).norm() < 1e-6 * fa.norm().max(1e-12),
+                    "i={i} {fa:?} vs {fb:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_square_law() {
+        // Doubling the distance quarters the force.
+        let mut t = Targets::from_positions(&[Vec3::ZERO]);
+        let near: SourceList = [(Vec3::new(0.1, 0.0, 0.0), 1.0)].into_iter().collect();
+        newton_accel_blocked(&mut t, &near, 0.0);
+        let f_near = t.accel(0).norm();
+        t.reset_accel();
+        let far: SourceList = [(Vec3::new(0.2, 0.0, 0.0), 1.0)].into_iter().collect();
+        newton_accel_blocked(&mut t, &far, 0.0);
+        let f_far = t.accel(0).norm();
+        assert!((f_near / f_far - 4.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn self_pair_skipped() {
+        let p = Vec3::splat(0.3);
+        let mut t = Targets::from_positions(&[p]);
+        let s: SourceList = [(p, 5.0)].into_iter().collect();
+        newton_accel_scalar(&mut t, &s, 0.0);
+        assert_eq!(t.accel(0), Vec3::ZERO);
+        newton_accel_blocked(&mut t, &s, 0.0);
+        assert_eq!(t.accel(0), Vec3::ZERO);
+    }
+}

@@ -1,0 +1,84 @@
+//! Reference PP kernel: one pair at a time, exact square roots, built on
+//! the ground-truth [`ForceSplit::pp_accel`]. Slow and obviously right;
+//! the optimised kernel must match it to single-precision-level
+//! tolerance (the accuracy the paper's rsqrt pipeline targets).
+
+use greem_math::{ForceSplit, Vec3};
+
+use crate::sources::{SourceList, Targets};
+use crate::InteractionCount;
+
+/// Accumulate the cutoff short-range accelerations of every source onto
+/// every target (G = 1; multiply masses by G upstream if needed).
+/// Returns the number of pairwise interactions evaluated — like the
+/// hardware GRAPE, the kernel charges every pair in the list whether or
+/// not it lands inside the cutoff.
+pub fn pp_accel_scalar(targets: &mut Targets, sources: &SourceList, split: &ForceSplit) -> InteractionCount {
+    for i in 0..targets.len() {
+        let pi = targets.pos(i);
+        let mut acc = Vec3::ZERO;
+        for j in 0..sources.len() {
+            let dr = sources.pos(j) - pi;
+            acc += split.pp_accel(dr, sources.m[j]);
+        }
+        targets.ax[i] += acc.x;
+        targets.ay[i] += acc.y;
+        targets.az[i] += acc.z;
+    }
+    (targets.len() * sources.len()) as InteractionCount
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_body_symmetry() {
+        let split = ForceSplit::new(1.0, 0.0);
+        let pa = Vec3::new(0.3, 0.3, 0.3);
+        let pb = Vec3::new(0.5, 0.3, 0.3);
+        let mut ta = Targets::from_positions(&[pa]);
+        let mut tb = Targets::from_positions(&[pb]);
+        let sa: SourceList = [(pb, 2.0)].into_iter().collect();
+        let sb: SourceList = [(pa, 1.0)].into_iter().collect();
+        pp_accel_scalar(&mut ta, &sa, &split);
+        pp_accel_scalar(&mut tb, &sb, &split);
+        // Newton's third law: m_a·a_a = −m_b·a_b.
+        let fa = ta.accel(0) * 1.0;
+        let fb = tb.accel(0) * 2.0;
+        assert!((fa + fb).norm() < 1e-14 * fa.norm());
+        // Attraction: a_a points from a towards b.
+        assert!(fa.x > 0.0);
+    }
+
+    #[test]
+    fn self_interaction_is_zero() {
+        let split = ForceSplit::new(1.0, 0.0);
+        let p = Vec3::splat(0.5);
+        let mut t = Targets::from_positions(&[p]);
+        let s: SourceList = [(p, 1.0)].into_iter().collect();
+        let n = pp_accel_scalar(&mut t, &s, &split);
+        assert_eq!(n, 1);
+        assert_eq!(t.accel(0), Vec3::ZERO);
+    }
+
+    #[test]
+    fn beyond_cutoff_is_zero() {
+        let split = ForceSplit::new(0.1, 0.0);
+        let mut t = Targets::from_positions(&[Vec3::ZERO]);
+        let s: SourceList = [(Vec3::new(0.2, 0.0, 0.0), 1.0)].into_iter().collect();
+        pp_accel_scalar(&mut t, &s, &split);
+        assert_eq!(t.accel(0), Vec3::ZERO);
+    }
+
+    #[test]
+    fn accumulates_across_calls() {
+        let split = ForceSplit::new(1.0, 0.0);
+        let mut t = Targets::from_positions(&[Vec3::ZERO]);
+        let s: SourceList = [(Vec3::new(0.1, 0.0, 0.0), 1.0)].into_iter().collect();
+        pp_accel_scalar(&mut t, &s, &split);
+        let once = t.accel(0);
+        pp_accel_scalar(&mut t, &s, &split);
+        assert!((t.accel(0) - once * 2.0).norm() < 1e-15);
+    }
+}

@@ -1,0 +1,265 @@
+//! Axis-aligned bounding boxes.
+//!
+//! Used in two places that mirror the paper: (1) the rectangular domains
+//! produced by the 3-D multisection decomposition (§II, fig. 3), and
+//! (2) Barnes' modified tree traversal (§II), where the opening decision
+//! is made against the bounding box of a *group* of particles rather than
+//! a single particle, so one interaction list can be shared by the group.
+
+use crate::periodic::min_image;
+use crate::vec3::Vec3;
+
+/// A half-open axis-aligned box `[lo, hi)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aabb {
+    pub lo: Vec3,
+    pub hi: Vec3,
+}
+
+impl Aabb {
+    /// The unit cube `[0,1)³` — the whole computational domain.
+    pub const UNIT: Aabb = Aabb {
+        lo: Vec3::ZERO,
+        hi: Vec3::ONE,
+    };
+
+    /// Construct from corners; `lo` must not exceed `hi` in any axis.
+    pub fn new(lo: Vec3, hi: Vec3) -> Self {
+        assert!(
+            lo.x <= hi.x && lo.y <= hi.y && lo.z <= hi.z,
+            "invalid Aabb: {lo:?}..{hi:?}"
+        );
+        Aabb { lo, hi }
+    }
+
+    /// An empty box positioned for growing with [`Self::grow`].
+    pub fn empty() -> Self {
+        Aabb {
+            lo: Vec3::splat(f64::INFINITY),
+            hi: Vec3::splat(f64::NEG_INFINITY),
+        }
+    }
+
+    /// Smallest box containing all points of an iterator.
+    pub fn from_points<I: IntoIterator<Item = Vec3>>(pts: I) -> Self {
+        let mut b = Self::empty();
+        for p in pts {
+            b.grow(p);
+        }
+        b
+    }
+
+    /// Expand to include a point.
+    #[inline]
+    pub fn grow(&mut self, p: Vec3) {
+        self.lo = self.lo.min(p);
+        self.hi = self.hi.max(p);
+    }
+
+    /// Expand to include another box.
+    #[inline]
+    pub fn merge(&mut self, o: &Aabb) {
+        self.lo = self.lo.min(o.lo);
+        self.hi = self.hi.max(o.hi);
+    }
+
+    /// Box centre.
+    #[inline]
+    pub fn center(&self) -> Vec3 {
+        (self.lo + self.hi) * 0.5
+    }
+
+    /// Edge lengths.
+    #[inline]
+    pub fn extent(&self) -> Vec3 {
+        self.hi - self.lo
+    }
+
+    /// Longest edge.
+    #[inline]
+    pub fn max_extent(&self) -> f64 {
+        self.extent().max_component()
+    }
+
+    /// Volume (0 for empty/degenerate boxes).
+    #[inline]
+    pub fn volume(&self) -> f64 {
+        let e = self.extent();
+        if e.x < 0.0 || e.y < 0.0 || e.z < 0.0 {
+            0.0
+        } else {
+            e.x * e.y * e.z
+        }
+    }
+
+    /// Half-open membership test.
+    #[inline]
+    pub fn contains(&self, p: Vec3) -> bool {
+        p.x >= self.lo.x
+            && p.x < self.hi.x
+            && p.y >= self.lo.y
+            && p.y < self.hi.y
+            && p.z >= self.lo.z
+            && p.z < self.hi.z
+    }
+
+    /// Squared distance from a point to the box (0 when inside),
+    /// non-periodic.
+    #[inline]
+    pub fn dist2_to_point(&self, p: Vec3) -> f64 {
+        let mut d2 = 0.0;
+        for i in 0..3 {
+            let d = (self.lo[i] - p[i]).max(0.0).max(p[i] - self.hi[i]);
+            d2 += d * d;
+        }
+        d2
+    }
+
+    /// Squared *minimum-image* distance between this box and another box
+    /// on the unit torus: the smallest axis-wise separation over all
+    /// periodic images. Both boxes must have extents < 1.
+    ///
+    /// This is the distance Barnes' group traversal uses to decide whether
+    /// a tree node is far enough from a particle group to use its
+    /// multipole, under the paper's periodic boundary condition.
+    #[inline]
+    pub fn periodic_dist2_to_aabb(&self, o: &Aabb) -> f64 {
+        let mut d2 = 0.0;
+        for i in 0..3 {
+            // Separation of two intervals along a circle of circumference 1:
+            // distance between centres minus half-widths, floored at 0.
+            let ca = 0.5 * (self.lo[i] + self.hi[i]);
+            let cb = 0.5 * (o.lo[i] + o.hi[i]);
+            let half = 0.5 * ((self.hi[i] - self.lo[i]) + (o.hi[i] - o.lo[i]));
+            let d = (min_image(ca, cb).abs() - half).max(0.0);
+            d2 += d * d;
+        }
+        d2
+    }
+
+    /// Squared minimum-image distance from a point to this box on the
+    /// unit torus.
+    #[inline]
+    pub fn periodic_dist2_to_point(&self, p: Vec3) -> f64 {
+        let mut d2 = 0.0;
+        for i in 0..3 {
+            let c = 0.5 * (self.lo[i] + self.hi[i]);
+            let half = 0.5 * (self.hi[i] - self.lo[i]);
+            let d = (min_image(c, p[i]).abs() - half).max(0.0);
+            d2 += d * d;
+        }
+        d2
+    }
+
+    /// Squared distance between two boxes, non-periodic (0 when they
+    /// overlap or touch).
+    #[inline]
+    pub fn dist2_to_aabb(&self, o: &Aabb) -> f64 {
+        let mut d2 = 0.0;
+        for i in 0..3 {
+            let d = (self.lo[i] - o.hi[i]).max(0.0).max(o.lo[i] - self.hi[i]);
+            d2 += d * d;
+        }
+        d2
+    }
+
+    /// True when the boxes overlap (half-open convention), non-periodic.
+    #[inline]
+    pub fn intersects(&self, o: &Aabb) -> bool {
+        self.lo.x < o.hi.x
+            && o.lo.x < self.hi.x
+            && self.lo.y < o.hi.y
+            && o.lo.y < self.hi.y
+            && self.lo.z < o.hi.z
+            && o.lo.z < self.hi.z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_half_open() {
+        let b = Aabb::new(Vec3::ZERO, Vec3::ONE);
+        assert!(b.contains(Vec3::ZERO));
+        assert!(!b.contains(Vec3::ONE));
+        assert!(b.contains(Vec3::splat(0.999_999)));
+    }
+
+    #[test]
+    fn from_points_is_tight() {
+        let pts = [
+            Vec3::new(0.2, 0.5, 0.9),
+            Vec3::new(0.1, 0.7, 0.3),
+            Vec3::new(0.4, 0.6, 0.5),
+        ];
+        let b = Aabb::from_points(pts);
+        assert_eq!(b.lo, Vec3::new(0.1, 0.5, 0.3));
+        assert_eq!(b.hi, Vec3::new(0.4, 0.7, 0.9));
+    }
+
+    #[test]
+    fn dist2_inside_is_zero() {
+        let b = Aabb::new(Vec3::splat(0.2), Vec3::splat(0.8));
+        assert_eq!(b.dist2_to_point(Vec3::splat(0.5)), 0.0);
+    }
+
+    #[test]
+    fn dist2_outside_matches_geometry() {
+        let b = Aabb::new(Vec3::splat(0.0), Vec3::splat(1.0));
+        let p = Vec3::new(2.0, 0.5, 0.5);
+        assert_eq!(b.dist2_to_point(p), 1.0);
+        let q = Vec3::new(2.0, 2.0, 0.5);
+        assert_eq!(b.dist2_to_point(q), 2.0);
+    }
+
+    #[test]
+    fn periodic_box_distance_wraps() {
+        // Boxes at opposite ends of the unit box are close through the
+        // boundary.
+        let a = Aabb::new(Vec3::new(0.0, 0.4, 0.4), Vec3::new(0.05, 0.6, 0.6));
+        let b = Aabb::new(Vec3::new(0.95, 0.4, 0.4), Vec3::new(1.0, 0.6, 0.6));
+        let d2 = a.periodic_dist2_to_aabb(&b);
+        assert!(d2 < 1e-12, "boxes touch through boundary, d2={d2}");
+        // [0.90,0.92] is 0.08 from [0,0.05] through the boundary
+        // (1.0 − 0.92) and 0.85 directly; periodic distance must pick 0.08.
+        let c = Aabb::new(Vec3::new(0.90, 0.4, 0.4), Vec3::new(0.92, 0.6, 0.6));
+        let d2 = a.periodic_dist2_to_aabb(&c);
+        assert!((d2 - 0.08f64.powi(2)).abs() < 1e-12, "d2={d2}");
+    }
+
+    #[test]
+    fn periodic_point_distance_wraps() {
+        let b = Aabb::new(Vec3::new(0.9, 0.45, 0.45), Vec3::new(1.0, 0.55, 0.55));
+        let p = Vec3::new(0.02, 0.5, 0.5);
+        let d2 = b.periodic_dist2_to_point(p);
+        assert!((d2 - 0.02f64.powi(2)).abs() < 1e-12, "d2={d2}");
+    }
+
+    #[test]
+    fn overlapping_boxes_have_zero_periodic_distance() {
+        let a = Aabb::new(Vec3::splat(0.1), Vec3::splat(0.5));
+        let b = Aabb::new(Vec3::splat(0.4), Vec3::splat(0.9));
+        assert_eq!(a.periodic_dist2_to_aabb(&b), 0.0);
+        assert!(a.intersects(&b));
+    }
+
+    #[test]
+    fn merge_and_volume() {
+        let mut a = Aabb::new(Vec3::ZERO, Vec3::splat(0.5));
+        let b = Aabb::new(Vec3::splat(0.5), Vec3::ONE);
+        a.merge(&b);
+        assert_eq!(a, Aabb::UNIT);
+        assert!((a.volume() - 1.0).abs() < 1e-15);
+        assert_eq!(Aabb::empty().volume(), 0.0);
+    }
+
+    #[test]
+    fn center_extent() {
+        let b = Aabb::new(Vec3::new(0.0, 0.2, 0.4), Vec3::new(1.0, 0.4, 1.0));
+        assert!((b.center() - Vec3::new(0.5, 0.3, 0.7)).norm() < 1e-15);
+        assert!((b.extent() - Vec3::new(1.0, 0.2, 0.6)).norm() < 1e-15);
+        assert_eq!(b.max_extent(), 1.0);
+    }
+}

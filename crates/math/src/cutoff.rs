@@ -1,0 +1,442 @@
+//! The TreePM force split: S2 density shapes and the `g_P3M` cutoff.
+//!
+//! Following the paper (§II, eqs. 1–3), the density of a point mass `m` is
+//! decomposed into a PM part — an S2 (linearly decreasing) sphere of
+//! radius `a = r_cut/2` — and a PP part (the residual). Because the PP
+//! density carries zero net mass, the particle-particle force vanishes
+//! beyond `r_cut` (Newton's second theorem), so the short-range force can
+//! be computed by a tree with finite reach while the long-range remainder
+//! is solved on the PM mesh via FFT.
+//!
+//! The pairwise short-range force is
+//!
+//! ```text
+//! f_i = Σ_j G·m_j·(r_j − r_i)/|r_j − r_i|³ · g_P3M(2·|r_j−r_i| / r_cut)
+//! ```
+//!
+//! with [`g_p3m`] the degree-8 polynomial of eq. (3) — the force between
+//! two S2 clouds, obtained by six-dimensional spatial integration — in the
+//! form the paper optimised for FMA/SIMD evaluation: a single polynomial
+//! chain plus a `ζ = max(0, ξ−1)` branch term, instead of the original
+//! Hockney & Eastwood piecewise form.
+//!
+//! The matching long-range (PM) physics lives in [`s2_fourier`]: the
+//! Fourier transform of the S2 sphere. The PM Green's function multiplies
+//! `−4πG/k²` by `s2_fourier(k·a)²` (two interacting S2 clouds), which is
+//! exactly the complement of `g_p3m` — a consistency this module's tests
+//! verify by numerically transforming back to real space.
+
+use crate::vec3::Vec3;
+
+/// The radial cutoff function of eq. (3): the fraction of the Newtonian
+/// pair force retained in the short-range (PP) part, as a function of
+/// `ξ = 2r / r_cut`.
+///
+/// * `g_p3m(0) = 1` (fully Newtonian at zero separation),
+/// * `g_p3m(ξ) = 0` for `ξ ≥ 2` (no PP force beyond `r_cut`),
+/// * C¹-continuous everywhere including the `ξ = 1` branch point.
+///
+/// The polynomial is evaluated exactly as the paper writes it — a Horner
+/// chain in `ξ` plus a `ζ⁶`-weighted quadratic with `ζ = max(0, ξ−1)` —
+/// the form chosen so a SIMD/FMA pipeline can evaluate it branch-free.
+#[inline]
+pub fn g_p3m(xi: f64) -> f64 {
+    if xi >= 2.0 {
+        return 0.0;
+    }
+    let z = (xi - 1.0).max(0.0);
+    let z2 = z * z;
+    let z6 = z2 * z2 * z2;
+    let poly = 1.0
+        + xi * xi * xi
+            * (-8.0 / 5.0 + xi * xi * (8.0 / 5.0 + xi * (-0.5 + xi * (-12.0 / 35.0 + xi * (3.0 / 20.0)))));
+    poly - z6 * (3.0 / 35.0 + xi * (18.0 / 35.0 + xi * (1.0 / 5.0)))
+}
+
+/// The long-range complement of [`g_p3m`]: the fraction of the Newtonian
+/// pair force carried by the PM (mesh) part, `1 − g_P3M(ξ)` for `ξ < 2`
+/// and `1` beyond the cutoff.
+#[inline]
+pub fn g_long(xi: f64) -> f64 {
+    1.0 - g_p3m(xi)
+}
+
+/// The S2 density shape of eq. (1): a sphere of radius `a = r_cut/2`
+/// whose density decreases linearly to zero at the surface, normalised to
+/// total mass `m`. `r` is the distance from the centre.
+#[inline]
+pub fn s2_density(r: f64, r_cut: f64, m: f64) -> f64 {
+    let a = 0.5 * r_cut;
+    if r >= a {
+        0.0
+    } else {
+        // (3m/π)(2/r_cut)³ (1 − r/a)  ==  3m/(π a³) (1 − r/a)
+        3.0 * m / (std::f64::consts::PI * a * a * a) * (1.0 - r / a)
+    }
+}
+
+/// Fourier transform of the unit-mass S2 sphere of radius `a`, as a
+/// function of `u = k·a`; normalised so `s2_fourier(0) = 1`.
+///
+/// Closed form `12/u⁴ · (2 − 2cos u − u sin u)`, with the series
+/// `1 − u²/15 + u⁴/560 − …` used below `u ≈ 0.02` where the closed form
+/// suffers catastrophic cancellation.
+///
+/// The PM Green's function is `−4πG/k² · s2_fourier(k a)²`: the square
+/// appears because the long-range force is the interaction of *two* S2
+/// clouds, matching the pairwise short-range split of [`g_p3m`].
+#[inline]
+pub fn s2_fourier(u: f64) -> f64 {
+    let u = u.abs();
+    if u < 2e-2 {
+        let u2 = u * u;
+        1.0 - u2 / 15.0 + u2 * u2 / 560.0
+    } else {
+        12.0 / (u * u * u * u) * (2.0 - 2.0 * u.cos() - u * u.sin())
+    }
+}
+
+/// Normalised pairwise PP *potential* shape `h(ξ)`, defined so the
+/// short-range potential energy of a unit-mass pair at separation `r` is
+/// `φ_PP(r) = −G·h(ξ)/r` with `ξ = 2r/r_cut`.
+///
+/// `h(ξ) = ξ·∫_ξ² g_P3M(t)/t² dt`; `h(0) = 1` (Newtonian) and `h(ξ) = 0`
+/// for `ξ ≥ 2`. Computed by adaptive Simpson quadrature (the integrand is
+/// a smooth degree-6 rational function; this is diagnostics-path code used
+/// for energy accounting, not force-path code).
+pub fn h_p3m(xi: f64) -> f64 {
+    if xi >= 2.0 {
+        return 0.0;
+    }
+    if xi <= 0.0 {
+        return 1.0;
+    }
+    let integrand = |t: f64| g_p3m(t) / (t * t);
+    xi * simpson_adaptive(&integrand, xi, 2.0, 1e-12, 40)
+}
+
+/// Adaptive Simpson quadrature with absolute tolerance `tol`.
+fn simpson_adaptive(f: &dyn Fn(f64) -> f64, a: f64, b: f64, tol: f64, depth: u32) -> f64 {
+    fn simpson(a: f64, fa: f64, b: f64, fb: f64, fm: f64) -> f64 {
+        (b - a) / 6.0 * (fa + 4.0 * fm + fb)
+    }
+    fn recurse(
+        f: &dyn Fn(f64) -> f64,
+        a: f64,
+        fa: f64,
+        b: f64,
+        fb: f64,
+        m: f64,
+        fm: f64,
+        whole: f64,
+        tol: f64,
+        depth: u32,
+    ) -> f64 {
+        let lm = 0.5 * (a + m);
+        let rm = 0.5 * (m + b);
+        let flm = f(lm);
+        let frm = f(rm);
+        let left = simpson(a, fa, m, fm, flm);
+        let right = simpson(m, fm, b, fb, frm);
+        if depth == 0 || (left + right - whole).abs() <= 15.0 * tol {
+            left + right + (left + right - whole) / 15.0
+        } else {
+            recurse(f, a, fa, m, fm, lm, flm, left, 0.5 * tol, depth - 1)
+                + recurse(f, m, fm, b, fb, rm, frm, right, 0.5 * tol, depth - 1)
+        }
+    }
+    let m = 0.5 * (a + b);
+    let (fa, fb, fm) = (f(a), f(b), f(m));
+    let whole = simpson(a, fa, b, fb, fm);
+    recurse(f, a, fa, b, fb, m, fm, whole, tol, depth)
+}
+
+/// The force-split configuration shared by the PP and PM solvers: the
+/// cutoff radius `r_cut` and the Plummer softening `ε ≪ r_cut` applied to
+/// the short-range interaction only (§II: "We use a small softening with
+/// length ε ≪ r_cut").
+///
+/// ```
+/// use greem_math::{ForceSplit, Vec3};
+///
+/// let split = ForceSplit::for_mesh(64, 0.0); // r_cut = 3/64
+/// // Deep inside the cutoff the short-range force is nearly Newtonian
+/// // (g_P3M(ξ) = 1 − (8/5)ξ³ + …, a ~1.5 % deficit at ξ ≈ 0.21)…
+/// let r = 0.005;
+/// let near = split.pp_accel(Vec3::new(r, 0.0, 0.0), 1.0);
+/// assert!((near.x - 1.0 / (r * r)).abs() < 0.05 * (1.0 / (r * r)));
+/// // …and identically zero beyond it.
+/// assert_eq!(split.pp_accel(Vec3::new(0.1, 0.0, 0.0), 1.0), Vec3::ZERO);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ForceSplit {
+    /// Cutoff radius of the short-range force, in box units. The paper
+    /// uses `r_cut = 3/N_PM^(1/3)` (three PM mesh spacings).
+    pub r_cut: f64,
+    /// Plummer softening length of the PP interaction.
+    pub eps: f64,
+}
+
+impl ForceSplit {
+    /// Create a split with an explicit cutoff and softening.
+    pub fn new(r_cut: f64, eps: f64) -> Self {
+        assert!(r_cut > 0.0, "r_cut must be positive");
+        assert!(eps >= 0.0 && eps < r_cut, "need 0 <= eps < r_cut");
+        ForceSplit { r_cut, eps }
+    }
+
+    /// The paper's standard choice for a mesh with `n_pm` cells per side:
+    /// `r_cut = 3/n_pm` (§III-A), with softening `eps`.
+    pub fn for_mesh(n_pm: usize, eps: f64) -> Self {
+        Self::new(3.0 / n_pm as f64, eps)
+    }
+
+    /// Radius of the S2 sphere, `a = r_cut / 2`.
+    #[inline]
+    pub fn s2_radius(&self) -> f64 {
+        0.5 * self.r_cut
+    }
+
+    /// Short-range pair acceleration exerted on a particle at the origin
+    /// by a unit-`G` particle of mass `m` at displacement `dr` (pointing
+    /// from the target to the source), with cutoff and Plummer softening.
+    ///
+    /// The cutoff argument `ξ` uses the *softened* radius
+    /// `√(r² + ε²)`, matching the single-`rsqrt` structure of the
+    /// optimised kernel (with ε ≪ r_cut the difference from the
+    /// unsoftened form is negligible — the softening already modifies
+    /// the short-range force by construction).
+    ///
+    /// This is the *reference* (obviously-correct) implementation; the
+    /// optimised kernels in `greem-kernels` must agree with it to
+    /// rounding-level tolerance.
+    #[inline]
+    pub fn pp_accel(&self, dr: Vec3, m: f64) -> Vec3 {
+        let r2 = dr.norm2();
+        if r2 == 0.0 {
+            return Vec3::ZERO;
+        }
+        let soft2 = r2 + self.eps * self.eps;
+        let r = soft2.sqrt();
+        let xi = 2.0 * r / self.r_cut;
+        if xi >= 2.0 {
+            return Vec3::ZERO;
+        }
+        let g = g_p3m(xi);
+        let inv = 1.0 / (soft2 * r);
+        dr * (m * g * inv)
+    }
+
+    /// Short-range pair potential energy (per unit G) between unit masses
+    /// at separation `r` (softening ignored; diagnostics only).
+    #[inline]
+    pub fn pp_potential(&self, r: f64) -> f64 {
+        if r <= 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        -h_p3m(2.0 * r / self.r_cut) / r
+    }
+
+    /// The k-space filter of the long-range (PM) force: the factor that
+    /// multiplies the point-mass Green's function `−4πG/k²`, namely
+    /// `s2_fourier(k·a)²` with `a = r_cut/2`.
+    #[inline]
+    pub fn long_range_filter(&self, k: f64) -> f64 {
+        let w = s2_fourier(k * self.s2_radius());
+        w * w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn g_is_newtonian_at_origin() {
+        assert_eq!(g_p3m(0.0), 1.0);
+    }
+
+    #[test]
+    fn g_vanishes_at_and_beyond_cutoff() {
+        assert!(g_p3m(2.0).abs() < 1e-14, "g(2) = {}", g_p3m(2.0));
+        assert_eq!(g_p3m(2.5), 0.0);
+        assert_eq!(g_p3m(100.0), 0.0);
+    }
+
+    #[test]
+    fn g_is_continuous_at_branch_point() {
+        let below = g_p3m(1.0 - 1e-9);
+        let above = g_p3m(1.0 + 1e-9);
+        assert!((below - above).abs() < 1e-7);
+    }
+
+    #[test]
+    fn g_is_c1_at_branch_and_cutoff() {
+        // Numerical derivative from both sides must agree at ξ=1 and ξ=2.
+        let d = |x: f64, h: f64| (g_p3m(x + h) - g_p3m(x - h)) / (2.0 * h);
+        for x in [1.0, 2.0] {
+            let dl = (g_p3m(x) - g_p3m(x - 1e-6)) / 1e-6;
+            let dr = (g_p3m(x + 1e-6) - g_p3m(x)) / 1e-6;
+            assert!((dl - dr).abs() < 1e-4, "kink at xi={x}: {dl} vs {dr}");
+        }
+        // Smooth in the interior too.
+        assert!(d(0.5, 1e-6).is_finite());
+    }
+
+    #[test]
+    fn g_decreases_monotonically() {
+        let mut prev = g_p3m(0.0);
+        let mut xi = 0.0;
+        while xi < 2.0 {
+            xi += 1e-3;
+            let g = g_p3m(xi);
+            assert!(g <= prev + 1e-12, "g not monotone at xi={xi}");
+            // Rounding may leave g a hair below zero right at the cutoff.
+            assert!((-1e-12..=1.0).contains(&g), "g out of range at xi={xi}: {g}");
+            prev = g;
+        }
+    }
+
+    #[test]
+    fn s2_density_has_unit_mass() {
+        // 4π ∫ r² ρ dr over the sphere must equal m (eq. 1 check).
+        let r_cut = 0.3;
+        let m = 2.5;
+        let a = 0.5 * r_cut;
+        let n = 100_000;
+        let dr = a / n as f64;
+        let mut total = 0.0;
+        for i in 0..n {
+            let r = (i as f64 + 0.5) * dr;
+            total += 4.0 * std::f64::consts::PI * r * r * s2_density(r, r_cut, m) * dr;
+        }
+        assert!((total - m).abs() < 1e-4 * m, "mass = {total}, want {m}");
+    }
+
+    #[test]
+    fn s2_density_vanishes_outside() {
+        assert_eq!(s2_density(0.16, 0.3, 1.0), 0.0);
+        assert!(s2_density(0.1499, 0.3, 1.0) > 0.0);
+    }
+
+    #[test]
+    fn s2_fourier_limits_and_series_match() {
+        assert!((s2_fourier(0.0) - 1.0).abs() < 1e-15);
+        // Around the series/closed-form switch the closed form itself is
+        // cancellation-limited to ~1e-7 absolute, so compare loosely
+        // there and tightly where it is well-conditioned.
+        for u in [0.015, 0.02, 0.025] {
+            let closed = 12.0 / (u * u * u * u) * (2.0 - 2.0 * f64::cos(u) - u * f64::sin(u));
+            assert!(
+                (s2_fourier(u) - closed).abs() < 1e-6,
+                "series/closed mismatch at u={u}"
+            );
+        }
+        for u in [0.2, 0.5, 1.0] {
+            let closed = 12.0 / (u * u * u * u) * (2.0 - 2.0 * f64::cos(u) - u * f64::sin(u));
+            assert!((s2_fourier(u) - closed).abs() < 1e-12);
+        }
+        // Decays fast at large u.
+        assert!(s2_fourier(100.0).abs() < 1e-3);
+    }
+
+    /// The defining consistency of the TreePM split: transforming the
+    /// k-space long-range filter back to real space must reproduce
+    /// 1 − g_P3M. We compute the long-range radial force between two unit
+    /// point masses from the filtered Green's function,
+    ///   f_long(r) = (2G/π) ∫ dk  S̃2²(ka) · [sin(kr)/(kr)² − cos(kr)/(kr)] · ...
+    /// equivalently −dφ/dr with φ(r) = −(2G/π)∫ dk S̃2²(ka) sinc(kr),
+    /// and check r²·f_long(r) == 1 − g(2r/r_cut).
+    #[test]
+    fn long_range_filter_is_complement_of_g() {
+        let r_cut = 0.5;
+        let a = 0.5 * r_cut;
+        // φ(r) = −(2/π) ∫_0^∞ S̃2²(ka) · sin(kr)/(kr) dk  (G = 1)
+        // f(r) = −dφ/dr computed by central differences of the integral.
+        let phi = |r: f64| {
+            let mut acc = 0.0;
+            let kmax = 400.0 / a; // S̃2² ~ (ka)^-8: fully converged
+            let n = 400_000;
+            let dk = kmax / n as f64;
+            for i in 0..n {
+                let k = (i as f64 + 0.5) * dk;
+                let w = s2_fourier(k * a);
+                acc += w * w * (k * r).sin() / (k * r) * dk;
+            }
+            -(2.0 / std::f64::consts::PI) * acc
+        };
+        for &r in &[0.1 * r_cut, 0.3 * r_cut, 0.5 * r_cut, 0.8 * r_cut, 1.2 * r_cut] {
+            let h = 1e-4 * r_cut;
+            // Attractive force magnitude = dφ/dr for φ = −(…)/r < 0.
+            let f_long = (phi(r + h) - phi(r - h)) / (2.0 * h);
+            let want = g_long(2.0 * r / r_cut) / (r * r);
+            assert!(
+                (f_long - want).abs() < 2e-3 * (1.0 / (r * r)),
+                "r={r}: f_long={f_long:.6e}, want {want:.6e}"
+            );
+        }
+    }
+
+    #[test]
+    fn h_p3m_limits() {
+        assert_eq!(h_p3m(0.0), 1.0);
+        assert_eq!(h_p3m(2.0), 0.0);
+        assert_eq!(h_p3m(5.0), 0.0);
+        // Monotone decreasing between the limits.
+        let mut prev = h_p3m(1e-6);
+        for i in 1..100 {
+            let xi = 2.0 * i as f64 / 100.0;
+            let h = h_p3m(xi);
+            assert!(h <= prev + 1e-10, "h not monotone at xi={xi}");
+            prev = h;
+        }
+    }
+
+    #[test]
+    fn h_p3m_derivative_matches_g() {
+        // d/dr [ −h(2r/rc)/r ] = g(2r/rc)/r²  (force = −grad potential).
+        let rc = 1.0;
+        for &r in &[0.1, 0.3, 0.5, 0.7, 0.9] {
+            let h = 1e-6;
+            let pot = |r: f64| -h_p3m(2.0 * r / rc) / r;
+            let f = -(pot(r + h) - pot(r - h)) / (2.0 * h);
+            let want = -g_p3m(2.0 * r / rc) / (r * r);
+            assert!((f - want).abs() < 1e-5, "r={r}: {f} vs {want}");
+        }
+    }
+
+    #[test]
+    fn pp_accel_matches_manual_formula() {
+        let split = ForceSplit::new(0.2, 0.0);
+        let dr = Vec3::new(0.03, -0.04, 0.05);
+        let r = dr.norm();
+        let a = split.pp_accel(dr, 2.0);
+        let want = dr * (2.0 * g_p3m(2.0 * r / 0.2) / (r * r * r));
+        assert!((a - want).norm() < 1e-15 * want.norm());
+    }
+
+    #[test]
+    fn pp_accel_zero_beyond_cutoff_and_at_origin() {
+        let split = ForceSplit::new(0.2, 0.0);
+        assert_eq!(split.pp_accel(Vec3::new(0.21, 0.0, 0.0), 1.0), Vec3::ZERO);
+        assert_eq!(split.pp_accel(Vec3::ZERO, 1.0), Vec3::ZERO);
+    }
+
+    #[test]
+    fn softening_caps_close_forces() {
+        let hard = ForceSplit::new(0.2, 0.0);
+        let soft = ForceSplit::new(0.2, 1e-3);
+        let dr = Vec3::new(1e-5, 0.0, 0.0);
+        assert!(soft.pp_accel(dr, 1.0).norm() < hard.pp_accel(dr, 1.0).norm());
+        // Plummer: a = m r / (r²+ε²)^{3/2} -> bounded as r→0.
+        assert!(soft.pp_accel(dr, 1.0).norm() < 1e-5 / (1e-3_f64.powi(2)).powf(1.5));
+    }
+
+    #[test]
+    fn for_mesh_matches_paper_rule() {
+        // r_cut = 3/N_PM^{1/3}; for the paper N_PM = 4096³ per side 4096:
+        // r_cut ≈ 7.32e-4 (§III-A).
+        let split = ForceSplit::for_mesh(4096, 0.0);
+        assert!((split.r_cut - 7.324e-4).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,159 @@
+//! Symmetric 3×3 eigendecomposition (cyclic Jacobi).
+//!
+//! Used by the pseudo-particle quadrupole extension of the tree walk:
+//! a node's second-moment tensor is diagonalised and reproduced by four
+//! pseudo-particles (Kawai & Makino 2001-style), so the existing
+//! monopole force kernel evaluates monopole *and* quadrupole physics
+//! without a separate multipole kernel.
+
+use crate::vec3::Vec3;
+
+/// A symmetric 3×3 matrix in packed order
+/// `[xx, xy, xz, yy, yz, zz]`.
+pub type Sym3 = [f64; 6];
+
+/// Eigen-decomposition of a symmetric 3×3 matrix: `values` descending,
+/// `vectors[k]` the unit eigenvector of `values[k]` (right-handed set).
+#[derive(Debug, Clone, Copy)]
+pub struct Eigen3 {
+    pub values: [f64; 3],
+    pub vectors: [Vec3; 3],
+}
+
+/// Jacobi eigendecomposition; converges to ~1e-14 off-diagonal mass in
+/// a handful of sweeps for any symmetric input.
+pub fn eigen_sym3(s: Sym3) -> Eigen3 {
+    // Unpack to a full matrix.
+    let mut a = [
+        [s[0], s[1], s[2]],
+        [s[1], s[3], s[4]],
+        [s[2], s[4], s[5]],
+    ];
+    let mut v = [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]];
+    for _sweep in 0..50 {
+        let off = a[0][1] * a[0][1] + a[0][2] * a[0][2] + a[1][2] * a[1][2];
+        if off < 1e-28 * (a[0][0].abs() + a[1][1].abs() + a[2][2].abs()).powi(2).max(1e-300) {
+            break;
+        }
+        for (p, q) in [(0usize, 1usize), (0, 2), (1, 2)] {
+            let apq = a[p][q];
+            if apq.abs() < 1e-300 {
+                continue;
+            }
+            let theta = 0.5 * (a[q][q] - a[p][p]) / apq;
+            let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+            let c = 1.0 / (t * t + 1.0).sqrt();
+            let sn = t * c;
+            // Rotate rows/cols p,q of a.
+            for k in 0..3 {
+                let akp = a[k][p];
+                let akq = a[k][q];
+                a[k][p] = c * akp - sn * akq;
+                a[k][q] = sn * akp + c * akq;
+            }
+            for k in 0..3 {
+                let apk = a[p][k];
+                let aqk = a[q][k];
+                a[p][k] = c * apk - sn * aqk;
+                a[q][k] = sn * apk + c * aqk;
+            }
+            for row in v.iter_mut() {
+                let vp = row[p];
+                let vq = row[q];
+                row[p] = c * vp - sn * vq;
+                row[q] = sn * vp + c * vq;
+            }
+        }
+    }
+    // Collect, sort descending by eigenvalue.
+    let mut pairs: Vec<(f64, Vec3)> = (0..3)
+        .map(|k| (a[k][k], Vec3::new(v[0][k], v[1][k], v[2][k])))
+        .collect();
+    pairs.sort_by(|x, y| y.0.partial_cmp(&x.0).unwrap());
+    Eigen3 {
+        values: [pairs[0].0, pairs[1].0, pairs[2].0],
+        vectors: [pairs[0].1, pairs[1].1, pairs[2].1],
+    }
+}
+
+/// Multiply the packed symmetric matrix by a vector.
+pub fn sym3_mul(s: Sym3, x: Vec3) -> Vec3 {
+    Vec3::new(
+        s[0] * x.x + s[1] * x.y + s[2] * x.z,
+        s[1] * x.x + s[3] * x.y + s[4] * x.z,
+        s[2] * x.x + s[4] * x.y + s[5] * x.z,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(s: Sym3) {
+        let e = eigen_sym3(s);
+        // Descending order.
+        assert!(e.values[0] >= e.values[1] && e.values[1] >= e.values[2]);
+        let scale = e.values.iter().map(|v| v.abs()).fold(1e-12, f64::max);
+        for k in 0..3 {
+            // A·v = λ·v.
+            let av = sym3_mul(s, e.vectors[k]);
+            let lv = e.vectors[k] * e.values[k];
+            assert!(
+                (av - lv).norm() < 1e-9 * scale,
+                "eigenpair {k}: {av:?} vs {lv:?}"
+            );
+            // Unit length.
+            assert!((e.vectors[k].norm() - 1.0).abs() < 1e-12);
+        }
+        // Orthogonality.
+        for i in 0..3 {
+            for j in i + 1..3 {
+                assert!(e.vectors[i].dot(e.vectors[j]).abs() < 1e-9);
+            }
+        }
+        // Trace preserved.
+        let tr = s[0] + s[3] + s[5];
+        let sum: f64 = e.values.iter().sum();
+        assert!((tr - sum).abs() < 1e-9 * scale.max(tr.abs()));
+    }
+
+    #[test]
+    fn diagonal_matrix() {
+        let e = eigen_sym3([3.0, 0.0, 0.0, 2.0, 0.0, 1.0]);
+        assert!((e.values[0] - 3.0).abs() < 1e-12);
+        assert!((e.values[2] - 1.0).abs() < 1e-12);
+        check([3.0, 0.0, 0.0, 2.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn known_2x2_block() {
+        // [[2,1,0],[1,2,0],[0,0,5]] -> eigenvalues 5, 3, 1.
+        let s = [2.0, 1.0, 0.0, 2.0, 0.0, 5.0];
+        let e = eigen_sym3(s);
+        assert!((e.values[0] - 5.0).abs() < 1e-10);
+        assert!((e.values[1] - 3.0).abs() < 1e-10);
+        assert!((e.values[2] - 1.0).abs() < 1e-10);
+        check(s);
+    }
+
+    #[test]
+    fn random_symmetric_matrices() {
+        let mut st = 9u64;
+        let mut next = move || {
+            st = st.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (st >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        for _ in 0..100 {
+            let s = [next(), next(), next(), next(), next(), next()];
+            check(s);
+        }
+    }
+
+    #[test]
+    fn degenerate_eigenvalues() {
+        // Isotropic: all eigenvalues equal.
+        check([2.0, 0.0, 0.0, 2.0, 0.0, 2.0]);
+        // Zero matrix.
+        check([0.0; 6]);
+    }
+}

@@ -1,0 +1,193 @@
+//! 63-bit Morton (Z-order) keys.
+//!
+//! GreeM builds its octree from particles sorted along the Morton
+//! space-filling curve: interleaving the bits of the three quantised
+//! coordinates makes particles that are close in space close in memory,
+//! and makes every octree node a contiguous key range — both properties
+//! the tree builder in `greem-tree` relies on.
+//!
+//! We use 21 bits per dimension (the most that fit in a `u64` with a
+//! spare top bit), i.e. a 2²¹-cell grid per side, far below the f64
+//! resolution of the unit box.
+
+/// Bits of spatial resolution per dimension.
+pub const MORTON_BITS: u32 = 21;
+
+/// Number of grid cells per side at full Morton depth, `2^21`.
+pub const MORTON_CELLS: u64 = 1 << MORTON_BITS;
+
+/// A 63-bit Morton key: three 21-bit coordinates, bit-interleaved
+/// x₀y₀z₀ x₁y₁z₁ … from the *most* significant triple downwards, so that
+/// sorting keys sorts along the Z-order curve and each octree level is a
+/// 3-bit prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MortonKey(pub u64);
+
+/// Spread the low 21 bits of `v` so each lands 3 positions apart
+/// (`abc` → `a00b00c`).
+#[inline]
+fn spread_bits(v: u64) -> u64 {
+    let mut x = v & 0x1F_FFFF; // 21 bits
+    x = (x | (x << 32)) & 0x1F_0000_0000_FFFF;
+    x = (x | (x << 16)) & 0x1F_0000_FF00_00FF;
+    x = (x | (x << 8)) & 0x100F_00F0_0F00_F00F;
+    x = (x | (x << 4)) & 0x10C3_0C30_C30C_30C3;
+    x = (x | (x << 2)) & 0x1249_2492_4924_9249;
+    x
+}
+
+/// Inverse of [`spread_bits`]: gather every third bit back together.
+#[inline]
+fn gather_bits(v: u64) -> u64 {
+    let mut x = v & 0x1249_2492_4924_9249;
+    x = (x | (x >> 2)) & 0x10C3_0C30_C30C_30C3;
+    x = (x | (x >> 4)) & 0x100F_00F0_0F00_F00F;
+    x = (x | (x >> 8)) & 0x1F_0000_FF00_00FF;
+    x = (x | (x >> 16)) & 0x1F_0000_0000_FFFF;
+    x = (x | (x >> 32)) & 0x1F_FFFF;
+    x
+}
+
+impl MortonKey {
+    /// Encode integer cell coordinates (each `< MORTON_CELLS`).
+    #[inline]
+    pub fn from_cell(ix: u64, iy: u64, iz: u64) -> Self {
+        debug_assert!(ix < MORTON_CELLS && iy < MORTON_CELLS && iz < MORTON_CELLS);
+        MortonKey((spread_bits(ix) << 2) | (spread_bits(iy) << 1) | spread_bits(iz))
+    }
+
+    /// Encode a position in the half-open unit cube `[0,1)³`. Coordinates
+    /// are clamped into the cube, so callers that have already wrapped
+    /// positions periodically lose nothing.
+    #[inline]
+    pub fn from_unit_pos(x: f64, y: f64, z: f64) -> Self {
+        let q = |c: f64| {
+            let c = c.clamp(0.0, 1.0 - 1e-15);
+            (c * MORTON_CELLS as f64) as u64
+        };
+        Self::from_cell(q(x), q(y), q(z))
+    }
+
+    /// Decode back to integer cell coordinates `(ix, iy, iz)`.
+    #[inline]
+    pub fn to_cell(self) -> (u64, u64, u64) {
+        (
+            gather_bits(self.0 >> 2),
+            gather_bits(self.0 >> 1),
+            gather_bits(self.0),
+        )
+    }
+
+    /// The 3-bit octant digit at tree `level` (level 0 = root's children,
+    /// i.e. the most significant triple).
+    #[inline]
+    pub fn octant_at_level(self, level: u32) -> u8 {
+        debug_assert!(level < MORTON_BITS);
+        ((self.0 >> (3 * (MORTON_BITS - 1 - level))) & 0b111) as u8
+    }
+
+    /// The key with everything below `level` zeroed: the smallest key in
+    /// this key's octree node at that level. Together with
+    /// [`Self::prefix_upper`] this brackets a node's key range.
+    #[inline]
+    pub fn prefix_lower(self, level: u32) -> MortonKey {
+        let shift = 3 * (MORTON_BITS - level);
+        if shift >= 64 {
+            MortonKey(0)
+        } else {
+            MortonKey(self.0 >> shift << shift)
+        }
+    }
+
+    /// One past the largest key in this key's octree node at `level`.
+    #[inline]
+    pub fn prefix_upper(self, level: u32) -> MortonKey {
+        let shift = 3 * (MORTON_BITS - level);
+        if shift >= 64 {
+            MortonKey(u64::MAX)
+        } else {
+            MortonKey((self.0 >> shift << shift) + (1u64 << shift))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_cells() {
+        for &(x, y, z) in &[
+            (0, 0, 0),
+            (1, 2, 3),
+            (MORTON_CELLS - 1, 0, MORTON_CELLS - 1),
+            (123_456, 654_321, 999_999),
+        ] {
+            let k = MortonKey::from_cell(x, y, z);
+            assert_eq!(k.to_cell(), (x, y, z));
+        }
+    }
+
+    #[test]
+    fn ordering_follows_z_curve() {
+        // Within one octant split, z is the fastest-varying axis
+        // (we put x in the top bit of each triple).
+        let origin = MortonKey::from_cell(0, 0, 0);
+        let dz = MortonKey::from_cell(0, 0, 1);
+        let dy = MortonKey::from_cell(0, 1, 0);
+        let dx = MortonKey::from_cell(1, 0, 0);
+        assert!(origin < dz && dz < dy && dy < dx);
+    }
+
+    #[test]
+    fn unit_pos_octants() {
+        // The most significant triple distinguishes the 8 root octants.
+        let low = MortonKey::from_unit_pos(0.1, 0.1, 0.1);
+        let high = MortonKey::from_unit_pos(0.9, 0.9, 0.9);
+        assert_eq!(low.octant_at_level(0), 0);
+        assert_eq!(high.octant_at_level(0), 7);
+        let x_only = MortonKey::from_unit_pos(0.9, 0.1, 0.1);
+        assert_eq!(x_only.octant_at_level(0), 0b100);
+    }
+
+    #[test]
+    fn unit_pos_clamps() {
+        // Out-of-box positions must not panic and must clamp.
+        let k = MortonKey::from_unit_pos(1.5, -0.2, 1.0);
+        let (x, y, z) = k.to_cell();
+        assert_eq!(x, MORTON_CELLS - 1);
+        assert_eq!(y, 0);
+        assert_eq!(z, MORTON_CELLS - 1);
+    }
+
+    #[test]
+    fn prefix_brackets_contain_key() {
+        let k = MortonKey::from_cell(123_456, 654_321, 999_999);
+        for level in 0..MORTON_BITS {
+            let lo = k.prefix_lower(level);
+            let hi = k.prefix_upper(level);
+            assert!(lo <= k && k < hi, "level {level}");
+        }
+    }
+
+    #[test]
+    fn prefix_nesting() {
+        // Deeper prefixes are nested within shallower ones.
+        let k = MortonKey::from_cell(77_777, 88_888, 99_999);
+        for level in 1..MORTON_BITS {
+            assert!(k.prefix_lower(level) >= k.prefix_lower(level - 1));
+            assert!(k.prefix_upper(level) <= k.prefix_upper(level - 1));
+        }
+    }
+
+    #[test]
+    fn spatial_locality_of_keys() {
+        // Two positions in the same half-box octant share the level-0
+        // octant digit; positions in different octants do not.
+        let a = MortonKey::from_unit_pos(0.26, 0.26, 0.26);
+        let b = MortonKey::from_unit_pos(0.3, 0.3, 0.3);
+        let c = MortonKey::from_unit_pos(0.8, 0.3, 0.3);
+        assert_eq!(a.octant_at_level(0), b.octant_at_level(0));
+        assert_ne!(a.octant_at_level(0), c.octant_at_level(0));
+    }
+}

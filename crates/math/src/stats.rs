@@ -1,0 +1,289 @@
+//! Streaming statistics and phase timers.
+//!
+//! The paper's Table I is a per-phase cost breakdown (density assignment,
+//! communication, FFT, … for PM; local tree, traversal, force, … for PP;
+//! position update, sampling, exchange for domain decomposition) averaged
+//! over steps. Every solver crate in this workspace instruments itself
+//! with [`PhaseTimer`]s that accumulate into the same row structure, and
+//! [`OnlineStats`] provides the running mean/min/max used for quantities
+//! like ⟨Ni⟩ and ⟨Nj⟩.
+
+use std::time::{Duration, Instant};
+
+/// Welford-style online mean/variance plus min/max.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Add one observation.
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Add every value of an iterator.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, it: I) {
+        for x in it {
+            self.push(x);
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 when fewer than 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.mean() * self.n as f64
+    }
+
+    /// Load-imbalance measure used for domain-decomposition diagnostics:
+    /// `max / mean` (1.0 = perfectly balanced; ≥ 1 always).
+    pub fn imbalance(&self) -> f64 {
+        if self.n == 0 || self.mean() == 0.0 {
+            1.0
+        } else {
+            self.max() / self.mean()
+        }
+    }
+
+    /// Merge another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, o: &OnlineStats) {
+        if o.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *o;
+            return;
+        }
+        let n = self.n + o.n;
+        let d = o.mean - self.mean;
+        let mean = self.mean + d * o.n as f64 / n as f64;
+        let m2 = self.m2 + o.m2 + d * d * self.n as f64 * o.n as f64 / n as f64;
+        self.n = n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(o.min);
+        self.max = self.max.max(o.max);
+    }
+}
+
+/// A named wall-clock phase accumulator.
+///
+/// `start()`/`stop()` bracket a phase; the total and per-invocation count
+/// accumulate across steps, mirroring how the paper reports "seconds per
+/// step" per phase (the caller divides by the step count).
+#[derive(Debug, Clone)]
+pub struct PhaseTimer {
+    name: &'static str,
+    total: Duration,
+    invocations: u64,
+    started: Option<Instant>,
+}
+
+impl PhaseTimer {
+    /// A fresh timer with a phase name (e.g. `"tree traversal"`).
+    pub fn new(name: &'static str) -> Self {
+        PhaseTimer {
+            name,
+            total: Duration::ZERO,
+            invocations: 0,
+            started: None,
+        }
+    }
+
+    /// Phase name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Begin timing; panics if already running (misuse bug).
+    pub fn start(&mut self) {
+        assert!(self.started.is_none(), "PhaseTimer '{}' already running", self.name);
+        self.started = Some(Instant::now());
+    }
+
+    /// End timing and accumulate; panics if not running.
+    pub fn stop(&mut self) {
+        let s = self
+            .started
+            .take()
+            .unwrap_or_else(|| panic!("PhaseTimer '{}' stopped while not running", self.name));
+        self.total += s.elapsed();
+        self.invocations += 1;
+    }
+
+    /// Time a closure and accumulate its duration.
+    pub fn time<T>(&mut self, f: impl FnOnce() -> T) -> T {
+        self.start();
+        let out = f();
+        self.stop();
+        out
+    }
+
+    /// Add an externally measured duration (used when the cost comes from
+    /// the simulated network model rather than the host clock).
+    pub fn add(&mut self, d: Duration) {
+        self.total += d;
+        self.invocations += 1;
+    }
+
+    /// Total accumulated time.
+    pub fn total(&self) -> Duration {
+        self.total
+    }
+
+    /// Total accumulated seconds.
+    pub fn seconds(&self) -> f64 {
+        self.total.as_secs_f64()
+    }
+
+    /// Number of completed invocations.
+    pub fn invocations(&self) -> u64 {
+        self.invocations
+    }
+
+    /// Mean seconds per invocation (0 when never invoked).
+    pub fn seconds_per_invocation(&self) -> f64 {
+        if self.invocations == 0 {
+            0.0
+        } else {
+            self.seconds() / self.invocations as f64
+        }
+    }
+
+    /// Reset the accumulation (timer must not be running).
+    pub fn reset(&mut self) {
+        assert!(self.started.is_none(), "PhaseTimer '{}' reset while running", self.name);
+        self.total = Duration::ZERO;
+        self.invocations = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_mean_variance() {
+        let mut s = OnlineStats::new();
+        s.extend([1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.count(), 4);
+        assert!((s.mean() - 2.5).abs() < 1e-15);
+        assert!((s.variance() - 1.25).abs() < 1e-12);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 4.0);
+        assert!((s.sum() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_empty() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.imbalance(), 1.0);
+    }
+
+    #[test]
+    fn stats_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 3.0 + 1.0).collect();
+        let mut whole = OnlineStats::new();
+        whole.extend(xs.iter().copied());
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        a.extend(xs[..37].iter().copied());
+        b.extend(xs[37..].iter().copied());
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-12);
+        assert!((a.variance() - whole.variance()).abs() < 1e-12);
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn imbalance_of_uniform_is_one() {
+        let mut s = OnlineStats::new();
+        s.extend([5.0; 8]);
+        assert!((s.imbalance() - 1.0).abs() < 1e-15);
+        let mut t = OnlineStats::new();
+        t.extend([1.0, 1.0, 2.0]); // mean 4/3, max 2 -> 1.5
+        assert!((t.imbalance() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timer_accumulates() {
+        let mut t = PhaseTimer::new("unit");
+        t.time(|| std::thread::sleep(Duration::from_millis(2)));
+        t.add(Duration::from_millis(10));
+        assert_eq!(t.invocations(), 2);
+        assert!(t.seconds() >= 0.012);
+        t.reset();
+        assert_eq!(t.invocations(), 0);
+        assert_eq!(t.seconds(), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn timer_double_start_panics() {
+        let mut t = PhaseTimer::new("bad");
+        t.start();
+        t.start();
+    }
+}

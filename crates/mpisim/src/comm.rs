@@ -1,0 +1,346 @@
+//! Communicators and collective operations.
+//!
+//! GreeM's PM pipeline is structured entirely around communicators made
+//! with `MPI_Comm_split` (§II-B): `COMM_FFT` (the ranks that run the
+//! slab FFT), `COMM_SMALLA2A` (each relay group, for the group-local
+//! `Alltoallv`) and `COMM_REDUCE` (one rank per group holding the same
+//! slab, for the over-groups `Reduce`/`Bcast`). [`Comm::split`]
+//! reproduces the same semantics: ranks passing the same `color` end up
+//! in one sub-communicator, ordered by `key` (ties broken by parent
+//! rank).
+//!
+//! Collectives use the algorithms real MPI implementations use at these
+//! scales — binomial trees for `bcast`/`reduce`/`barrier`, linear
+//! fan-in for `gather`, pairwise exchange for `alltoallv` — so the
+//! simulated network sees a realistic message pattern, which is the whole
+//! point: the relay-mesh experiment is *about* those patterns.
+
+use std::cell::Cell;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use crate::ctx::Ctx;
+
+/// Reserved tag space for collectives (top bit set).
+const COLL_TAG_BASE: u64 = 1 << 63;
+
+/// Operation codes mixed into collective tags so different collectives
+/// never match each other's messages even at the same sequence number.
+#[derive(Clone, Copy)]
+enum CollOp {
+    Barrier = 1,
+    Bcast = 2,
+    Reduce = 3,
+    Gather = 4,
+    AllToAll = 5,
+    Split = 6,
+}
+
+/// A communicator: an ordered subset of world ranks, with this rank's
+/// position in it. Cheap to clone.
+///
+/// All collective methods must be called by **every** member of the
+/// communicator, in the same order — the usual SPMD contract. Tags are
+/// sequenced per communicator so back-to-back collectives cannot
+/// cross-match.
+#[derive(Debug, Clone)]
+pub struct Comm {
+    id: u64,
+    /// Global rank of each member, indexed by local rank.
+    ranks: Arc<Vec<usize>>,
+    /// This rank's local rank within the communicator.
+    my_rank: usize,
+    /// Per-rank collective sequence counter (program order).
+    seq: Cell<u64>,
+}
+
+impl Comm {
+    /// The world communicator for a world of `n` ranks.
+    pub(crate) fn world(n: usize, my_global: usize) -> Comm {
+        Comm {
+            id: 0,
+            ranks: Arc::new((0..n).collect()),
+            my_rank: my_global,
+            seq: Cell::new(0),
+        }
+    }
+
+    /// Number of ranks in this communicator.
+    pub fn size(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// This rank's rank within the communicator.
+    pub fn rank(&self) -> usize {
+        self.my_rank
+    }
+
+    /// Global (world) rank of local rank `r`.
+    pub fn global_rank(&self, r: usize) -> usize {
+        self.ranks[r]
+    }
+
+    /// All members' global ranks, in local-rank order.
+    pub fn members(&self) -> &[usize] {
+        &self.ranks
+    }
+
+    fn next_tag(&self, op: CollOp) -> u64 {
+        let s = self.seq.get();
+        self.seq.set(s + 1);
+        COLL_TAG_BASE | (s << 8) | op as u64
+    }
+
+    // ------------------------------------------------------------------
+    // Point-to-point
+    // ------------------------------------------------------------------
+
+    /// Send `data` to local rank `dest` with a user `tag` (< 2⁶³).
+    pub fn send<T: Send + 'static>(&self, ctx: &mut Ctx, dest: usize, tag: u64, data: Vec<T>) {
+        debug_assert!(tag < COLL_TAG_BASE, "user tags must not set the top bit");
+        ctx.send_raw(self.ranks[dest], self.id, tag, data);
+    }
+
+    /// Blocking receive from local rank `src` with matching `tag`.
+    pub fn recv<T: Send + 'static>(&self, ctx: &mut Ctx, src: usize, tag: u64) -> Vec<T> {
+        debug_assert!(tag < COLL_TAG_BASE, "user tags must not set the top bit");
+        ctx.recv_raw(self.ranks[src], self.id, tag)
+    }
+
+    // ------------------------------------------------------------------
+    // Collectives
+    // ------------------------------------------------------------------
+
+    /// Synchronise all members: binomial fan-in to local rank 0, fan-out
+    /// back. On return every member's virtual clock is at least the
+    /// latest pre-barrier clock plus the tree traversal cost.
+    pub fn barrier(&self, ctx: &mut Ctx) {
+        let tag = self.next_tag(CollOp::Barrier);
+        let p = self.size();
+        if p == 1 {
+            return;
+        }
+        let r = self.my_rank;
+        // Fan-in: leaves first.
+        let mut k = 1;
+        while k < p {
+            if r & k != 0 {
+                ctx.send_raw::<u8>(self.ranks[r - k], self.id, tag, Vec::new());
+                break;
+            } else if r + k < p {
+                let _ = ctx.recv_raw::<u8>(self.ranks[r + k], self.id, tag);
+            }
+            k <<= 1;
+        }
+        // Fan-out, mirrored.
+        let mut k = {
+            let mut k = 1;
+            while k < p {
+                k <<= 1;
+            }
+            k >> 1
+        };
+        while k >= 1 {
+            if r & k != 0 {
+                let _ = ctx.recv_raw::<u8>(self.ranks[r - k], self.id, tag + (1 << 7));
+                break;
+            } else if r + k < p {
+                ctx.send_raw::<u8>(self.ranks[r + k], self.id, tag + (1 << 7), Vec::new());
+            }
+            k >>= 1;
+        }
+    }
+
+    /// Broadcast `data` from local rank `root` to every member. Non-root
+    /// ranks pass `None` (their argument is ignored); every rank returns
+    /// the broadcast vector. Binomial tree, like `MPI_Bcast`.
+    pub fn bcast<T: Clone + Send + 'static>(
+        &self,
+        ctx: &mut Ctx,
+        root: usize,
+        data: Option<Vec<T>>,
+    ) -> Vec<T> {
+        let tag = self.next_tag(CollOp::Bcast);
+        let p = self.size();
+        let rel = (self.my_rank + p - root) % p;
+        let buf = if rel == 0 {
+            data.expect("bcast root must supply data")
+        } else {
+            // Receive from the parent in the binomial tree: the sender is
+            // rel - k for the highest set bit k of rel.
+            let k = highest_bit(rel);
+            let src = self.ranks[(rel - k + root) % p];
+            ctx.recv_raw::<T>(src, self.id, tag)
+        };
+        // Forward to children: rel + k for k above rel's highest bit.
+        let mut k = if rel == 0 { 1 } else { highest_bit(rel) << 1 };
+        while rel + k < p {
+            let dst = self.ranks[(rel + k + root) % p];
+            ctx.send_raw(dst, self.id, tag, buf.clone());
+            k <<= 1;
+        }
+        buf
+    }
+
+    /// Element-wise reduction to local rank `root` over equal-length
+    /// vectors; `op(acc, x)` folds a remote element into the local
+    /// accumulator. Returns `Some(result)` on the root, `None` elsewhere.
+    /// Binomial fan-in, like `MPI_Reduce`.
+    pub fn reduce<T, F>(&self, ctx: &mut Ctx, root: usize, local: Vec<T>, op: F) -> Option<Vec<T>>
+    where
+        T: Clone + Send + 'static,
+        F: Fn(&mut T, &T),
+    {
+        let tag = self.next_tag(CollOp::Reduce);
+        let p = self.size();
+        let rel = (self.my_rank + p - root) % p;
+        let mut acc = local;
+        let mut k = 1;
+        while k < p {
+            if rel & k != 0 {
+                let dst = self.ranks[(rel - k + root) % p];
+                ctx.send_raw(dst, self.id, tag, acc);
+                return None;
+            } else if rel + k < p {
+                let src = self.ranks[(rel + k + root) % p];
+                let other = ctx.recv_raw::<T>(src, self.id, tag);
+                assert_eq!(acc.len(), other.len(), "reduce: length mismatch");
+                for (a, b) in acc.iter_mut().zip(other.iter()) {
+                    op(a, b);
+                }
+            }
+            k <<= 1;
+        }
+        Some(acc)
+    }
+
+    /// Reduce to local rank 0 then broadcast: every member returns the
+    /// reduced vector.
+    pub fn allreduce<T, F>(&self, ctx: &mut Ctx, local: Vec<T>, op: F) -> Vec<T>
+    where
+        T: Clone + Send + 'static,
+        F: Fn(&mut T, &T),
+    {
+        let reduced = self.reduce(ctx, 0, local, op);
+        self.bcast(ctx, 0, reduced)
+    }
+
+    /// Gather every member's vector at local rank `root` (linear fan-in,
+    /// like small-message `MPI_Gatherv`). Root returns `Some(vec of
+    /// per-rank vectors)` in local-rank order.
+    pub fn gather<T: Send + 'static>(
+        &self,
+        ctx: &mut Ctx,
+        root: usize,
+        local: Vec<T>,
+    ) -> Option<Vec<Vec<T>>> {
+        let tag = self.next_tag(CollOp::Gather);
+        if self.my_rank != root {
+            ctx.send_raw(self.ranks[root], self.id, tag, local);
+            return None;
+        }
+        let mut out: Vec<Vec<T>> = Vec::with_capacity(self.size());
+        let mut local = Some(local);
+        for src in 0..self.size() {
+            if src == root {
+                out.push(local.take().expect("gather: root buffer reused"));
+            } else {
+                out.push(ctx.recv_raw::<T>(self.ranks[src], self.id, tag));
+            }
+        }
+        Some(out)
+    }
+
+    /// Gather at local rank 0 and broadcast the result to every member.
+    pub fn allgather<T: Clone + Send + 'static>(&self, ctx: &mut Ctx, local: Vec<T>) -> Vec<Vec<T>> {
+        let gathered = self.gather(ctx, 0, local);
+        self.bcast(ctx, 0, gathered)
+    }
+
+    /// Personalised all-to-all with per-destination vectors
+    /// (`MPI_Alltoallv`): `send[i]` goes to local rank `i`; the return's
+    /// `out[i]` is what local rank `i` sent here. Pairwise exchange
+    /// schedule (round `k`: send to `me+k`, receive from `me−k`).
+    pub fn alltoallv<T: Send + 'static>(&self, ctx: &mut Ctx, send: Vec<Vec<T>>) -> Vec<Vec<T>> {
+        assert_eq!(send.len(), self.size(), "alltoallv: need one buffer per rank");
+        let tag = self.next_tag(CollOp::AllToAll);
+        let p = self.size();
+        let r = self.my_rank;
+        let mut out: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
+        let mut send: Vec<Option<Vec<T>>> = send.into_iter().map(Some).collect();
+        for k in 0..p {
+            let dst = (r + k) % p;
+            let buf = send[dst].take().expect("alltoallv buffer used twice");
+            ctx.send_raw(self.ranks[dst], self.id, tag, buf);
+        }
+        for k in 0..p {
+            let src = (r + p - k) % p;
+            out[src] = ctx.recv_raw::<T>(self.ranks[src], self.id, tag);
+        }
+        out
+    }
+
+    /// Split into sub-communicators by `color`; members with equal color
+    /// form one new communicator, ordered by `(key, parent rank)` — the
+    /// semantics of `MPI_Comm_split`.
+    pub fn split(&self, ctx: &mut Ctx, color: u64, key: u64) -> Comm {
+        let tag = self.next_tag(CollOp::Split);
+        let root_global = self.ranks[0];
+        // Gather (color, key, my_rank) at local rank 0.
+        if self.my_rank != 0 {
+            ctx.send_raw(root_global, self.id, tag, vec![(color, key, self.my_rank)]);
+            // Receive assignment: (comm_id, my_local_rank, members…).
+            let data = ctx.recv_raw::<u64>(root_global, self.id, tag + (1 << 7));
+            return Self::unpack_split(data);
+        }
+        let mut entries: Vec<(u64, u64, usize)> = vec![(color, key, 0)];
+        for src in 1..self.size() {
+            entries.extend(ctx.recv_raw::<(u64, u64, usize)>(self.ranks[src], self.id, tag));
+        }
+        // Group by color.
+        let mut colors: Vec<u64> = entries.iter().map(|e| e.0).collect();
+        colors.sort_unstable();
+        colors.dedup();
+        let mut my_pack: Option<Vec<u64>> = None;
+        for c in colors {
+            let mut members: Vec<(u64, usize)> = entries
+                .iter()
+                .filter(|e| e.0 == c)
+                .map(|e| (e.1, e.2))
+                .collect();
+            members.sort_unstable();
+            let new_id = ctx.comm_counter.fetch_add(1, Ordering::Relaxed);
+            let member_globals: Vec<u64> =
+                members.iter().map(|&(_, r)| self.ranks[r] as u64).collect();
+            for (local, &(_, parent_rank)) in members.iter().enumerate() {
+                let mut pack = vec![new_id, local as u64];
+                pack.extend(member_globals.iter().copied());
+                if parent_rank == 0 {
+                    my_pack = Some(pack);
+                } else {
+                    ctx.send_raw(self.ranks[parent_rank], self.id, tag + (1 << 7), pack);
+                }
+            }
+        }
+        Self::unpack_split(my_pack.expect("split root not a member of any group"))
+    }
+
+    fn unpack_split(data: Vec<u64>) -> Comm {
+        let id = data[0];
+        let my_rank = data[1] as usize;
+        let ranks: Vec<usize> = data[2..].iter().map(|&g| g as usize).collect();
+        Comm {
+            id,
+            ranks: Arc::new(ranks),
+            my_rank,
+            seq: Cell::new(0),
+        }
+    }
+}
+
+/// Highest set bit of a nonzero integer.
+#[inline]
+fn highest_bit(x: usize) -> usize {
+    debug_assert!(x > 0);
+    1 << (usize::BITS - 1 - x.leading_zeros())
+}

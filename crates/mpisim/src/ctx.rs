@@ -1,0 +1,206 @@
+//! The per-rank context: point-to-point messaging and the virtual clock.
+
+use std::any::Any;
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+use crossbeam::channel::{Receiver, Sender};
+
+use crate::netmodel::NetModel;
+use crate::topology::Torus3d;
+
+/// A message in flight. Matching is by `(source global rank, communicator
+/// id, tag)`, like MPI; payloads are type-erased `Vec<T>`s.
+pub(crate) struct Message {
+    pub src: usize,
+    pub comm_id: u64,
+    pub tag: u64,
+    pub bytes: usize,
+    /// Sender's virtual time at which the message hit the wire.
+    pub send_ready: f64,
+    pub hops: usize,
+    pub payload: Box<dyn Any + Send>,
+}
+
+/// Cumulative per-rank communication counters, for the instrumentation
+/// that feeds the paper-style cost tables.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CommStats {
+    /// Number of messages sent (self-sends included).
+    pub messages_sent: u64,
+    /// Total payload bytes sent.
+    pub bytes_sent: u64,
+    /// Number of messages received.
+    pub messages_received: u64,
+    /// Total payload bytes received.
+    pub bytes_received: u64,
+}
+
+/// The execution context of one simulated rank.
+///
+/// Owns the rank's mailbox, its virtual clock, and its two network port
+/// occupancy times (injection and drain). All timing state is private to
+/// the rank, which is what makes the simulated times deterministic.
+pub struct Ctx {
+    pub(crate) rank: usize,
+    pub(crate) size: usize,
+    pub(crate) inbox: Receiver<Message>,
+    pub(crate) pending: Vec<Message>,
+    pub(crate) outboxes: Vec<Sender<Message>>,
+    pub(crate) topo: Torus3d,
+    pub(crate) net: NetModel,
+    /// This rank's virtual clock, in simulated seconds.
+    pub(crate) vtime: f64,
+    /// Virtual time until which the injection (send) port is busy.
+    pub(crate) inject_free: f64,
+    /// Virtual time until which the drain (receive) port is busy.
+    pub(crate) port_free: f64,
+    /// Shared counter for allocating communicator ids.
+    pub(crate) comm_counter: Arc<AtomicU64>,
+    pub(crate) stats: CommStats,
+}
+
+impl Ctx {
+    /// This rank's global rank in the world.
+    pub fn world_rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the world.
+    pub fn world_size(&self) -> usize {
+        self.size
+    }
+
+    /// The torus topology the world runs on.
+    pub fn topology(&self) -> Torus3d {
+        self.topo
+    }
+
+    /// The network cost model in force.
+    pub fn net_model(&self) -> NetModel {
+        self.net
+    }
+
+    /// This rank's virtual clock in simulated seconds. Advanced by
+    /// message transfers (per the [`NetModel`]) and by [`Ctx::compute`].
+    pub fn vtime(&self) -> f64 {
+        self.vtime
+    }
+
+    /// Advance the virtual clock by `seconds` of modelled computation.
+    pub fn compute(&mut self, seconds: f64) {
+        debug_assert!(seconds >= 0.0);
+        self.vtime += seconds;
+    }
+
+    /// Force the virtual clock to at least `t` (used by barriers).
+    pub(crate) fn advance_to(&mut self, t: f64) {
+        if t > self.vtime {
+            self.vtime = t;
+        }
+    }
+
+    /// Communication counters so far.
+    pub fn comm_stats(&self) -> CommStats {
+        self.stats
+    }
+
+    /// Send `data` to global rank `dest` with a `(comm_id, tag)` match
+    /// key. Non-blocking: the payload is enqueued immediately; the cost
+    /// model charges the sender's clock with the per-message overhead and
+    /// occupies its injection port for the transfer.
+    pub(crate) fn send_raw<T: Send + 'static>(
+        &mut self,
+        dest: usize,
+        comm_id: u64,
+        tag: u64,
+        data: Vec<T>,
+    ) {
+        let bytes = std::mem::size_of::<T>() * data.len();
+        self.stats.messages_sent += 1;
+        self.stats.bytes_sent += bytes as u64;
+        if dest == self.rank {
+            // Pure memcpy: charge the self-transfer and bypass the NIC.
+            self.vtime += self.net.self_time(bytes);
+            self.pending.push(Message {
+                src: self.rank,
+                comm_id,
+                tag,
+                bytes,
+                send_ready: self.vtime,
+                hops: 0,
+                payload: Box::new(data),
+            });
+            return;
+        }
+        let send_ready = self.vtime.max(self.inject_free);
+        self.inject_free = send_ready + self.net.inject_time(bytes);
+        self.vtime = send_ready + self.net.send_overhead;
+        let hops = self.topo.hops(self.rank, dest);
+        let msg = Message {
+            src: self.rank,
+            comm_id,
+            tag,
+            bytes,
+            send_ready,
+            hops,
+            payload: Box::new(data),
+        };
+        self.outboxes[dest]
+            .send(msg)
+            .expect("mpisim: peer rank hung up (it panicked or returned early)");
+    }
+
+    /// Receive the message matching `(src, comm_id, tag)`, blocking the
+    /// host thread until it arrives. Advances the virtual clock past the
+    /// modelled arrival + drain time, serialising with other receives at
+    /// this rank's port (the congestion term).
+    pub(crate) fn recv_raw<T: Send + 'static>(
+        &mut self,
+        src: usize,
+        comm_id: u64,
+        tag: u64,
+    ) -> Vec<T> {
+        let msg = self.take_matching(src, comm_id, tag);
+        if msg.src != self.rank {
+            let arrival = msg.send_ready + self.net.latency(msg.hops);
+            let start = self.port_free.max(arrival);
+            let done = start + self.net.drain_time(msg.bytes);
+            self.port_free = done;
+            self.advance_to(done);
+        } else {
+            self.advance_to(msg.send_ready);
+        }
+        self.stats.messages_received += 1;
+        self.stats.bytes_received += msg.bytes as u64;
+        *msg.payload.downcast::<Vec<T>>().unwrap_or_else(|_| {
+            panic!(
+                "mpisim: type mismatch receiving (src={src}, comm={comm_id}, tag={tag}) at rank {}",
+                self.rank
+            )
+        })
+    }
+
+    /// Pull messages from the mailbox until one matches, stashing the
+    /// rest. Out-of-order arrival is therefore harmless, like MPI's
+    /// matching rules.
+    fn take_matching(&mut self, src: usize, comm_id: u64, tag: u64) -> Message {
+        if let Some(i) = self
+            .pending
+            .iter()
+            .position(|m| m.src == src && m.comm_id == comm_id && m.tag == tag)
+        {
+            return self.pending.swap_remove(i);
+        }
+        loop {
+            let m = self
+                .inbox
+                .recv()
+                .expect("mpisim: world shut down while waiting for a message");
+            if m.src == src && m.comm_id == comm_id && m.tag == tag {
+                return m;
+            }
+            self.pending.push(m);
+        }
+    }
+}

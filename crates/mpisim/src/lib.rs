@@ -1,0 +1,47 @@
+//! # mpisim — a simulated MPI-like message-passing runtime
+//!
+//! The paper runs GreeM on up to 82944 nodes of the K computer over MPI.
+//! This workspace has no supercomputer, so `mpisim` provides the
+//! substrate: a rank-per-thread SPMD runtime whose API mirrors the MPI
+//! subset the paper uses —
+//!
+//! * communicators, including [`Comm::split`] (the paper builds
+//!   `COMM_FFT`, `COMM_SMALLA2A` and `COMM_REDUCE` with
+//!   `MPI_Comm_split`, §II-B),
+//! * point-to-point [`Ctx::send`] / [`Ctx::recv`] with `(source, tag)`
+//!   matching,
+//! * the collectives GreeM calls: `Alltoallv`, `Reduce`, `Bcast`,
+//!   `Allreduce`, `Gather`, `Allgather`, `Barrier`.
+//!
+//! ## Virtual time and the network cost model
+//!
+//! Every rank carries a deterministic *virtual clock*. Message transfers
+//! advance it according to a LogGP-flavoured model of a 3-D torus
+//! (K computer's Tofu is a 6-D torus; three of the dimensions are fixed
+//! at 2 and it is programmed as a 3-D torus, which is also how the paper
+//! maps its 32×54×48 process grid onto physical node coordinates):
+//!
+//! * a per-message latency proportional to the torus hop distance,
+//! * sender injection occupancy (a rank's sends serialise),
+//! * **receiver drain occupancy** (a rank's receives serialise at its
+//!   network port) — this is the term that makes "an FFT process receives
+//!   the local mesh from ~4000 processes" slow, i.e. the congestion the
+//!   relay mesh method (§II-B) was invented to avoid.
+//!
+//! The model is deterministic: occupancy is resolved in each rank's own
+//! program order, never by host-thread racing, so simulated timings are
+//! reproducible run-to-run regardless of OS scheduling. Real wall-clock
+//! time is unaffected by the model; virtual time is read with
+//! [`Ctx::vtime`] and is the quantity our relay-mesh benchmarks report.
+
+pub mod comm;
+pub mod ctx;
+pub mod netmodel;
+pub mod topology;
+pub mod world;
+
+pub use comm::Comm;
+pub use ctx::Ctx;
+pub use netmodel::NetModel;
+pub use topology::Torus3d;
+pub use world::World;

@@ -1,0 +1,138 @@
+//! The network cost model that drives each rank's virtual clock.
+//!
+//! A LogGP-flavoured model specialised to what the paper's communication
+//! experiments measure. A message of `b` bytes from rank `s` to rank `d`
+//! costs:
+//!
+//! ```text
+//! inject:  the sender's injection port is busy for  o_send + b/B_inj
+//! wire:    the first byte arrives after              L0 + L_hop·hops(s,d)
+//! drain:   the receiver's port is busy for           o_recv + b/B_net
+//! ```
+//!
+//! Both ports serialise in each rank's own program order, which is what
+//! produces *congestion*: when ~4000 ranks each send a slab contribution
+//! to one FFT process (§II-B), the receiver's drain term dominates and
+//! the conversion takes `Σ b_i / B_net`, exactly the pathology the relay
+//! mesh method removes by splitting the conversion into group-local
+//! all-to-alls plus an over-groups reduction tree.
+//!
+//! Defaults approximate one K-computer node: Tofu links move ~5 GB/s per
+//! direction and a one-hop MPI latency is of order a microsecond. The
+//! absolute values only set the scale of reported times; every
+//! conclusion our benchmarks draw (which schedule wins, by what factor)
+//! comes from ratios that are insensitive to the precise constants.
+
+/// Network cost parameters. Times in seconds, rates in bytes/second.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetModel {
+    /// Fixed software/NIC overhead per message at the sender.
+    pub send_overhead: f64,
+    /// Fixed software/NIC overhead per message at the receiver.
+    pub recv_overhead: f64,
+    /// Base wire latency of a zero-hop (same-node-group) message.
+    pub latency_base: f64,
+    /// Additional latency per torus hop.
+    pub latency_per_hop: f64,
+    /// Link (drain) bandwidth at the receiver port.
+    pub bandwidth: f64,
+    /// Injection bandwidth at the sender port.
+    pub inject_bandwidth: f64,
+    /// Bandwidth for rank-to-self transfers (memcpy, no NIC).
+    pub self_bandwidth: f64,
+}
+
+impl NetModel {
+    /// Parameters approximating a K-computer / Tofu class interconnect.
+    pub fn k_computer() -> Self {
+        NetModel {
+            send_overhead: 0.7e-6,
+            recv_overhead: 0.7e-6,
+            latency_base: 1.0e-6,
+            latency_per_hop: 0.1e-6,
+            bandwidth: 5.0e9,
+            inject_bandwidth: 5.0e9,
+            self_bandwidth: 40.0e9,
+        }
+    }
+
+    /// A zero-cost model: every operation is free. Useful for functional
+    /// tests that don't care about timing.
+    pub fn free() -> Self {
+        NetModel {
+            send_overhead: 0.0,
+            recv_overhead: 0.0,
+            latency_base: 0.0,
+            latency_per_hop: 0.0,
+            bandwidth: f64::INFINITY,
+            inject_bandwidth: f64::INFINITY,
+            self_bandwidth: f64::INFINITY,
+        }
+    }
+
+    /// Wire latency for a message crossing `hops` torus hops.
+    #[inline]
+    pub fn latency(&self, hops: usize) -> f64 {
+        self.latency_base + self.latency_per_hop * hops as f64
+    }
+
+    /// Time the sender's injection port is occupied by a `bytes` message.
+    #[inline]
+    pub fn inject_time(&self, bytes: usize) -> f64 {
+        self.send_overhead + bytes as f64 / self.inject_bandwidth
+    }
+
+    /// Time the receiver's port is occupied draining a `bytes` message.
+    #[inline]
+    pub fn drain_time(&self, bytes: usize) -> f64 {
+        self.recv_overhead + bytes as f64 / self.bandwidth
+    }
+
+    /// Cost of a rank-to-self transfer (pure memcpy).
+    #[inline]
+    pub fn self_time(&self, bytes: usize) -> f64 {
+        bytes as f64 / self.self_bandwidth
+    }
+}
+
+impl Default for NetModel {
+    fn default() -> Self {
+        NetModel::k_computer()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k_model_magnitudes_are_sane() {
+        let m = NetModel::k_computer();
+        // A 1 MB message drains in ~0.2 ms at 5 GB/s.
+        let t = m.drain_time(1 << 20);
+        assert!(t > 1e-4 && t < 1e-3, "drain {t}");
+        // Latency grows linearly with hops.
+        assert!(m.latency(10) > m.latency(1));
+        assert!((m.latency(5) - m.latency_base - 5.0 * m.latency_per_hop).abs() < 1e-18);
+    }
+
+    #[test]
+    fn free_model_is_free() {
+        let m = NetModel::free();
+        assert_eq!(m.latency(100), 0.0);
+        assert_eq!(m.inject_time(1 << 30), 0.0);
+        assert_eq!(m.drain_time(1 << 30), 0.0);
+        assert_eq!(m.self_time(1 << 30), 0.0);
+    }
+
+    #[test]
+    fn congestion_arithmetic() {
+        // 4000 senders × 4 MB each into one port at 5 GB/s ≈ 3.2 s of
+        // drain serialisation — the same order as the paper's measured
+        // ~10 s conversion before the relay mesh method (which also
+        // includes contention unmodelled here).
+        let m = NetModel::k_computer();
+        let total: f64 = (0..4000).map(|_| m.drain_time(4 << 20)).sum();
+        assert!(total > 1.0 && total < 10.0, "total {total}");
+    }
+}

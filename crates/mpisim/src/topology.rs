@@ -1,0 +1,162 @@
+//! The 3-D torus node topology.
+//!
+//! K computer's Tofu interconnect is a 6-D mesh/torus that applications
+//! address as a 3-D torus; the paper maps its 3-D multisection process
+//! grid directly onto physical node coordinates (§III-A: "the number of
+//! divisions on each dimension is the same as that of physical nodes",
+//! 32×54×48 on the full system). We model exactly that: ranks are laid
+//! out in row-major order on an `nx × ny × nz` torus and the network
+//! latency between two ranks grows with their torus hop distance.
+
+/// A 3-D torus of `nx × ny × nz` nodes, one rank per node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Torus3d {
+    pub nx: usize,
+    pub ny: usize,
+    pub nz: usize,
+}
+
+impl Torus3d {
+    /// A torus with the given extents (all ≥ 1).
+    pub fn new(nx: usize, ny: usize, nz: usize) -> Self {
+        assert!(nx >= 1 && ny >= 1 && nz >= 1);
+        Torus3d { nx, ny, nz }
+    }
+
+    /// A roughly cubic torus holding exactly `n` ranks; used when the
+    /// caller doesn't care about the precise shape. Falls back to an
+    /// `n × 1 × 1` ring when `n` has no convenient factorisation.
+    pub fn roughly_cubic(n: usize) -> Self {
+        assert!(n >= 1);
+        let mut best = (n, 1, 1);
+        let mut best_surface = usize::MAX;
+        // Choose the factorisation nx*ny*nz == n minimising the "surface"
+        // nx+ny+nz (most cubic).
+        let mut a = 1;
+        while a * a * a <= n {
+            if n % a == 0 {
+                let rem = n / a;
+                let mut b = a;
+                while b * b <= rem {
+                    if rem % b == 0 {
+                        let c = rem / b;
+                        let surface = a + b + c;
+                        if surface < best_surface {
+                            best_surface = surface;
+                            best = (c, b, a);
+                        }
+                    }
+                    b += 1;
+                }
+            }
+            a += 1;
+        }
+        Torus3d::new(best.0, best.1, best.2)
+    }
+
+    /// Total number of ranks.
+    pub fn len(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// True when the torus is a single node.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Row-major coordinates of a rank.
+    #[inline]
+    pub fn coords(&self, rank: usize) -> (usize, usize, usize) {
+        debug_assert!(rank < self.len());
+        let z = rank % self.nz;
+        let y = (rank / self.nz) % self.ny;
+        let x = rank / (self.nz * self.ny);
+        (x, y, z)
+    }
+
+    /// Rank at row-major coordinates.
+    #[inline]
+    pub fn rank(&self, x: usize, y: usize, z: usize) -> usize {
+        debug_assert!(x < self.nx && y < self.ny && z < self.nz);
+        (x * self.ny + y) * self.nz + z
+    }
+
+    /// Torus (wrap-around Manhattan) hop distance between two ranks.
+    #[inline]
+    pub fn hops(&self, a: usize, b: usize) -> usize {
+        let (ax, ay, az) = self.coords(a);
+        let (bx, by, bz) = self.coords(b);
+        ring_dist(ax, bx, self.nx) + ring_dist(ay, by, self.ny) + ring_dist(az, bz, self.nz)
+    }
+
+    /// Largest possible hop distance on this torus (the network diameter).
+    pub fn diameter(&self) -> usize {
+        self.nx / 2 + self.ny / 2 + self.nz / 2
+    }
+}
+
+/// Distance between two positions on a ring of length `n`.
+#[inline]
+fn ring_dist(a: usize, b: usize, n: usize) -> usize {
+    let d = a.abs_diff(b);
+    d.min(n - d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coords_roundtrip() {
+        let t = Torus3d::new(4, 3, 5);
+        for r in 0..t.len() {
+            let (x, y, z) = t.coords(r);
+            assert_eq!(t.rank(x, y, z), r);
+        }
+    }
+
+    #[test]
+    fn hop_distance_wraps() {
+        let t = Torus3d::new(8, 1, 1);
+        assert_eq!(t.hops(0, 1), 1);
+        assert_eq!(t.hops(0, 4), 4);
+        assert_eq!(t.hops(0, 7), 1); // wraps around the ring
+        assert_eq!(t.hops(0, 0), 0);
+    }
+
+    #[test]
+    fn hops_symmetric_and_triangle() {
+        let t = Torus3d::new(4, 4, 4);
+        for a in [0, 5, 17, 63] {
+            for b in [0, 3, 33, 62] {
+                assert_eq!(t.hops(a, b), t.hops(b, a));
+                for c in [1, 42] {
+                    assert!(t.hops(a, b) <= t.hops(a, c) + t.hops(c, b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn diameter_bounds_all_distances() {
+        let t = Torus3d::new(4, 6, 2);
+        let d = t.diameter();
+        for a in 0..t.len() {
+            assert!(t.hops(0, a) <= d);
+        }
+        // The diameter is attained.
+        let far = t.rank(2, 3, 1);
+        assert_eq!(t.hops(0, far), d);
+    }
+
+    #[test]
+    fn roughly_cubic_factorisations() {
+        assert_eq!(Torus3d::roughly_cubic(64), Torus3d::new(4, 4, 4));
+        assert_eq!(Torus3d::roughly_cubic(24).len(), 24);
+        assert_eq!(Torus3d::roughly_cubic(7).len(), 7); // prime -> ring-ish
+        assert_eq!(Torus3d::roughly_cubic(1).len(), 1);
+        // The paper's full-system grid is expressible directly:
+        let k_full = Torus3d::new(32, 54, 48);
+        assert_eq!(k_full.len(), 82944);
+    }
+}

@@ -1,0 +1,154 @@
+//! Launching an SPMD world of simulated ranks.
+
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+use crossbeam::channel::unbounded;
+
+use crate::comm::Comm;
+use crate::ctx::{Ctx, Message};
+use crate::netmodel::NetModel;
+use crate::topology::Torus3d;
+
+/// Builder for a simulated world: rank count, topology, network model.
+///
+/// ```
+/// use mpisim::{World, NetModel};
+///
+/// let sums = World::new(4).run(|ctx, world| {
+///     let me = vec![ctx.world_rank() as u64];
+///     let all = world.allreduce(ctx, me, |a, b| *a += *b);
+///     all[0]
+/// });
+/// assert_eq!(sums, vec![6, 6, 6, 6]);
+/// ```
+pub struct World {
+    n: usize,
+    topo: Torus3d,
+    net: NetModel,
+}
+
+impl World {
+    /// A world of `n` ranks on a roughly cubic torus with the
+    /// K-computer-like default network model.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "world needs at least one rank");
+        World {
+            n,
+            topo: Torus3d::roughly_cubic(n),
+            net: NetModel::default(),
+        }
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.n
+    }
+
+    /// Use an explicit torus shape (must hold exactly `n` ranks).
+    pub fn with_topology(mut self, topo: Torus3d) -> Self {
+        assert_eq!(topo.len(), self.n, "topology size must equal rank count");
+        self.topo = topo;
+        self
+    }
+
+    /// Use an explicit network cost model.
+    pub fn with_net(mut self, net: NetModel) -> Self {
+        self.net = net;
+        self
+    }
+
+    /// Run `f` on every rank (one host thread per rank) and collect the
+    /// per-rank return values in rank order. `f` receives the rank's
+    /// [`Ctx`] and the world communicator.
+    ///
+    /// Panics in any rank propagate (the world aborts), so test failures
+    /// inside ranks surface normally.
+    pub fn run<T, F>(self, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&mut Ctx, &Comm) -> T + Send + Sync,
+    {
+        let n = self.n;
+        let (senders, receivers): (Vec<_>, Vec<_>) = (0..n).map(|_| unbounded::<Message>()).unzip();
+        let senders = Arc::new(senders);
+        let comm_counter = Arc::new(AtomicU64::new(1)); // id 0 = world
+        let f = &f;
+
+        let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n);
+            for (rank, inbox) in receivers.into_iter().enumerate() {
+                let senders = Arc::clone(&senders);
+                let comm_counter = Arc::clone(&comm_counter);
+                let topo = self.topo;
+                let net = self.net;
+                handles.push(scope.spawn(move || {
+                    let mut ctx = Ctx {
+                        rank,
+                        size: n,
+                        inbox,
+                        pending: Vec::new(),
+                        outboxes: senders.as_ref().clone(),
+                        topo,
+                        net,
+                        vtime: 0.0,
+                        inject_free: 0.0,
+                        port_free: 0.0,
+                        comm_counter,
+                        stats: Default::default(),
+                    };
+                    let world = Comm::world(n, rank);
+                    f(&mut ctx, &world)
+                }));
+            }
+            for (rank, h) in handles.into_iter().enumerate() {
+                match h.join() {
+                    Ok(v) => out[rank] = Some(v),
+                    Err(p) => std::panic::resume_unwind(p),
+                }
+            }
+        });
+        out.into_iter().map(|v| v.expect("rank produced no value")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rank_world() {
+        let out = World::new(1).run(|ctx, world| {
+            assert_eq!(ctx.world_rank(), 0);
+            assert_eq!(world.size(), 1);
+            42
+        });
+        assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    fn ranks_see_their_ids() {
+        let out = World::new(6).run(|ctx, _| ctx.world_rank());
+        assert_eq!(out, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn compute_advances_vtime() {
+        let times = World::new(2).with_net(NetModel::free()).run(|ctx, _| {
+            ctx.compute(1.5);
+            ctx.vtime()
+        });
+        assert_eq!(times, vec![1.5, 1.5]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rank_panics_propagate() {
+        World::new(2).run(|ctx, _| {
+            if ctx.world_rank() == 1 {
+                panic!("boom");
+            }
+        });
+    }
+}

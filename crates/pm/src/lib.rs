@@ -1,0 +1,39 @@
+//! # greem-pm — the particle-mesh long-range gravity solver
+//!
+//! Implements the PM half of the TreePM split exactly as the paper's
+//! five-step cycle (§II-B):
+//!
+//! 1. **Density assignment** — each process assigns its particles' mass
+//!    to its *local mesh* (own domain plus ghost layers) with the TSC
+//!    scheme, "where a particle interacts with 27 grid points".
+//! 2. **Conversion to slabs** — the 3-D-distributed local meshes are
+//!    combined into the 1-D slab decomposition of the FFT processes,
+//!    either by one global `Alltoallv` ([`convert`], the straightforward
+//!    method) or by the paper's novel **relay mesh method** ([`relay`]):
+//!    a group-local `Alltoallv` followed by a `Reduce` across groups.
+//! 3. **FFT + Green's function** — the slab FFT solves the Poisson
+//!    equation with the S2-shaped long-range Green's function
+//!    ([`greens`]).
+//! 4. **Conversion back** — slab potential to each process's ghosted
+//!    local mesh (again direct or relayed, with `Bcast` replacing
+//!    `Reduce` on the way out).
+//! 5. **Differencing + interpolation** — the 4-point finite difference
+//!    gives accelerations on the local mesh, interpolated to particle
+//!    positions with TSC.
+//!
+//! [`serial::PmSolver`] runs the whole cycle in one address space (the
+//! reference and single-rank path); [`parallel::ParallelPm`] runs it over
+//! `mpisim` with per-phase timings matching the paper's Table I rows.
+
+pub mod convert;
+pub mod greens;
+pub mod layout;
+pub mod parallel;
+pub mod relay;
+pub mod serial;
+pub mod tsc;
+
+pub use greens::GreensFn;
+pub use layout::{CellBox, LocalMesh};
+pub use parallel::{ParallelPm, ParallelPmConfig, PmPhaseTimes};
+pub use serial::{PmParams, PmResult, PmSolver};

@@ -1,0 +1,361 @@
+//! The complete PM cycle in one address space.
+//!
+//! Reference implementation of the five-step pipeline (§II-B) without
+//! the distributed-mesh conversions: assignment → FFT → Green's function
+//! → inverse FFT → 4-point differencing → interpolation. The parallel
+//! driver must agree with this to rounding-level accuracy, and the
+//! single-rank TreePM path in `greem` (core) uses it directly.
+
+use greem_fft::{fft3d, fft3d_inverse, Fft1d, Mesh3};
+use greem_math::Vec3;
+
+use crate::greens::GreensFn;
+use crate::tsc::tsc_weights;
+
+/// PM configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct PmParams {
+    /// Mesh cells per side (power of two).
+    pub n_mesh: usize,
+    /// Short-range cutoff radius in box units; the Green's function
+    /// carries the matching S2² long-range filter.
+    pub r_cut: f64,
+    /// Deconvolve the TSC window (assignment + interpolation).
+    pub deconvolve: bool,
+}
+
+impl PmParams {
+    /// The paper's standard configuration for a mesh of side `n`:
+    /// `r_cut = 3/n` (§III-A), deconvolution on.
+    pub fn standard(n_mesh: usize) -> Self {
+        PmParams {
+            n_mesh,
+            r_cut: 3.0 / n_mesh as f64,
+            deconvolve: true,
+        }
+    }
+}
+
+/// Long-range accelerations and potentials at the particle positions.
+#[derive(Debug, Clone)]
+pub struct PmResult {
+    /// PM acceleration per particle.
+    pub accel: Vec<Vec3>,
+    /// PM potential per particle (G = 1 units; diagnostics).
+    pub potential: Vec<f64>,
+}
+
+/// Serial PM solver: owns the FFT plan and Green's function tables.
+///
+/// ```
+/// use greem_math::Vec3;
+/// use greem_pm::{PmParams, PmSolver};
+///
+/// let solver = PmSolver::new(PmParams::standard(16)); // r_cut = 3 cells
+/// // Two particles far beyond r_cut: the PM force carries the whole
+/// // interaction (≈ Newtonian at this separation).
+/// let pos = vec![Vec3::new(0.35, 0.5, 0.5), Vec3::new(0.65, 0.5, 0.5)];
+/// let res = solver.solve(&pos, &[1.0, 1.0]);
+/// assert!(res.accel[0].x > 0.0);
+/// assert!((res.accel[0] + res.accel[1]).norm() < 1e-9 * res.accel[0].norm());
+/// ```
+pub struct PmSolver {
+    params: PmParams,
+    greens: GreensFn,
+    plan: Fft1d,
+}
+
+impl PmSolver {
+    /// Build a solver for the given parameters.
+    pub fn new(params: PmParams) -> Self {
+        assert!(params.n_mesh.is_power_of_two(), "PM mesh must be a power of two");
+        PmSolver {
+            greens: GreensFn::new(params.n_mesh, params.r_cut, params.deconvolve),
+            plan: Fft1d::new(params.n_mesh),
+            params,
+        }
+    }
+
+    /// The configuration.
+    pub fn params(&self) -> &PmParams {
+        &self.params
+    }
+
+    /// TSC mass-density assignment onto the full periodic mesh:
+    /// `ρ[c] = Σ_p m_p·W(c − x_p) / h³`. Positions must be in `[0,1)`.
+    pub fn assign_density(&self, pos: &[Vec3], mass: &[f64]) -> Vec<f64> {
+        let n = self.params.n_mesh;
+        let n_i = n as i64;
+        let vol_inv = (n * n * n) as f64; // 1/h³
+        let mut rho = vec![0.0; n * n * n];
+        for (p, &m) in pos.iter().zip(mass) {
+            let ([ix, iy, iz], [wx, wy, wz]) = tsc_weights([p.x, p.y, p.z], n);
+            let amp = m * vol_inv;
+            for a in 0..3 {
+                let cx = (ix + a as i64).rem_euclid(n_i) as usize;
+                for b in 0..3 {
+                    let cy = (iy + b as i64).rem_euclid(n_i) as usize;
+                    let wxy = wx[a] * wy[b] * amp;
+                    let row = (cx * n + cy) * n;
+                    for c in 0..3 {
+                        let cz = (iz + c as i64).rem_euclid(n_i) as usize;
+                        rho[row + cz] += wxy * wz[c];
+                    }
+                }
+            }
+        }
+        rho
+    }
+
+    /// Solve the filtered Poisson equation on the mesh: density in,
+    /// long-range potential out.
+    pub fn potential_mesh(&self, density: &[f64]) -> Vec<f64> {
+        let n = self.params.n_mesh;
+        assert_eq!(density.len(), n * n * n);
+        let mut mesh = Mesh3::from_real(n, density);
+        fft3d(&mut mesh, &self.plan);
+        let greens = &self.greens;
+        mesh.map_modes(|ix, iy, iz, v| v * greens.eval(ix, iy, iz));
+        fft3d_inverse(&mut mesh, &self.plan);
+        mesh.to_real()
+    }
+
+    /// 4-point finite-difference accelerations from the potential mesh:
+    /// `a = −∇φ`, `∂φ/∂x ≈ (−φ₊₂ + 8φ₊₁ − 8φ₋₁ + φ₋₂)/(12h)` (§II-B
+    /// step 5). Returns the three component meshes.
+    pub fn accel_meshes(&self, phi: &[f64]) -> [Vec<f64>; 3] {
+        let n = self.params.n_mesh;
+        assert_eq!(phi.len(), n * n * n);
+        let inv12h = n as f64 / 12.0;
+        let idx = |x: usize, y: usize, z: usize| (x * n + y) * n + z;
+        let mut out = [vec![0.0; n * n * n], vec![0.0; n * n * n], vec![0.0; n * n * n]];
+        let wrap = |i: usize, d: i64| ((i as i64 + d).rem_euclid(n as i64)) as usize;
+        for x in 0..n {
+            for y in 0..n {
+                for z in 0..n {
+                    let i = idx(x, y, z);
+                    let dx = -phi[idx(wrap(x, 2), y, z)] + 8.0 * phi[idx(wrap(x, 1), y, z)]
+                        - 8.0 * phi[idx(wrap(x, -1), y, z)]
+                        + phi[idx(wrap(x, -2), y, z)];
+                    let dy = -phi[idx(x, wrap(y, 2), z)] + 8.0 * phi[idx(x, wrap(y, 1), z)]
+                        - 8.0 * phi[idx(x, wrap(y, -1), z)]
+                        + phi[idx(x, wrap(y, -2), z)];
+                    let dz = -phi[idx(x, y, wrap(z, 2))] + 8.0 * phi[idx(x, y, wrap(z, 1))]
+                        - 8.0 * phi[idx(x, y, wrap(z, -1))]
+                        + phi[idx(x, y, wrap(z, -2))];
+                    out[0][i] = -dx * inv12h;
+                    out[1][i] = -dy * inv12h;
+                    out[2][i] = -dz * inv12h;
+                }
+            }
+        }
+        out
+    }
+
+    /// TSC interpolation of a mesh field to particle positions.
+    pub fn interpolate(&self, field: &[f64], pos: &[Vec3]) -> Vec<f64> {
+        let n = self.params.n_mesh;
+        let n_i = n as i64;
+        pos.iter()
+            .map(|p| {
+                let ([ix, iy, iz], [wx, wy, wz]) = tsc_weights([p.x, p.y, p.z], n);
+                let mut v = 0.0;
+                for a in 0..3 {
+                    let cx = (ix + a as i64).rem_euclid(n_i) as usize;
+                    for b in 0..3 {
+                        let cy = (iy + b as i64).rem_euclid(n_i) as usize;
+                        let row = (cx * n + cy) * n;
+                        let wxy = wx[a] * wy[b];
+                        for c in 0..3 {
+                            let cz = (iz + c as i64).rem_euclid(n_i) as usize;
+                            v += wxy * wz[c] * field[row + cz];
+                        }
+                    }
+                }
+                v
+            })
+            .collect()
+    }
+
+    /// The full PM cycle: long-range accelerations (and potentials) at
+    /// the particle positions.
+    pub fn solve(&self, pos: &[Vec3], mass: &[f64]) -> PmResult {
+        assert_eq!(pos.len(), mass.len());
+        let rho = self.assign_density(pos, mass);
+        let phi = self.potential_mesh(&rho);
+        let acc = self.accel_meshes(&phi);
+        let ax = self.interpolate(&acc[0], pos);
+        let ay = self.interpolate(&acc[1], pos);
+        let az = self.interpolate(&acc[2], pos);
+        let potential = self.interpolate(&phi, pos);
+        let accel = ax
+            .into_iter()
+            .zip(ay)
+            .zip(az)
+            .map(|((x, y), z)| Vec3::new(x, y, z))
+            .collect();
+        PmResult { accel, potential }
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use greem_math::cutoff::g_long;
+
+    fn rand_pos(n: usize, seed: u64) -> Vec<Vec3> {
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n).map(|_| Vec3::new(next(), next(), next())).collect()
+    }
+
+    #[test]
+    fn assignment_conserves_mass() {
+        let solver = PmSolver::new(PmParams::standard(16));
+        let pos = rand_pos(100, 3);
+        let mass: Vec<f64> = (0..100).map(|i| 0.5 + (i % 7) as f64 * 0.1).collect();
+        let rho = solver.assign_density(&pos, &mass);
+        let total: f64 = rho.iter().sum::<f64>() / (16f64 * 16.0 * 16.0).powi(1) * 1.0;
+        let cell_vol = 1.0 / (16f64).powi(3);
+        let got: f64 = rho.iter().sum::<f64>() * cell_vol;
+        let want: f64 = mass.iter().sum();
+        let _ = total;
+        assert!((got - want).abs() < 1e-10 * want, "mass {got} vs {want}");
+    }
+
+    #[test]
+    fn uniform_distribution_gives_zero_force() {
+        // A particle on every mesh point = exactly uniform density →
+        // zero PM force everywhere.
+        let n = 8;
+        let solver = PmSolver::new(PmParams::standard(n));
+        let mut pos = Vec::new();
+        for x in 0..n {
+            for y in 0..n {
+                for z in 0..n {
+                    pos.push(Vec3::new(
+                        x as f64 / n as f64,
+                        y as f64 / n as f64,
+                        z as f64 / n as f64,
+                    ));
+                }
+            }
+        }
+        let mass = vec![1.0 / pos.len() as f64; pos.len()];
+        let res = solver.solve(&pos, &mass);
+        for a in &res.accel {
+            assert!(a.norm() < 1e-10, "uniform lattice force {a:?}");
+        }
+    }
+
+    #[test]
+    fn momentum_is_conserved() {
+        let solver = PmSolver::new(PmParams::standard(32));
+        let pos = rand_pos(200, 5);
+        let mass: Vec<f64> = (0..200).map(|i| 1.0 + (i % 3) as f64).collect();
+        let res = solver.solve(&pos, &mass);
+        let ptot: Vec3 = res
+            .accel
+            .iter()
+            .zip(&mass)
+            .map(|(a, &m)| *a * m)
+            .sum();
+        let scale: f64 = res
+            .accel
+            .iter()
+            .zip(&mass)
+            .map(|(a, &m)| (*a * m).norm())
+            .sum();
+        assert!(
+            ptot.norm() < 1e-8 * scale.max(1e-30),
+            "momentum {ptot:?} vs scale {scale}"
+        );
+    }
+
+    #[test]
+    fn pair_force_is_antisymmetric() {
+        let solver = PmSolver::new(PmParams {
+            n_mesh: 32,
+            r_cut: 3.0 / 32.0,
+            deconvolve: true,
+        });
+        let pos = vec![Vec3::new(0.3, 0.5, 0.5), Vec3::new(0.62, 0.5, 0.5)];
+        let mass = vec![1.0, 1.0];
+        let res = solver.solve(&pos, &mass);
+        assert!(
+            (res.accel[0] + res.accel[1]).norm() < 1e-9 * res.accel[0].norm(),
+            "{:?} vs {:?}",
+            res.accel[0],
+            res.accel[1]
+        );
+        // Attraction along +x for particle 0.
+        assert!(res.accel[0].x > 0.0);
+        assert!(res.accel[0].y.abs() < 1e-6 * res.accel[0].x);
+    }
+
+    #[test]
+    fn pair_beyond_cutoff_is_near_newtonian() {
+        // r ≫ r_cut: the PM force carries the whole interaction; at
+        // r = 0.2 the periodic-image correction is ~1 %, so compare to
+        // 1/r² loosely.
+        let n = 64;
+        let solver = PmSolver::new(PmParams::standard(n)); // r_cut ≈ 0.047
+        let r = 0.2;
+        let pos = vec![Vec3::new(0.4, 0.5, 0.5), Vec3::new(0.4 + r, 0.5, 0.5)];
+        let mass = vec![1.0, 1.0];
+        let res = solver.solve(&pos, &mass);
+        let f = res.accel[0].x;
+        let newton = 1.0 / (r * r);
+        assert!(
+            (f - newton).abs() < 0.05 * newton,
+            "PM force {f} vs Newton {newton}"
+        );
+    }
+
+    #[test]
+    fn pm_plus_pp_completes_newton_inside_cutoff() {
+        // r < r_cut: PM supplies (1−g)·Newton; adding g·Newton must give
+        // ~the full force. Use a fat cutoff so the mesh resolves it well.
+        let n = 32;
+        let r_cut = 8.0 / n as f64; // 0.25
+        let solver = PmSolver::new(PmParams {
+            n_mesh: n,
+            r_cut,
+            deconvolve: true,
+        });
+        for frac in [0.4, 0.6, 0.8] {
+            let r = frac * r_cut;
+            let pos = vec![Vec3::new(0.3, 0.5, 0.5), Vec3::new(0.3 + r, 0.5, 0.5)];
+            let mass = vec![1.0, 1.0];
+            let res = solver.solve(&pos, &mass);
+            let f_pm = res.accel[0].x;
+            let f_pp = greem_math::g_p3m(2.0 * r / r_cut) / (r * r);
+            let newton = 1.0 / (r * r);
+            let total = f_pm + f_pp;
+            assert!(
+                (total - newton).abs() < 0.05 * newton,
+                "r={r}: PM {f_pm} + PP {f_pp} = {total} vs {newton}"
+            );
+            // And the PM part alone matches its complement closely.
+            let want_pm = g_long(2.0 * r / r_cut) / (r * r);
+            assert!(
+                (f_pm - want_pm).abs() < 0.1 * newton,
+                "r={r}: PM {f_pm} vs complement {want_pm}"
+            );
+        }
+    }
+
+    #[test]
+    fn potential_is_negative_near_mass() {
+        let solver = PmSolver::new(PmParams::standard(32));
+        let pos = vec![Vec3::splat(0.5), Vec3::new(0.5, 0.5, 0.7)];
+        let mass = vec![1.0, 1e-9];
+        let res = solver.solve(&pos, &mass);
+        // Probe particle sits in the heavy particle's potential well.
+        assert!(res.potential[1] < 0.0);
+    }
+}

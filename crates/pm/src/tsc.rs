@@ -1,0 +1,108 @@
+//! TSC (Triangular-Shaped Cloud) assignment and interpolation weights.
+//!
+//! TSC is the quadratic B-spline: a particle's mass spreads over the
+//! 3 nearest grid points per axis (27 in 3-D, §II-B step 1), with weights
+//!
+//! ```text
+//! w₀  = 3/4 − d²            (the nearest point, |d| ≤ 1/2)
+//! w±₁ = (1/2 ∓ d)²/2        (its neighbours)
+//! ```
+//!
+//! where `d` is the particle's offset from the nearest grid point in
+//! cell units. The weights are a partition of unity (mass is conserved
+//! exactly) and reproduce linear fields exactly under interpolation.
+//!
+//! Grid convention: mesh point `i` sits at coordinate `i·h`, `h = 1/n`,
+//! on the periodic unit box.
+
+/// The three per-axis TSC weights and the index of the leftmost of the
+/// three grid points, for a coordinate `x` (box units) on an `n`-mesh.
+/// The returned index may be negative or ≥ n; callers wrap it (periodic)
+/// or store into a ghosted local mesh.
+#[inline]
+pub fn tsc_axis(x: f64, n: usize) -> (i64, [f64; 3]) {
+    let u = x * n as f64;
+    let c = u.round(); // nearest grid point
+    let d = u - c; // offset in cell units, |d| <= 1/2
+    let w_m = 0.5 * (0.5 - d) * (0.5 - d);
+    let w_0 = 0.75 - d * d;
+    let w_p = 0.5 * (0.5 + d) * (0.5 + d);
+    (c as i64 - 1, [w_m, w_0, w_p])
+}
+
+/// The 27 cell/weight pairs of a particle: per-axis leftmost indices and
+/// weights. Kept as per-axis data; callers combine in their loops.
+#[inline]
+pub fn tsc_weights(pos: [f64; 3], n: usize) -> ([i64; 3], [[f64; 3]; 3]) {
+    let (ix, wx) = tsc_axis(pos[0], n);
+    let (iy, wy) = tsc_axis(pos[1], n);
+    let (iz, wz) = tsc_axis(pos[2], n);
+    ([ix, iy, iz], [wx, wy, wz])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_are_partition_of_unity() {
+        for n in [8usize, 32] {
+            for i in 0..100 {
+                let x = i as f64 / 100.0;
+                let (_, w) = tsc_axis(x, n);
+                let s: f64 = w.iter().sum();
+                assert!((s - 1.0).abs() < 1e-14, "x={x}: sum {s}");
+                assert!(w.iter().all(|&v| v >= 0.0), "negative weight at {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn particle_on_grid_point_is_centred() {
+        let n = 16;
+        let (i0, w) = tsc_axis(5.0 / 16.0, n);
+        assert_eq!(i0, 4);
+        assert!((w[1] - 0.75).abs() < 1e-14);
+        assert!((w[0] - 0.125).abs() < 1e-14);
+        assert!((w[2] - 0.125).abs() < 1e-14);
+    }
+
+    #[test]
+    fn weights_reproduce_linear_functions() {
+        // Σ w_k · (i0+k) == u: TSC interpolation is exact for linear
+        // fields (first-moment preservation).
+        let n = 32;
+        for j in 0..50 {
+            let x = 0.013 + j as f64 * 0.019;
+            let x = x - x.floor();
+            let (i0, w) = tsc_axis(x, n);
+            let mean: f64 = (0..3).map(|k| w[k] * (i0 + k as i64) as f64).sum();
+            assert!((mean - x * n as f64).abs() < 1e-11, "x={x}");
+        }
+    }
+
+    #[test]
+    fn near_boundary_indices_spill() {
+        let n = 8;
+        let (i0, _) = tsc_axis(0.001, n);
+        assert_eq!(i0, -1, "left spill must be representable");
+        let (i0, _) = tsc_axis(0.999, n);
+        assert_eq!(i0, 7, "right spill reaches cell n");
+    }
+
+    #[test]
+    fn weights_continuous_across_cells() {
+        // The TSC kernel is C¹: weights vary continuously as a particle
+        // crosses a half-cell boundary (where the nearest point flips).
+        let n = 16;
+        let eps = 1e-9;
+        let x = (3.0 + 0.5) / 16.0; // exactly between points 3 and 4
+        let (_ia, wa) = tsc_axis(x - eps, n);
+        let (_ib, wb) = tsc_axis(x + eps, n);
+        // Left evaluation: centre=3, d→1/2: w=[0, .75-.25, .5]; right:
+        // centre=4, d→−1/2: w=[.5, .5, 0] — same physical weights.
+        assert!((wa[1] - wb[0]).abs() < 1e-6);
+        assert!((wa[2] - wb[1]).abs() < 1e-6);
+        assert!(wb[2] < 1e-6 && wa[0] < 1e-6);
+    }
+}

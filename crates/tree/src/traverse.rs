@@ -1,0 +1,636 @@
+//! Barnes' modified (group) tree traversal building shared interaction
+//! lists, with the TreePM cutoff pruning.
+
+use greem_math::{Aabb, Vec3};
+
+use crate::build::Octree;
+
+/// The multipole order of accepted nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Multipole {
+    /// Centre-of-mass only — GreeM's production choice (§II: small θ
+    /// makes the monopole sufficient).
+    #[default]
+    Monopole,
+    /// Monopole + quadrupole via the pseudo-particle method: each
+    /// accepted node contributes four point masses reproducing its
+    /// second-moment tensor (see [`crate::multipole`]). Costs 4× the
+    /// kernel work per accepted node but permits a much larger θ at
+    /// equal accuracy — the ablation the design document calls for.
+    PseudoParticleQuad,
+}
+
+/// Traversal parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TraverseParams {
+    /// Opening angle θ: a node of side ℓ at distance d is accepted as a
+    /// multipole when `ℓ < θ·d`. θ = 0 forces full direct summation.
+    pub theta: f64,
+    /// Target group size ⟨Ni⟩: groups are the maximal tree nodes holding
+    /// at most this many particles (paper: ~100 on K, ~500 on GPUs).
+    pub group_size: usize,
+    /// Short-range cutoff: nodes entirely farther than `r_cut` from the
+    /// group are skipped (their `g_P3M` force is identically zero).
+    /// `None` disables pruning (pure-tree mode).
+    pub r_cut: Option<f64>,
+    /// Minimum-image geometry on the unit torus (periodic boundary).
+    /// Requires `r_cut` plus the group extent to stay well under half
+    /// the box, which the paper's `r_cut = 3/N_PM^(1/3)` guarantees.
+    pub periodic: bool,
+    /// Multipole order of accepted nodes.
+    pub multipole: Multipole,
+}
+
+impl Default for TraverseParams {
+    fn default() -> Self {
+        TraverseParams {
+            theta: 0.5,
+            group_size: 100,
+            r_cut: None,
+            periodic: true,
+            multipole: Multipole::Monopole,
+        }
+    }
+}
+
+/// One entry of a group's interaction list: a source position (already
+/// shifted to the group's periodic image) and its mass. Either a real
+/// particle or an accepted node's centre of mass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SourceEntry {
+    pub pos: Vec3,
+    pub mass: f64,
+}
+
+/// A particle group sharing one interaction list: a contiguous range of
+/// the tree's Morton-sorted particle slots. Usually a tree node's range;
+/// degenerates to single particles when a periodic group would otherwise
+/// be too large for an unambiguous minimum image (sparse trees).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Group {
+    /// First sorted particle slot.
+    pub first: u32,
+    /// Number of particles.
+    pub count: u32,
+}
+
+/// Walk statistics in the units the paper reports: ⟨Ni⟩ = mean group
+/// size, ⟨Nj⟩ = mean interaction-list length, and the total pairwise
+/// interaction count Σ Ni·Nj whose product with 51 flops gives the flop
+/// count.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WalkStats {
+    pub n_groups: u64,
+    pub sum_ni: u64,
+    pub sum_nj: u64,
+    /// Σ over groups of Ni·Nj.
+    pub interactions: u64,
+    /// Particle entries across all lists.
+    pub particle_entries: u64,
+    /// Multipole (node) entries across all lists.
+    pub node_entries: u64,
+}
+
+impl WalkStats {
+    /// Mean group size ⟨Ni⟩.
+    pub fn mean_ni(&self) -> f64 {
+        if self.n_groups == 0 {
+            0.0
+        } else {
+            self.sum_ni as f64 / self.n_groups as f64
+        }
+    }
+
+    /// Mean interaction list length ⟨Nj⟩.
+    pub fn mean_nj(&self) -> f64 {
+        if self.n_groups == 0 {
+            0.0
+        } else {
+            self.sum_nj as f64 / self.n_groups as f64
+        }
+    }
+
+    /// Merge statistics from another walk (e.g. another rank).
+    pub fn merge(&mut self, o: &WalkStats) {
+        self.n_groups += o.n_groups;
+        self.sum_ni += o.sum_ni;
+        self.sum_nj += o.sum_nj;
+        self.interactions += o.interactions;
+        self.particle_entries += o.particle_entries;
+        self.node_entries += o.node_entries;
+    }
+}
+
+/// A group walk over an octree: finds the particle groups and builds each
+/// group's shared interaction list.
+pub struct GroupWalk<'t> {
+    tree: &'t Octree,
+    params: TraverseParams,
+}
+
+impl<'t> GroupWalk<'t> {
+    /// Bind a walk configuration to a tree.
+    pub fn new(tree: &'t Octree, params: TraverseParams) -> Self {
+        assert!(params.theta >= 0.0, "theta must be non-negative");
+        assert!(params.group_size >= 1);
+        GroupWalk { tree, params }
+    }
+
+    /// The largest periodic group cell side for which the group-centre
+    /// minimum image is provably the per-target minimum image for every
+    /// in-cutoff source: `(half-diagonal of the group box) + r_cut` must
+    /// stay below half the box, i.e. `side < (0.5 − r_cut)·2/√3`.
+    fn max_group_side(&self) -> f64 {
+        if !self.params.periodic {
+            return f64::INFINITY;
+        }
+        match self.params.r_cut {
+            Some(rc) => {
+                assert!(
+                    rc < 0.5,
+                    "periodic traversal needs r_cut < box/2 (got {rc})"
+                );
+                (0.5 - rc) * 2.0 / 3f64.sqrt()
+            }
+            // Without a cutoff the distant periodic images are handled
+            // approximately anyway (a pure periodic tree needs Ewald
+            // sums); keep groups to a quarter box.
+            None => 0.25,
+        }
+    }
+
+    /// The particle groups: maximal tree-node ranges with
+    /// `count ≤ group_size` whose cells are small enough for an
+    /// unambiguous periodic image; oversized sparse leaves degenerate to
+    /// per-particle groups.
+    pub fn groups(&self) -> Vec<Group> {
+        let mut out = Vec::new();
+        if self.tree.is_empty() {
+            return out;
+        }
+        let max_side = self.max_group_side();
+        let mut stack = vec![0usize];
+        while let Some(i) = stack.pop() {
+            let node = &self.tree.nodes()[i];
+            let small = node.side() <= max_side;
+            if small && (node.count as usize <= self.params.group_size || node.is_leaf) {
+                out.push(Group {
+                    first: node.first,
+                    count: node.count,
+                });
+            } else if !node.is_leaf {
+                for &c in &node.child {
+                    if c >= 0 {
+                        stack.push(c as usize);
+                    }
+                }
+            } else {
+                // Oversized leaf (sparse region): one group per particle
+                // so each gets its own exact minimum image.
+                for p in node.first..node.first + node.count {
+                    out.push(Group { first: p, count: 1 });
+                }
+            }
+        }
+        out
+    }
+
+    /// Visit every group with its interaction list. The visitor receives
+    /// the group (a sorted-slot range) and the list; the list buffer is
+    /// reused between groups. Returns the aggregate walk statistics.
+    pub fn for_each_group(&self, mut visit: impl FnMut(Group, &[SourceEntry])) -> WalkStats {
+        let mut stats = WalkStats::default();
+        let mut list: Vec<SourceEntry> = Vec::new();
+        let mut stack: Vec<usize> = Vec::new();
+        for group in self.groups() {
+            list.clear();
+            let s = self.list_for_group(group, &mut stack, &mut list);
+            stats.merge(&s);
+            visit(group, &list);
+        }
+        stats
+    }
+
+    /// Build one group's interaction list into `list` (appended; callers
+    /// clear between groups). `stack` is a reusable scratch buffer.
+    /// Returns the statistics of this single group — this is the
+    /// re-entrant building block for data-parallel walks (`greem` runs
+    /// one group per rayon task, mirroring the paper's per-process
+    /// OpenMP threading of the traversal).
+    pub fn list_for_group(
+        &self,
+        group: Group,
+        stack: &mut Vec<usize>,
+        list: &mut Vec<SourceEntry>,
+    ) -> WalkStats {
+        let mut stats = WalkStats::default();
+        self.build_list(group, stack, list, &mut stats);
+        stats.n_groups = 1;
+        stats.sum_ni = group.count as u64;
+        stats.sum_nj = list.len() as u64;
+        stats.interactions = group.count as u64 * list.len() as u64;
+        stats
+    }
+
+    /// Build one group's interaction list.
+    fn build_list(
+        &self,
+        group: Group,
+        stack: &mut Vec<usize>,
+        list: &mut Vec<SourceEntry>,
+        stats: &mut WalkStats,
+    ) {
+        let nodes = self.tree.nodes();
+        // Tight bounding box of the group's particles.
+        let gbox = Aabb::from_points(
+            self.tree.pos()[group.first as usize..(group.first + group.count) as usize]
+                .iter()
+                .copied(),
+        );
+        let gcenter = gbox.center();
+        let theta2 = self.params.theta * self.params.theta;
+        let rc2 = self.params.r_cut.map(|r| r * r);
+
+        // Shift a source to the periodic image nearest the group centre
+        // by whole box lengths only: `p − round(p − c)` leaves unwrapped
+        // coordinates bit-exact (round = 0) and wrapped ones exactly
+        // `p ± 1` (exact in f64 for p ∈ [0,1]), so a group's own particle
+        // stays identical to its target copy and the kernel's self-pair
+        // mask fires.
+        let shift = |p: Vec3| -> Vec3 {
+            if self.params.periodic {
+                Vec3::new(
+                    p.x - (p.x - gcenter.x).round(),
+                    p.y - (p.y - gcenter.y).round(),
+                    p.z - (p.z - gcenter.z).round(),
+                )
+            } else {
+                p
+            }
+        };
+
+        stack.clear();
+        stack.push(0);
+        while let Some(ni) = stack.pop() {
+            let node = &nodes[ni];
+            let cell = node.cell();
+            let d2 = if self.params.periodic {
+                gbox.periodic_dist2_to_aabb(&cell)
+            } else {
+                gbox.dist2_to_aabb(&cell)
+            };
+            // Cutoff pruning: the whole cell is beyond the short-range
+            // force's support.
+            if let Some(rc2) = rc2 {
+                if d2 > rc2 {
+                    continue;
+                }
+            }
+            let side = node.side();
+            if d2 > 0.0 && side * side < theta2 * d2 {
+                // Well separated: accept the multipole.
+                match self.params.multipole {
+                    Multipole::Monopole => {
+                        list.push(SourceEntry {
+                            pos: shift(node.com),
+                            mass: node.mass,
+                        });
+                    }
+                    Multipole::PseudoParticleQuad => {
+                        if node.mass > 0.0 {
+                            for (p, m) in
+                                crate::multipole::pseudo_particles(node.com, node.mass, node.s_moment)
+                            {
+                                list.push(SourceEntry {
+                                    pos: shift(p),
+                                    mass: m,
+                                });
+                            }
+                        }
+                    }
+                }
+                stats.node_entries += 1;
+            } else if node.is_leaf {
+                // Direct: every particle of the leaf (including the
+                // group's own particles when ni is the group/ancestor —
+                // intra-group forces are computed directly, and the
+                // kernel's self-pair mask discards i == j).
+                for i in node.first..node.first + node.count {
+                    list.push(SourceEntry {
+                        pos: shift(self.tree.pos()[i as usize]),
+                        mass: self.tree.mass()[i as usize],
+                    });
+                }
+                stats.particle_entries += node.count as u64;
+            } else {
+                for &c in &node.child {
+                    if c >= 0 {
+                        stack.push(c as usize);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::TreeParams;
+    use greem_math::{min_image_vec, ForceSplit};
+
+    fn rand_positions(n: usize, seed: u64) -> Vec<Vec3> {
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n).map(|_| Vec3::new(next(), next(), next())).collect()
+    }
+
+    /// Brute-force periodic short-range accelerations (minimum image).
+    fn direct_pp(pos: &[Vec3], masses: &[f64], split: &ForceSplit) -> Vec<Vec3> {
+        let n = pos.len();
+        let mut acc = vec![Vec3::ZERO; n];
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let dr = min_image_vec(pos[j], pos[i]);
+                acc[i] += split.pp_accel(dr, masses[j]);
+            }
+        }
+        acc
+    }
+
+    /// Group-walk accelerations via the reference pair force.
+    fn walk_pp(
+        tree: &Octree,
+        n: usize,
+        params: TraverseParams,
+        split: &ForceSplit,
+    ) -> (Vec<Vec3>, WalkStats) {
+        let walk = GroupWalk::new(tree, params);
+        let mut acc = vec![Vec3::ZERO; n];
+        let stats = walk.for_each_group(|group, list| {
+            for slot in group.first..group.first + group.count {
+                let p = tree.pos()[slot as usize];
+                let mut a = Vec3::ZERO;
+                for s in list {
+                    a += split.pp_accel(s.pos - p, s.mass);
+                }
+                acc[tree.orig_index()[slot as usize] as usize] = a;
+            }
+        });
+        (acc, stats)
+    }
+
+    #[test]
+    fn theta_zero_is_exact() {
+        let n = 150;
+        let pos = rand_positions(n, 7);
+        let masses = vec![1.0 / n as f64; n];
+        let split = ForceSplit::new(0.3, 0.0);
+        let tree = Octree::build(&pos, &masses, Aabb::UNIT, TreeParams::default());
+        let params = TraverseParams {
+            theta: 0.0,
+            group_size: 16,
+            r_cut: Some(0.3),
+            periodic: true,
+            multipole: Default::default(),
+        };
+        let (acc, stats) = walk_pp(&tree, n, params, &split);
+        let want = direct_pp(&pos, &masses, &split);
+        for i in 0..n {
+            assert!(
+                (acc[i] - want[i]).norm() <= 1e-12 * want[i].norm().max(1e-12),
+                "i={i}: {:?} vs {:?}",
+                acc[i],
+                want[i]
+            );
+        }
+        assert_eq!(stats.node_entries, 0, "theta=0 must accept no multipoles");
+        assert_eq!(stats.sum_ni, n as u64);
+    }
+
+    #[test]
+    fn moderate_theta_is_accurate() {
+        let n = 300;
+        let pos = rand_positions(n, 11);
+        let masses = vec![1.0 / n as f64; n];
+        let split = ForceSplit::new(0.4, 0.0);
+        let tree = Octree::build(&pos, &masses, Aabb::UNIT, TreeParams::default());
+        let params = TraverseParams {
+            theta: 0.4,
+            group_size: 32,
+            r_cut: Some(0.4),
+            periodic: true,
+            multipole: Default::default(),
+        };
+        let (acc, stats) = walk_pp(&tree, n, params, &split);
+        let want = direct_pp(&pos, &masses, &split);
+        let mut rel = Vec::new();
+        for i in 0..n {
+            let w = want[i].norm();
+            if w > 1e-10 {
+                rel.push((acc[i] - want[i]).norm() / w);
+            }
+        }
+        let mean: f64 = rel.iter().sum::<f64>() / rel.len() as f64;
+        let max = rel.iter().cloned().fold(0.0, f64::max);
+        assert!(mean < 5e-3, "mean rel force error {mean}");
+        assert!(max < 0.1, "max rel force error {max}");
+        assert!(stats.node_entries > 0, "θ=0.4 should accept some multipoles");
+    }
+
+    #[test]
+    fn groups_partition_particles() {
+        let n = 500;
+        let pos = rand_positions(n, 13);
+        let masses = vec![1.0; n];
+        let tree = Octree::build(&pos, &masses, Aabb::UNIT, TreeParams::default());
+        let walk = GroupWalk::new(
+            &tree,
+            TraverseParams {
+                group_size: 40,
+                ..Default::default()
+            },
+        );
+        let groups = walk.groups();
+        let mut covered = vec![false; n];
+        for g in &groups {
+            for i in g.first..g.first + g.count {
+                assert!(!covered[i as usize], "slot {i} in two groups");
+                covered[i as usize] = true;
+            }
+        }
+        assert!(covered.iter().all(|&c| c), "groups must cover all particles");
+    }
+
+    #[test]
+    fn cutoff_pruning_shrinks_lists() {
+        let n = 400;
+        let pos = rand_positions(n, 17);
+        let masses = vec![1.0 / n as f64; n];
+        let tree = Octree::build(&pos, &masses, Aabb::UNIT, TreeParams::default());
+        let base = TraverseParams {
+            theta: 0.5,
+            group_size: 32,
+            r_cut: None,
+            periodic: true,
+            multipole: Default::default(),
+        };
+        let with_cut = TraverseParams {
+            r_cut: Some(0.15),
+            ..base
+        };
+        let s_all = GroupWalk::new(&tree, base).for_each_group(|_, _| {});
+        let s_cut = GroupWalk::new(&tree, with_cut).for_each_group(|_, _| {});
+        assert!(
+            s_cut.mean_nj() < 0.7 * s_all.mean_nj(),
+            "pruned ⟨Nj⟩ {} !< unpruned {}",
+            s_cut.mean_nj(),
+            s_all.mean_nj()
+        );
+    }
+
+    #[test]
+    fn periodic_wrap_forces() {
+        // Two particles hugging opposite faces interact through the
+        // boundary when periodic, and are pruned by the cutoff when not.
+        let pos = vec![Vec3::new(0.01, 0.5, 0.5), Vec3::new(0.99, 0.5, 0.5)];
+        let masses = vec![1.0, 1.0];
+        let split = ForceSplit::new(0.2, 0.0);
+        let tree = Octree::build(&pos, &masses, Aabb::UNIT, TreeParams::default());
+        let params = TraverseParams {
+            theta: 0.5,
+            group_size: 1,
+            r_cut: Some(0.2),
+            periodic: true,
+            multipole: Default::default(),
+        };
+        let (acc, _) = walk_pp(&tree, 2, params, &split);
+        // Attraction through the x boundary: particle 0 pulled to -x.
+        assert!(acc[0].x < -1.0, "wrap force missing: {:?}", acc[0]);
+        assert!((acc[0] + acc[1]).norm() < 1e-10 * acc[0].norm(), "momentum");
+        let open = TraverseParams {
+            periodic: false,
+            multipole: Default::default(),
+            ..params
+        };
+        let (acc_open, _) = walk_pp(&tree, 2, open, &split);
+        assert_eq!(acc_open[0], Vec3::ZERO, "open boundary must not wrap");
+    }
+
+    #[test]
+    fn group_size_tradeoff_matches_paper_shape() {
+        // Larger ⟨Ni⟩ → fewer groups and longer lists ⟨Nj⟩ (§II).
+        let n = 1000;
+        let pos = rand_positions(n, 23);
+        let masses = vec![1.0 / n as f64; n];
+        let tree = Octree::build(&pos, &masses, Aabb::UNIT, TreeParams::default());
+        let mut last_nj = 0.0;
+        let mut last_groups = u64::MAX;
+        for gs in [8usize, 32, 128] {
+            let stats = GroupWalk::new(
+                &tree,
+                TraverseParams {
+                    theta: 0.5,
+                    group_size: gs,
+                    r_cut: Some(0.2),
+                    periodic: true,
+                    multipole: Default::default(),
+                },
+            )
+            .for_each_group(|_, _| {});
+            assert!(stats.mean_nj() >= last_nj, "⟨Nj⟩ should grow with ⟨Ni⟩");
+            assert!(stats.n_groups <= last_groups, "groups should shrink");
+            last_nj = stats.mean_nj();
+            last_groups = stats.n_groups;
+        }
+    }
+
+    #[test]
+    fn quadrupole_beats_monopole_at_fixed_theta() {
+        // The pseudo-particle expansion must cut the force error at the
+        // same opening angle (it adds the quadrupole term the monopole
+        // walk drops).
+        let n = 400;
+        let pos = rand_positions(n, 29);
+        let masses = vec![1.0 / n as f64; n];
+        let split = ForceSplit::new(0.4, 0.0);
+        let tree = Octree::build(&pos, &masses, Aabb::UNIT, TreeParams::default());
+        let want = direct_pp(&pos, &masses, &split);
+        let rms = |multipole: Multipole| -> f64 {
+            let params = TraverseParams {
+                theta: 0.9,
+                group_size: 32,
+                r_cut: Some(0.4),
+                periodic: true,
+                multipole,
+            };
+            let (acc, stats) = walk_pp(&tree, n, params, &split);
+            assert!(stats.node_entries > 0, "θ=0.9 must accept nodes");
+            let mut e = 0.0;
+            let mut c = 0;
+            for i in 0..n {
+                let w = want[i].norm();
+                if w > 1e-10 {
+                    e += ((acc[i] - want[i]).norm() / w).powi(2);
+                    c += 1;
+                }
+            }
+            (e / c as f64).sqrt()
+        };
+        let mono = rms(Multipole::Monopole);
+        let quad = rms(Multipole::PseudoParticleQuad);
+        assert!(
+            quad < 0.5 * mono,
+            "quadrupole rms error {quad} should clearly beat monopole {mono}"
+        );
+    }
+
+    #[test]
+    fn quadrupole_lists_are_longer_but_same_node_count() {
+        let n = 300;
+        let pos = rand_positions(n, 31);
+        let masses = vec![1.0; n];
+        let tree = Octree::build(&pos, &masses, Aabb::UNIT, TreeParams::default());
+        let stats_of = |multipole: Multipole| {
+            GroupWalk::new(
+                &tree,
+                TraverseParams {
+                    theta: 0.7,
+                    group_size: 32,
+                    r_cut: Some(0.3),
+                    periodic: true,
+                    multipole,
+                },
+            )
+            .for_each_group(|_, _| {})
+        };
+        let mono = stats_of(Multipole::Monopole);
+        let quad = stats_of(Multipole::PseudoParticleQuad);
+        assert_eq!(mono.node_entries, quad.node_entries, "same accepted nodes");
+        // Each accepted node contributes 4 list entries instead of 1.
+        assert_eq!(
+            quad.sum_nj,
+            mono.sum_nj + 3 * mono.node_entries,
+            "pseudo-particle expansion factor"
+        );
+    }
+
+    #[test]
+    fn empty_and_single_particle() {
+        let tree = Octree::build(&[], &[], Aabb::UNIT, TreeParams::default());
+        let stats = GroupWalk::new(&tree, TraverseParams::default()).for_each_group(|_, _| {});
+        assert_eq!(stats.n_groups, 0);
+
+        let tree = Octree::build(&[Vec3::splat(0.5)], &[1.0], Aabb::UNIT, TreeParams::default());
+        let split = ForceSplit::new(0.2, 0.0);
+        let (acc, stats) = walk_pp(&tree, 1, TraverseParams::default(), &split);
+        assert_eq!(stats.n_groups, 1);
+        assert_eq!(acc[0], Vec3::ZERO);
+    }
+}

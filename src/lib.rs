@@ -1,0 +1,14 @@
+//! Umbrella crate for the greem-rs workspace: re-exports every member so
+//! that the top-level `tests/` and `examples/` can exercise the public API
+//! exactly as a downstream user would.
+pub use greem;
+pub use greem_baselines as baselines;
+pub use greem_cosmo as cosmo;
+pub use greem_domain as domain;
+pub use greem_fft as fft;
+pub use greem_kernels as kernels;
+pub use greem_math as math;
+pub use greem_perfmodel as perfmodel;
+pub use greem_pm as pm;
+pub use greem_tree as tree;
+pub use mpisim;

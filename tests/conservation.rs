@@ -1,0 +1,93 @@
+//! Integration: conservation laws of the multiple-stepsize integrator.
+
+use greem_repro::greem::{Body, Simulation, SimulationMode, TreePmConfig};
+use greem_repro::math::{wrap01, Vec3};
+
+fn jittered_grid(n_side: usize, jitter: f64, seed: u64) -> Vec<Body> {
+    let mut s = seed;
+    let mut next = move || {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    };
+    let h = 1.0 / n_side as f64;
+    let mut out = Vec::new();
+    for i in 0..n_side {
+        for j in 0..n_side {
+            for k in 0..n_side {
+                let p = Vec3::new(
+                    (i as f64 + 0.5 + jitter * next()) * h,
+                    (j as f64 + 0.5 + jitter * next()) * h,
+                    (k as f64 + 0.5 + jitter * next()) * h,
+                );
+                out.push(Body::at_rest(
+                    wrap01(p),
+                    1.0 / (n_side * n_side * n_side) as f64,
+                    out.len() as u64,
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn momentum_is_conserved_over_many_steps() {
+    let mut sim = Simulation::new(
+        TreePmConfig::standard(16),
+        jittered_grid(5, 0.45, 3),
+        SimulationMode::Static,
+    );
+    let p0 = sim.momentum();
+    for _ in 0..5 {
+        sim.step(1e-3);
+    }
+    let p1 = sim.momentum();
+    let scale: f64 = sim
+        .bodies()
+        .iter()
+        .map(|b| b.vel.norm() * b.mass)
+        .sum::<f64>()
+        .max(1e-30);
+    assert!(
+        (p1 - p0).norm() < 2e-3 * scale,
+        "momentum drift {:?} at impulse scale {scale:e}",
+        p1 - p0
+    );
+}
+
+#[test]
+fn energy_drift_is_bounded() {
+    // A symplectic KDK with split forces should hold total energy to a
+    // few per mille over a short run at these step sizes.
+    let mut sim = Simulation::new(
+        TreePmConfig::standard(16),
+        jittered_grid(5, 0.4, 9),
+        SimulationMode::Static,
+    );
+    let e0 = sim.energy();
+    for _ in 0..5 {
+        sim.step(5e-4);
+    }
+    let e1 = sim.energy();
+    let rel = ((e1 - e0) / e0).abs();
+    assert!(rel < 0.02, "energy drift {rel:.4} (E {e0} -> {e1})");
+}
+
+#[test]
+fn time_reversibility_of_the_integrator() {
+    // Leapfrog is time-reversible: step forward then (negated
+    // velocities) the same step returns near the start.
+    let bodies = jittered_grid(4, 0.4, 11);
+    let start: Vec<Vec3> = bodies.iter().map(|b| b.pos).collect();
+    let mut sim = Simulation::new(TreePmConfig::standard(16), bodies, SimulationMode::Static);
+    sim.step(1e-3);
+    for b in sim.bodies_mut() {
+        b.vel = -b.vel;
+    }
+    sim.reset_forces();
+    sim.step(1e-3);
+    for (b, s0) in sim.bodies().iter().zip(&start) {
+        let d = greem_repro::math::min_image_vec(b.pos, *s0).norm();
+        assert!(d < 1e-9, "particle {} strayed {d:e} after reversal", b.id);
+    }
+}

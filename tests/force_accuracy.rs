@@ -1,0 +1,88 @@
+//! Integration: the TreePM force split reproduces the exact periodic
+//! (Ewald) force — the accuracy contract of the whole method, exercised
+//! through the public API of the umbrella crate exactly as a downstream
+//! user would.
+
+use greem_repro::baselines::direct_periodic;
+use greem_repro::greem::{TreePm, TreePmConfig};
+use greem_repro::math::Vec3;
+
+fn clustered(n: usize, seed: u64) -> Vec<Vec3> {
+    let mut s = seed;
+    let mut next = move || {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (s >> 11) as f64 / (1u64 << 53) as f64
+    };
+    (0..n)
+        .map(|i| {
+            if i % 3 == 0 {
+                let base = Vec3::new(0.25, 0.6, 0.4);
+                greem_repro::math::wrap01(
+                    base + Vec3::new(next() - 0.5, next() - 0.5, next() - 0.5) * 0.05,
+                )
+            } else {
+                Vec3::new(next(), next(), next())
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn treepm_matches_ewald_to_percent_level() {
+    let n = 200;
+    let pos = clustered(n, 31);
+    let mass = vec![1.0 / n as f64; n];
+    let want = direct_periodic(&pos, &mass);
+
+    let cfg = TreePmConfig {
+        theta: 0.35,
+        eps: 0.0,
+        ..TreePmConfig::standard(16)
+    };
+    let solver = TreePm::new(cfg);
+    let res = solver.compute(&pos, &mass);
+
+    let mut errs: Vec<f64> = Vec::new();
+    for (a, w) in res.accel.iter().zip(&want) {
+        if w.norm() > 1e-9 {
+            errs.push((*a - *w).norm() / w.norm());
+        }
+    }
+    let rms = (errs.iter().map(|e| e * e).sum::<f64>() / errs.len() as f64).sqrt();
+    let max = errs.iter().cloned().fold(0.0, f64::max);
+    // Few-percent rms is the expected level for a 16³ mesh with TSC +
+    // 4-point differencing (finer meshes do better — see the accuracy
+    // experiment in greem-bench).
+    assert!(rms < 0.06, "rms TreePM-vs-Ewald force error {rms}");
+    assert!(max < 0.50, "max TreePM-vs-Ewald force error {max}");
+}
+
+#[test]
+fn error_improves_as_theta_tightens() {
+    let n = 150;
+    let pos = clustered(n, 7);
+    let mass = vec![1.0 / n as f64; n];
+    let want = direct_periodic(&pos, &mass);
+    let rms_at = |theta: f64| {
+        let cfg = TreePmConfig {
+            theta,
+            eps: 0.0,
+            ..TreePmConfig::standard(16)
+        };
+        let res = TreePm::new(cfg).compute(&pos, &mass);
+        let errs: Vec<f64> = res
+            .accel
+            .iter()
+            .zip(&want)
+            .filter(|(_, w)| w.norm() > 1e-9)
+            .map(|(a, w)| (*a - *w).norm() / w.norm())
+            .collect();
+        (errs.iter().map(|e| e * e).sum::<f64>() / errs.len() as f64).sqrt()
+    };
+    let loose = rms_at(1.0);
+    let tight = rms_at(0.2);
+    assert!(
+        tight <= loose + 1e-12,
+        "tight θ ({tight}) must not be worse than loose ({loose})"
+    );
+}

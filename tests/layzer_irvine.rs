@@ -1,0 +1,84 @@
+//! Integration: the Layzer-Irvine cosmic energy equation.
+//!
+//! In comoving coordinates energy is *not* conserved — it obeys
+//! `d[a(T+W)]/da = −T`, the Layzer-Irvine relation. Verifying the
+//! integrated form over a simulation is the classic global validation
+//! of a cosmological N-body code: it couples the integrator, the force
+//! normalisation (`G_eff`), the kick/drift factors and the potential
+//! diagnostics, and it fails loudly if any of them carries a wrong
+//! factor of `a`.
+
+use greem_repro::cosmo::{generate_ics, Cosmology, IcParams, PowerSpectrum};
+use greem_repro::greem::{Body, Simulation, SimulationMode, TreePmConfig};
+
+#[test]
+fn layzer_irvine_closure() {
+    let cosmo = Cosmology::wmap7();
+    let a0 = 1.0 / 201.0;
+    let n_side = 8usize;
+    let ics = generate_ics(&IcParams {
+        n_per_side: n_side,
+        a_start: a0,
+        spectrum: PowerSpectrum::microhalo(1.0, 2.0 * std::f64::consts::PI * 2.0),
+        cosmology: cosmo,
+        seed: 23,
+        normalize_rms_delta: Some(0.05),
+    });
+    let bodies: Vec<Body> = ics
+        .pos
+        .iter()
+        .zip(&ics.vel)
+        .enumerate()
+        .map(|(i, (p, v))| Body {
+            pos: *p,
+            vel: *v,
+            mass: ics.mass,
+            id: i as u64,
+        })
+        .collect();
+    let mut sim = Simulation::new(
+        TreePmConfig::standard(16),
+        bodies,
+        SimulationMode::Cosmological { cosmology: cosmo, a: a0 },
+    );
+
+    // March a from a0 to 4·a0 recording (a, T, W) each step.
+    let steps = 16;
+    let a_end = 4.0 * a0;
+    let ratio = (a_end / a0).powf(1.0 / steps as f64);
+    let mut a = a0;
+    let mut track: Vec<(f64, f64, f64)> = Vec::new();
+    let (t, w) = sim.layzer_irvine_energies().unwrap();
+    track.push((a, t, w));
+    for _ in 0..steps {
+        a *= ratio;
+        sim.step(a);
+        let (t, w) = sim.layzer_irvine_energies().unwrap();
+        track.push((a, t, w));
+    }
+
+    // Integrated relation: a(T+W)|end − a(T+W)|start = −∫ T da
+    // (trapezoid over the recorded track).
+    let (a_s, t_s, w_s) = track[0];
+    let (a_e, t_e, w_e) = *track.last().unwrap();
+    let lhs = a_e * (t_e + w_e) - a_s * (t_s + w_s);
+    let mut integral = 0.0;
+    for pair in track.windows(2) {
+        let (a1, t1, _) = pair[0];
+        let (a2, t2, _) = pair[1];
+        integral += 0.5 * (t1 + t2) * (a2 - a1);
+    }
+    let rhs = -integral;
+    // Scale for the tolerance: the energies involved.
+    let scale = (a_e * (t_e.abs() + w_e.abs())).max(integral.abs()).max(1e-30);
+    let closure = (lhs - rhs).abs() / scale;
+    assert!(
+        closure < 0.15,
+        "Layzer-Irvine closure error {closure:.3} \
+         (lhs {lhs:.3e}, rhs {rhs:.3e}; T: {t_s:.3e}->{t_e:.3e}, W: {w_s:.3e}->{w_e:.3e})"
+    );
+    // And the qualitative expectations: kinetic energy grows as
+    // structure forms, the potential deepens (W more negative).
+    assert!(t_e > t_s, "peculiar kinetic energy should grow");
+    assert!(w_e < w_s, "potential well should deepen");
+}

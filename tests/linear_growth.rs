@@ -1,0 +1,124 @@
+//! Integration: the full cosmological pipeline (ICs → comoving TreePM
+//! steps) reproduces linear-theory growth — velocities and density
+//! contrast scale with D(a) while the perturbation is small.
+//!
+//! This is the physics-level validation of the paper's scenario: the
+//! code must grow structure at the rate general relativity (well,
+//! Newtonian perturbation theory in an expanding background) demands.
+
+use greem_repro::cosmo::{generate_ics, Cosmology, IcParams, PowerSpectrum};
+use greem_repro::greem::{Body, Simulation, SimulationMode, TreePmConfig};
+use greem_repro::pm::{PmParams, PmSolver};
+
+fn tsc_delta_rms(bodies: &[Body], m: usize) -> f64 {
+    let solver = PmSolver::new(PmParams {
+        n_mesh: m,
+        r_cut: 3.0 / m as f64,
+        deconvolve: false,
+    });
+    let pos: Vec<_> = bodies.iter().map(|b| b.pos).collect();
+    let mass: Vec<_> = bodies.iter().map(|b| b.mass).collect();
+    let rho = solver.assign_density(&pos, &mass);
+    let mean = rho.iter().sum::<f64>() / rho.len() as f64;
+    (rho.iter().map(|r| ((r - mean) / mean).powi(2)).sum::<f64>() / rho.len() as f64).sqrt()
+}
+
+#[test]
+fn contrast_grows_with_the_linear_growth_factor() {
+    let cosmo = Cosmology::wmap7();
+    let a0 = 1.0 / 401.0;
+    let n_side = 8usize;
+    let ics = generate_ics(&IcParams {
+        n_per_side: n_side,
+        a_start: a0,
+        spectrum: PowerSpectrum::microhalo(1.0, 2.0 * std::f64::consts::PI * 2.0),
+        cosmology: cosmo,
+        seed: 3,
+        normalize_rms_delta: Some(0.02), // stay linear over the run
+    });
+    let bodies: Vec<Body> = ics
+        .pos
+        .iter()
+        .zip(&ics.vel)
+        .enumerate()
+        .map(|(i, (p, v))| Body {
+            pos: *p,
+            vel: *v,
+            mass: ics.mass,
+            id: i as u64,
+        })
+        .collect();
+    let d_start = tsc_delta_rms(&bodies, n_side);
+
+    let mut sim = Simulation::new(
+        TreePmConfig::standard(16),
+        bodies,
+        SimulationMode::Cosmological { cosmology: cosmo, a: a0 },
+    );
+    // Grow a by 4× in 12 log steps (δ stays ≤ 0.08: still linear).
+    let steps = 12;
+    let a_end = 4.0 * a0;
+    let ratio = (a_end / a0).powf(1.0 / steps as f64);
+    let mut a = a0;
+    for _ in 0..steps {
+        a *= ratio;
+        sim.step(a);
+    }
+    let d_end = tsc_delta_rms(sim.bodies(), n_side);
+    let measured = d_end / d_start;
+    let linear = cosmo.growth(a_end) / cosmo.growth(a0);
+    assert!(
+        (measured / linear - 1.0).abs() < 0.25,
+        "growth {measured:.3} vs linear theory {linear:.3}"
+    );
+}
+
+#[test]
+fn velocities_grow_as_a_to_three_halves_at_high_z() {
+    // p = a²·ẋ ∝ a²·f·H·D ∝ a^{3/2} in the matter era — a sharp check
+    // of the kick normalisation (a wrong G_eff or kick factor shows up
+    // immediately as a wrong exponent/amplitude).
+    let cosmo = Cosmology::wmap7();
+    let a0 = 1.0 / 401.0;
+    let ics = generate_ics(&IcParams {
+        n_per_side: 8,
+        a_start: a0,
+        spectrum: PowerSpectrum::microhalo(1.0, 2.0 * std::f64::consts::PI * 2.0),
+        cosmology: cosmo,
+        seed: 11,
+        normalize_rms_delta: Some(0.02),
+    });
+    let bodies: Vec<Body> = ics
+        .pos
+        .iter()
+        .zip(&ics.vel)
+        .enumerate()
+        .map(|(i, (p, v))| Body {
+            pos: *p,
+            vel: *v,
+            mass: ics.mass,
+            id: i as u64,
+        })
+        .collect();
+    let v0: f64 = bodies.iter().map(|b| b.vel.norm()).sum::<f64>();
+    let mut sim = Simulation::new(
+        TreePmConfig::standard(16),
+        bodies,
+        SimulationMode::Cosmological { cosmology: cosmo, a: a0 },
+    );
+    let steps = 10;
+    let a_end = 3.0 * a0;
+    let ratio = (a_end / a0).powf(1.0 / steps as f64);
+    let mut a = a0;
+    for _ in 0..steps {
+        a *= ratio;
+        sim.step(a);
+    }
+    let v1: f64 = sim.bodies().iter().map(|b| b.vel.norm()).sum::<f64>();
+    let measured = v1 / v0;
+    let expected = (a_end / a0).powf(1.5);
+    assert!(
+        (measured / expected - 1.0).abs() < 0.15,
+        "momentum growth {measured:.3} vs a^(3/2) = {expected:.3}"
+    );
+}

@@ -54,7 +54,11 @@ mod tests {
         let pos: Vec<Vec3> = (0..20)
             .map(|i| {
                 let t = i as f64 * 0.37;
-                Vec3::new(t.sin() * 0.3 + 0.5, t.cos() * 0.3 + 0.5, (t * 0.7).sin() * 0.3 + 0.5)
+                Vec3::new(
+                    t.sin() * 0.3 + 0.5,
+                    t.cos() * 0.3 + 0.5,
+                    (t * 0.7).sin() * 0.3 + 0.5,
+                )
             })
             .collect();
         let mass: Vec<f64> = (0..20).map(|i| 1.0 + (i % 4) as f64).collect();

@@ -185,7 +185,10 @@ mod tests {
         let got = table.accel_all(&pos, &mass);
         let want = Ewald::new().accel_all(&pos, &mass);
         for (g, w) in got.iter().zip(&want) {
-            assert!((*g - *w).norm() < 5e-3 * w.norm().max(1e-9), "{g:?} vs {w:?}");
+            assert!(
+                (*g - *w).norm() < 5e-3 * w.norm().max(1e-9),
+                "{g:?} vs {w:?}"
+            );
         }
     }
 }

@@ -142,14 +142,7 @@ mod tests {
     use super::*;
     use greem_math::min_image_vec;
 
-    fn rand_pos(n: usize, seed: u64) -> Vec<Vec3> {
-        let mut s = seed;
-        let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            (s >> 11) as f64 / (1u64 << 53) as f64
-        };
-        (0..n).map(|_| Vec3::new(next(), next(), next())).collect()
-    }
+    use greem_math::testutil::rand_positions as rand_pos;
 
     #[test]
     fn matches_brute_force_cutoff_sum() {

@@ -36,8 +36,9 @@ fn bench_slab(c: &mut Criterion) {
                 let out = World::new(p).with_net(NetModel::free()).run(|ctx, world| {
                     let fft = SlabFft::new(n, world.clone());
                     let (_, nxl) = fft.my_planes();
-                    let slab: Vec<Cpx> =
-                        (0..nxl * n * n).map(|i| Cpx::real((i % 17) as f64)).collect();
+                    let slab: Vec<Cpx> = (0..nxl * n * n)
+                        .map(|i| Cpx::real((i % 17) as f64))
+                        .collect();
                     let k = fft.forward(ctx, slab);
                     k[0]
                 });

@@ -4,16 +4,16 @@
 //! cutoff polynomial's cost.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use greem_kernels::{
-    newton_accel_blocked, pp_accel_phantom, pp_accel_scalar, SourceList, Targets,
-};
+use greem_kernels::{newton_accel_blocked, pp_accel_phantom, pp_accel_scalar, SourceList, Targets};
 use greem_math::{ForceSplit, Vec3};
 use std::hint::black_box;
 
 fn positions(n: usize, seed: u64) -> Vec<Vec3> {
     let mut s = seed;
     let mut next = move || {
-        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (s >> 11) as f64 / (1u64 << 53) as f64
     };
     (0..n).map(|_| Vec3::new(next(), next(), next())).collect()

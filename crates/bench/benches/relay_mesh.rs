@@ -38,11 +38,13 @@ fn bench_conversions(c: &mut Criterion) {
     for &g in &[2usize, 4] {
         group.bench_function(BenchmarkId::new("relay", g), |b| {
             b.iter(|| {
-                let out = World::new(p).with_net(NetModel::free()).run(move |ctx, world| {
-                    let comms = RelayComms::build(ctx, world, RelayConfig { nf, n_groups: g });
-                    let local = stripe(world.rank(), p, n as i64);
-                    relay_density_to_slabs(ctx, &comms, &local, n).map(|s| s.len())
-                });
+                let out = World::new(p)
+                    .with_net(NetModel::free())
+                    .run(move |ctx, world| {
+                        let comms = RelayComms::build(ctx, world, RelayConfig { nf, n_groups: g });
+                        let local = stripe(world.rank(), p, n as i64);
+                        relay_density_to_slabs(ctx, &comms, &local, n).map(|s| s.len())
+                    });
                 black_box(out)
             });
         });

@@ -67,5 +67,10 @@ fn bench_full_pp(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_build, bench_traversal_group_size, bench_full_pp);
+criterion_group!(
+    benches,
+    bench_build,
+    bench_traversal_group_size,
+    bench_full_pp
+);
 criterion_main!(benches);

@@ -24,11 +24,31 @@ fn main() {
         seed: 7,
         normalize_rms_delta: Some(0.08),
     });
-    println!("max_disp={} spacings, delta_rms={}", ics.max_displacement, ics.delta_rms);
-    let bodies: Vec<greem::Body> = ics.pos.iter().zip(&ics.vel).enumerate()
-        .map(|(i, (q, v))| greem::Body { pos: *q, vel: *v, mass: ics.mass, id: i as u64 }).collect();
+    println!(
+        "max_disp={} spacings, delta_rms={}",
+        ics.max_displacement, ics.delta_rms
+    );
+    let bodies: Vec<greem::Body> = ics
+        .pos
+        .iter()
+        .zip(&ics.vel)
+        .enumerate()
+        .map(|(i, (q, v))| greem::Body {
+            pos: *q,
+            vel: *v,
+            mass: ics.mass,
+            id: i as u64,
+        })
+        .collect();
     let cfg = TreePmConfig::standard(16);
-    let mut sim = Simulation::new(cfg, bodies, SimulationMode::Cosmological { cosmology: cosmo, a: a0 });
+    let mut sim = Simulation::new(
+        cfg,
+        bodies,
+        SimulationMode::Cosmological {
+            cosmology: cosmo,
+            a: a0,
+        },
+    );
     let steps = 20;
     let a_end: f64 = 1.0 / 32.0;
     let ratio = (a_end / a0).powf(1.0 / steps as f64);
@@ -37,7 +57,17 @@ fn main() {
     let d0 = cosmo.growth(a0);
     for s in 0..=steps {
         let vmag: f64 = sim.bodies().iter().map(|b| b.vel.norm()).sum::<f64>() / 512.0;
-        println!("{s} {:.5} {:.0} {:.4} {:.2} {:.3e}", a, 1.0/a-1.0, delta_rms(sim.bodies(), 4), cosmo.growth(a)/d0, vmag);
-        if s < steps { a *= ratio; sim.step(a); }
+        println!(
+            "{s} {:.5} {:.0} {:.4} {:.2} {:.3e}",
+            a,
+            1.0 / a - 1.0,
+            delta_rms(sim.bodies(), 4),
+            cosmo.growth(a) / d0,
+            vmag
+        );
+        if s < steps {
+            a *= ratio;
+            sim.step(a);
+        }
     }
 }

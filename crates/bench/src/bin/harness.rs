@@ -1,24 +1,54 @@
 //! The table/figure regeneration harness.
 //!
 //! ```text
-//! cargo run --release -p greem-bench --bin harness -- <experiment> [--small]
+//! cargo run --release -p greem-bench --bin harness -- <experiment> [--small] [--json]
 //! ```
 //!
 //! Experiments: `table1`, `fig1`, `fig2`, `fig3`, `fig4`, `fig5`,
 //! `fig6`, `kernel`, `ni_sweep`, `accuracy`, `tree_vs_treepm`,
 //! `scaling`, `all`. `--small` shrinks every workload (a smoke mode for
-//! slow machines / debug builds).
+//! slow machines / debug builds). `--json` replaces the `table1` text
+//! report with a machine-readable per-phase timing object (the Table I
+//! breakdown) on stdout, for scripted before/after comparisons.
 
 use greem_bench::experiments::*;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let small = args.iter().any(|a| a == "--small");
+    let json = args.iter().any(|a| a == "--json");
     let which = args
         .iter()
         .find(|a| !a.starts_with("--"))
         .cloned()
-        .unwrap_or_else(|| "all".to_string());
+        .unwrap_or_else(|| {
+            if json {
+                "table1".to_string()
+            } else {
+                "all".to_string()
+            }
+        });
+
+    if json {
+        if which != "table1" {
+            eprintln!("--json emits the Table I phase breakdown; use it with 'table1'");
+            std::process::exit(2);
+        }
+        let run = if small {
+            table1::MeasuredRun {
+                n_particles: 1500,
+                n_mesh: 16,
+                ranks: 4,
+                div: [2, 2, 1],
+                steps: 1,
+            }
+        } else {
+            table1::MeasuredRun::default()
+        };
+        let bd = table1::measured_breakdown(&run);
+        println!("{}", bd.to_json(run.steps as f64));
+        return;
+    }
 
     let run = |name: &str| -> Option<String> {
         let report = match name {
@@ -75,8 +105,19 @@ fn main() {
     };
 
     let all = [
-        "table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "kernel", "ni_sweep",
-        "accuracy", "tree_vs_treepm", "multipole", "scaling",
+        "table1",
+        "fig1",
+        "fig2",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6",
+        "kernel",
+        "ni_sweep",
+        "accuracy",
+        "tree_vs_treepm",
+        "multipole",
+        "scaling",
     ];
     if which == "all" {
         for name in all {

@@ -134,7 +134,10 @@ mod tests {
     fn render_has_boundaries() {
         let r = run(1500, [4, 4, 1], 4, 6);
         let art = render_plane(&r, 32);
-        assert!(art.contains('|') && art.contains('-'), "no boundaries:\n{art}");
+        assert!(
+            art.contains('|') && art.contains('-'),
+            "no boundaries:\n{art}"
+        );
         assert_eq!(art.lines().count(), 32);
     }
 }

@@ -67,9 +67,7 @@ pub fn census(p: usize, nf: usize, n_mesh: usize) -> Fig4Census {
 /// The report.
 pub fn report() -> String {
     let c = census(6, 2, 16);
-    let mut s = String::from(
-        "=== Fig. 4: local meshes vs FFT slabs ==========================\n",
-    );
+    let mut s = String::from("=== Fig. 4: local meshes vs FFT slabs ==========================\n");
     s.push_str(&format!(
         "p = {} processes, nf = {} FFT processes, mesh {}^3\n\n",
         c.p, c.nf, c.n_mesh

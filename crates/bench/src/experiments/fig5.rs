@@ -10,10 +10,10 @@
 //!    `greem-perfmodel`, reproducing the ~10 s → ~3 s / ~3 s → ~0.3 s
 //!    claim.
 
+use greem_perfmodel::RelayModel;
 use greem_pm::convert::{local_density_to_slabs, slabs_to_local_potential};
 use greem_pm::relay::{relay_density_to_slabs, relay_slabs_to_local, RelayComms, RelayConfig};
 use greem_pm::{CellBox, LocalMesh};
-use greem_perfmodel::RelayModel;
 use mpisim::{NetModel, World};
 
 /// Measured (simulated-network) conversion times.
@@ -51,14 +51,7 @@ pub fn measure(p: usize, nf: usize, n_mesh: usize, groups: Option<usize>) -> Rel
                     let t0 = ctx.vtime();
                     let slab = local_density_to_slabs(ctx, world, &local, n_mesh, nf);
                     let t1 = ctx.vtime();
-                    let _ = slabs_to_local_potential(
-                        ctx,
-                        world,
-                        slab.as_deref(),
-                        n_mesh,
-                        nf,
-                        want,
-                    );
+                    let _ = slabs_to_local_potential(ctx, world, slab.as_deref(), n_mesh, nf, want);
                     let t2 = ctx.vtime();
                     (t1 - t0, t2 - t1)
                 }
@@ -86,11 +79,13 @@ pub fn report(p: usize, nf: usize, n_mesh: usize) -> String {
         "=== Fig. 5 / Sec. II-B: the relay mesh method ==================\n\n\
          -- functional measurement on the simulated K-like network --\n",
     );
-    s.push_str(&format!("p = {p} ranks, nf = {nf} FFT ranks, mesh {n_mesh}^3\n"));
+    s.push_str(&format!(
+        "p = {p} ranks, nf = {nf} FFT ranks, mesh {n_mesh}^3\n"
+    ));
     s.push_str("method         forward(s)   backward(s)\n");
     let mut configs: Vec<Option<usize>> = vec![None];
     for g in [2usize, 4, 8, 12] {
-        if p / g >= nf && p % g == 0 {
+        if p / g >= nf && p.is_multiple_of(g) {
             configs.push(Some(g));
         }
     }
@@ -134,16 +129,30 @@ mod tests {
         let nf = 8usize;
         let n_mesh = 8usize;
         let groups = 4usize;
-        assert!(p / groups >= nf, "4 groups of 9 ≥ 8 FFT procs, as in the figure");
-        let direct = World::new(p).with_net(NetModel::free()).run(move |ctx, world| {
-            let local = stripe_local(world.rank(), p, n_mesh as i64);
-            local_density_to_slabs(ctx, world, &local, n_mesh, nf)
-        });
-        let relayed = World::new(p).with_net(NetModel::free()).run(move |ctx, world| {
-            let comms = RelayComms::build(ctx, world, RelayConfig { nf, n_groups: groups });
-            let local = stripe_local(world.rank(), p, n_mesh as i64);
-            relay_density_to_slabs(ctx, &comms, &local, n_mesh)
-        });
+        assert!(
+            p / groups >= nf,
+            "4 groups of 9 ≥ 8 FFT procs, as in the figure"
+        );
+        let direct = World::new(p)
+            .with_net(NetModel::free())
+            .run(move |ctx, world| {
+                let local = stripe_local(world.rank(), p, n_mesh as i64);
+                local_density_to_slabs(ctx, world, &local, n_mesh, nf)
+            });
+        let relayed = World::new(p)
+            .with_net(NetModel::free())
+            .run(move |ctx, world| {
+                let comms = RelayComms::build(
+                    ctx,
+                    world,
+                    RelayConfig {
+                        nf,
+                        n_groups: groups,
+                    },
+                );
+                let local = stripe_local(world.rank(), p, n_mesh as i64);
+                relay_density_to_slabs(ctx, &comms, &local, n_mesh)
+            });
         let mut fft_ranks = 0;
         for r in 0..p {
             match (&direct[r], &relayed[r]) {

@@ -106,7 +106,10 @@ pub fn run(p: &MicrohaloRun) -> Vec<Epoch> {
     let mut sim = Simulation::new(
         cfg,
         bodies,
-        SimulationMode::Cosmological { cosmology: cosmo, a: a0 },
+        SimulationMode::Cosmological {
+            cosmology: cosmo,
+            a: a0,
+        },
     );
     // The paper's snapshot redshifts.
     let targets = [400.0, 70.0, 40.0, 31.0];
@@ -220,7 +223,10 @@ mod tests {
         let (measured, linear) = growth_check(&epochs);
         // Growth happened and is within a factor ~2.5 of linear theory
         // (nonlinearity and the tiny box both push it around).
-        assert!(measured > 3.0, "contrast must grow substantially: {measured}");
+        assert!(
+            measured > 3.0,
+            "contrast must grow substantially: {measured}"
+        );
         assert!(
             measured / linear > 0.4 && measured / linear < 2.5,
             "growth {measured} vs linear {linear}"

@@ -100,7 +100,10 @@ mod tests {
     #[test]
     fn quadrupole_dominates_at_large_theta() {
         let rows = sweep(300, 16, &[0.9], 5);
-        let mono = rows.iter().find(|r| r.multipole == Multipole::Monopole).unwrap();
+        let mono = rows
+            .iter()
+            .find(|r| r.multipole == Multipole::Monopole)
+            .unwrap();
         let quad = rows
             .iter()
             .find(|r| r.multipole == Multipole::PseudoParticleQuad)
@@ -111,6 +114,9 @@ mod tests {
             quad.rms_rel_error,
             mono.rms_rel_error
         );
-        assert!(quad.interactions > mono.interactions, "quad pays more kernel work");
+        assert!(
+            quad.interactions > mono.interactions,
+            "quad pays more kernel work"
+        );
     }
 }

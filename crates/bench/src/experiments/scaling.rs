@@ -118,13 +118,15 @@ mod tests {
     #[test]
     fn per_rank_work_shrinks_with_ranks() {
         let points = measure(1200, &[(1, [1, 1, 1]), (4, [2, 2, 1])], 1);
-        // Strong scaling: per-rank PP force time falls with more ranks
-        // (rank 0's share of the work shrinks).
+        // Strong scaling: rank 0's share of the pairwise work shrinks
+        // with more ranks. Interactions, not seconds — mpisim ranks are
+        // host threads, so on a loaded (or single-core) host wall-time
+        // shares race against the scheduler and flake.
         assert!(
-            points[1].pp_force < points[0].pp_force,
-            "PP force {} !< {}",
-            points[1].pp_force,
-            points[0].pp_force
+            points[1].interactions < points[0].interactions,
+            "rank-0 interactions {} !< {}",
+            points[1].interactions,
+            points[0].interactions
         );
         // Total interactions stay in the same ballpark (same physics).
         let r = points[1].interactions as f64 * 4.0 / points[0].interactions as f64;

@@ -66,7 +66,9 @@ fn parse_args() -> Result<Opts, String> {
             "--steps" => o.steps = val(&a)?.parse().map_err(|e| format!("{a}: {e}"))?,
             "--z-start" => o.z_start = val(&a)?.parse().map_err(|e| format!("{a}: {e}"))?,
             "--z-end" => o.z_end = val(&a)?.parse().map_err(|e| format!("{a}: {e}"))?,
-            "--cutoff-modes" => o.cutoff_modes = val(&a)?.parse().map_err(|e| format!("{a}: {e}"))?,
+            "--cutoff-modes" => {
+                o.cutoff_modes = val(&a)?.parse().map_err(|e| format!("{a}: {e}"))?
+            }
             "--delta0" => o.delta0 = val(&a)?.parse().map_err(|e| format!("{a}: {e}"))?,
             "--seed" => o.seed = val(&a)?.parse().map_err(|e| format!("{a}: {e}"))?,
             "--theta" => o.theta = val(&a)?.parse().map_err(|e| format!("{a}: {e}"))?,
@@ -118,10 +120,7 @@ fn main() {
         let ics = generate_ics(&IcParams {
             n_per_side: o.n_side,
             a_start: a0,
-            spectrum: PowerSpectrum::microhalo(
-                1.0,
-                2.0 * std::f64::consts::PI * o.cutoff_modes,
-            ),
+            spectrum: PowerSpectrum::microhalo(1.0, 2.0 * std::f64::consts::PI * o.cutoff_modes),
             cosmology: cosmo,
             seed: o.seed,
             normalize_rms_delta: Some(o.delta0),
@@ -142,7 +141,14 @@ fn main() {
                 id: i as u64,
             })
             .collect();
-        Simulation::new(cfg, bodies, SimulationMode::Cosmological { cosmology: cosmo, a: a0 })
+        Simulation::new(
+            cfg,
+            bodies,
+            SimulationMode::Cosmological {
+                cosmology: cosmo,
+                a: a0,
+            },
+        )
     };
 
     let a0 = match sim.mode() {
@@ -173,7 +179,10 @@ fn main() {
     println!("\nmean per-step cost breakdown:");
     println!("{}", total.table(o.steps as f64));
     let snap = projected_density(sim.bodies(), 48, 2, "final");
-    println!("final projected density (peak contrast {:.1}):", snap.peak_contrast());
+    println!(
+        "final projected density (peak contrast {:.1}):",
+        snap.peak_contrast()
+    );
     println!("{}", snap.ascii());
 
     if let Some(path) = &o.checkpoint_out {

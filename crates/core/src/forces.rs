@@ -11,11 +11,38 @@ use std::time::Instant;
 
 use greem_kernels::{pp_accel_phantom, SourceList, Targets};
 use greem_math::{Aabb, Vec3};
-use greem_pm::{PmSolver, PmResult};
-use greem_tree::{GroupWalk, Octree, WalkStats};
+use greem_pm::{PmResult, PmSolver};
+use greem_tree::{GroupWalk, Octree, SourceEntry, WalkStats};
 use rayon::prelude::*;
 
 use crate::config::TreePmConfig;
+
+/// Per-thread scratch reused across groups in [`TreePm::compute_pp`]:
+/// the walk's stack and interaction list plus the kernel's SoA
+/// target/source buffers. One allocation set per rayon worker instead
+/// of ~ten `Vec`s per group removes the allocator from the PP hot path
+/// (thousands of groups per step).
+#[derive(Default)]
+struct PpScratch {
+    stack: Vec<usize>,
+    list: Vec<SourceEntry>,
+    targets: Targets,
+    sources: SourceList,
+}
+
+/// Output pointer shared across group tasks; each original particle
+/// index belongs to exactly one group, so writes are disjoint.
+struct SendPtr(*mut Vec3);
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+impl SendPtr {
+    /// Accessor so closures capture the `Sync` wrapper, not the raw
+    /// pointer field (edition-2021 closures capture disjoint fields).
+    fn get(&self) -> *mut Vec3 {
+        self.0
+    }
+}
 
 /// Wall/CPU seconds of the PP pipeline phases of one force evaluation.
 #[derive(Debug, Clone, Copy, Default)]
@@ -94,40 +121,45 @@ impl TreePm {
         let traversal_ns = AtomicU64::new(0);
         let force_ns = AtomicU64::new(0);
 
-        // One task per group; each returns (original indices, accels).
-        let per_group: Vec<(Vec<u32>, Vec<Vec3>, WalkStats)> = groups
+        // One task per group, with per-thread scratch buffers (walk
+        // stack, interaction list, kernel SoA arrays) cycled across
+        // groups instead of freshly allocated for each. Results scatter
+        // straight into the output array through disjoint original
+        // indices, so the only per-group heap traffic left is list
+        // growth beyond the high-water mark.
+        let mut accel = vec![Vec3::ZERO; pos.len()];
+        let out = SendPtr(accel.as_mut_ptr());
+        let per_group: Vec<WalkStats> = groups
             .par_iter()
-            .map(|&group| {
-                let mut stack = Vec::new();
-                let mut list = Vec::new();
+            .map_init(PpScratch::default, |scr, &group| {
                 let t = Instant::now();
-                let stats = walk.list_for_group(group, &mut stack, &mut list);
+                scr.list.clear();
+                let stats = walk.list_for_group(group, &mut scr.stack, &mut scr.list);
                 traversal_ns.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
 
                 let t = Instant::now();
                 let lo = group.first as usize;
                 let hi = lo + group.count as usize;
-                let mut targets = Targets::from_positions(&tree.pos()[lo..hi]);
-                let mut sources = SourceList::with_capacity(list.len());
-                for s in &list {
-                    sources.push(s.pos, s.mass);
+                scr.targets.load_positions(&tree.pos()[lo..hi]);
+                scr.sources.clear();
+                for s in &scr.list {
+                    scr.sources.push(s.pos, s.mass);
                 }
-                pp_accel_phantom(&mut targets, &sources, &split);
+                pp_accel_phantom(&mut scr.targets, &scr.sources, &split);
                 force_ns.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
 
-                let idx: Vec<u32> = tree.orig_index()[lo..hi].to_vec();
-                let acc: Vec<Vec3> = (0..targets.len()).map(|i| targets.accel(i)).collect();
-                (idx, acc, stats)
+                for (i, &orig) in tree.orig_index()[lo..hi].iter().enumerate() {
+                    // SAFETY: each original index occurs in exactly one
+                    // group; tasks write disjoint output slots.
+                    unsafe { *out.get().add(orig as usize) = scr.targets.accel(i) };
+                }
+                stats
             })
             .collect();
 
-        let mut accel = vec![Vec3::ZERO; pos.len()];
         let mut walk_stats = WalkStats::default();
-        for (idx, acc, stats) in per_group {
-            for (i, a) in idx.into_iter().zip(acc) {
-                accel[i as usize] = a;
-            }
-            walk_stats.merge(&stats);
+        for stats in &per_group {
+            walk_stats.merge(stats);
         }
         times.traversal = traversal_ns.load(Ordering::Relaxed) as f64 * 1e-9;
         times.force = force_ns.load(Ordering::Relaxed) as f64 * 1e-9;
@@ -163,8 +195,12 @@ impl TreePm {
 
     /// Full TreePM force evaluation: PM + PP.
     pub fn compute(&self, pos: &[Vec3], mass: &[f64]) -> ForceResult {
-        let (pm, pm_times) = self.compute_pm(pos, mass);
-        let (pp_accel, walk, pp_times) = self.compute_pp(pos, mass);
+        // The two halves of the force split share nothing until the
+        // final sum; `join` overlaps them so the serial stretches of
+        // one (FFT butterflies, tree-arena concatenation) fill the
+        // otherwise-idle time of the other's workers.
+        let ((pm, pm_times), (pp_accel, walk, pp_times)) =
+            rayon::join(|| self.compute_pm(pos, mass), || self.compute_pp(pos, mass));
         let accel = pp_accel
             .iter()
             .zip(&pm.accel)
@@ -203,8 +239,8 @@ impl TreePm {
         };
         let phi_self_per_mass = -(2.0 / std::f64::consts::PI) * (2.0 / self.cfg.r_cut) * s2_int;
         let mut u_pm = 0.0;
-        for i in 0..pos.len() {
-            u_pm += 0.5 * mass[i] * (pm.potential[i] - mass[i] * phi_self_per_mass);
+        for (&m, &phi) in mass.iter().zip(&pm.potential) {
+            u_pm += 0.5 * m * (phi - m * phi_self_per_mass);
         }
         // PP part via the group walk and the pairwise potential shape.
         let tree = Octree::build(pos, mass, Aabb::UNIT, self.cfg.tree_params());
@@ -231,14 +267,7 @@ mod tests {
     use super::*;
     use greem_math::min_image_vec;
 
-    fn rand_pos(n: usize, seed: u64) -> Vec<Vec3> {
-        let mut s = seed;
-        let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            (s >> 11) as f64 / (1u64 << 53) as f64
-        };
-        (0..n).map(|_| Vec3::new(next(), next(), next())).collect()
-    }
+    use greem_math::testutil::rand_positions as rand_pos;
 
     #[test]
     fn pp_matches_brute_force() {
@@ -282,7 +311,10 @@ mod tests {
             .zip(&mass)
             .map(|(a, &m)| (*a * m).norm())
             .sum();
-        assert!(ptot.norm() < 1e-4 * scale, "net momentum {ptot:?} / {scale}");
+        assert!(
+            ptot.norm() < 1e-4 * scale,
+            "net momentum {ptot:?} / {scale}"
+        );
     }
 
     #[test]

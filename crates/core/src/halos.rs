@@ -178,13 +178,13 @@ mod tests {
     fn clump(center: Vec3, n: usize, radius: f64, seed: u64) -> Vec<Vec3> {
         let mut s = seed;
         let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5
         };
         (0..n)
-            .map(|_| {
-                greem_math::wrap01(center + Vec3::new(next(), next(), next()) * radius)
-            })
+            .map(|_| greem_math::wrap01(center + Vec3::new(next(), next(), next()) * radius))
             .collect()
     }
 
@@ -229,7 +229,7 @@ mod tests {
         assert_eq!(halos.len(), 1, "wrapped clump split: {:?}", halos.len());
         let cx = halos[0].center.x;
         assert!(
-            cx < 0.05 || cx > 0.95,
+            !(0.05..=0.95).contains(&cx),
             "centre should sit near the boundary, got {cx}"
         );
         assert!((halos[0].mass - 1.0).abs() < 1e-12);

@@ -287,7 +287,10 @@ mod tests {
         let mut corrupt = buf.clone();
         let mid = corrupt.len() / 2;
         corrupt[mid] ^= 0x10;
-        assert!(read_snapshot(&corrupt[..]).is_err(), "corruption undetected");
+        assert!(
+            read_snapshot(&corrupt[..]).is_err(),
+            "corruption undetected"
+        );
         // Truncate: must error, not panic.
         let truncated = &buf[..buf.len() - 9];
         assert!(read_snapshot(truncated).is_err(), "truncation undetected");
@@ -302,7 +305,7 @@ mod tests {
         let bodies = sample_bodies(32)
             .into_iter()
             .map(|mut b| {
-                b.vel = b.vel * 1e-4;
+                b.vel *= 1e-4;
                 b
             })
             .collect();

@@ -73,7 +73,11 @@ impl ParallelTreePm {
         mode: SimulationMode,
     ) -> Self {
         let p = world.size();
-        assert_eq!(div.iter().product::<usize>(), p, "div must match world size");
+        assert_eq!(
+            div.iter().product::<usize>(),
+            p,
+            "div must match world size"
+        );
         assert_eq!(
             bodies_on_root.is_some(),
             world.rank() == 0,
@@ -177,10 +181,7 @@ impl ParallelTreePm {
                 }
                 self.recompute_pm(ctx, world, &mut bd);
                 self.kick(&self.pm_accel.clone(), 0.5 * kd_whole.kick * g_eff);
-                self.mode = SimulationMode::Cosmological {
-                    cosmology,
-                    a: a1,
-                };
+                self.mode = SimulationMode::Cosmological { cosmology, a: a1 };
             }
         }
         ParallelStepStats {
@@ -218,9 +219,7 @@ impl ParallelTreePm {
         let v0 = ctx.vtime();
         let grid = self.grid.clone();
         let mine = std::mem::take(&mut self.bodies);
-        self.bodies = exchange(ctx, world, mine, move |b: &Body| {
-            grid.rank_of_point(b.pos)
-        });
+        self.bodies = exchange(ctx, world, mine, move |b: &Body| grid.rank_of_point(b.pos));
         bd.dd_particle_exchange += t0.elapsed().as_secs_f64() + (ctx.vtime() - v0);
     }
 
@@ -242,11 +241,7 @@ impl ParallelTreePm {
                 }
             }
         }
-        world
-            .alltoallv(ctx, send)
-            .into_iter()
-            .flatten()
-            .collect()
+        world.alltoallv(ctx, send).into_iter().flatten().collect()
     }
 
     /// Full PP cycle: ghost import, local tree, group walk, kernel.
@@ -286,7 +281,10 @@ impl ParallelTreePm {
             let lo = group.first as usize;
             let hi = lo + group.count as usize;
             // Skip all-ghost groups outright.
-            if tree.orig_index()[lo..hi].iter().all(|&i| i as usize >= n_own) {
+            if tree.orig_index()[lo..hi]
+                .iter()
+                .all(|&i| i as usize >= n_own)
+            {
                 continue;
             }
             let t1 = Instant::now();
@@ -343,7 +341,9 @@ mod tests {
     fn rand_bodies(n: usize, seed: u64) -> Vec<Body> {
         let mut s = seed;
         let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (s >> 11) as f64 / (1u64 << 53) as f64
         };
         (0..n)
@@ -370,11 +370,8 @@ mod tests {
             ..TreePmConfig::standard(16)
         };
         // Serial reference.
-        let mut serial = crate::simulation::Simulation::new(
-            cfg,
-            bodies.clone(),
-            SimulationMode::Static,
-        );
+        let mut serial =
+            crate::simulation::Simulation::new(cfg, bodies.clone(), SimulationMode::Static);
         serial.step(2e-3);
         let mut want: Vec<Body> = serial.bodies().to_vec();
         want.sort_unstable_by_key(|b| b.id);
@@ -447,21 +444,23 @@ mod tests {
         };
         let run = |relay: Option<usize>| -> Vec<Body> {
             let bodies = bodies.clone();
-            let out = World::new(4).with_net(NetModel::free()).run(move |ctx, world| {
-                let root_bodies = (world.rank() == 0).then(|| bodies.clone());
-                let mut sim = ParallelTreePm::new(
-                    ctx,
-                    world,
-                    cfg,
-                    [2, 2, 1],
-                    2,
-                    relay,
-                    root_bodies,
-                    SimulationMode::Static,
-                );
-                sim.step(ctx, world, 1e-3);
-                sim.gather_bodies(ctx, world)
-            });
+            let out = World::new(4)
+                .with_net(NetModel::free())
+                .run(move |ctx, world| {
+                    let root_bodies = (world.rank() == 0).then(|| bodies.clone());
+                    let mut sim = ParallelTreePm::new(
+                        ctx,
+                        world,
+                        cfg,
+                        [2, 2, 1],
+                        2,
+                        relay,
+                        root_bodies,
+                        SimulationMode::Static,
+                    );
+                    sim.step(ctx, world, 1e-3);
+                    sim.gather_bodies(ctx, world)
+                });
             out[0].clone().unwrap()
         };
         let direct = run(None);

@@ -180,7 +180,10 @@ impl Simulation {
             SimulationMode::Static => self.step_static(dt, &mut bd),
             SimulationMode::Cosmological { cosmology, a } => {
                 let a_next = dt;
-                assert!(a_next > a, "cosmological step must advance a (got {a} -> {a_next})");
+                assert!(
+                    a_next > a,
+                    "cosmological step must advance a (got {a} -> {a_next})"
+                );
                 self.step_cosmo(&cosmology, a, a_next, &mut bd);
                 self.mode = SimulationMode::Cosmological {
                     cosmology,
@@ -293,7 +296,9 @@ mod tests {
     fn grid_bodies(n_side: usize, jitter: f64, seed: u64) -> Vec<Body> {
         let mut s = seed;
         let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5
         };
         let spacing = 1.0 / n_side as f64;
@@ -382,7 +387,10 @@ mod tests {
         let mut sim = Simulation::new(
             cfg,
             grid_bodies(4, 0.2, 7),
-            SimulationMode::Cosmological { cosmology: cosmo, a: a0 },
+            SimulationMode::Cosmological {
+                cosmology: cosmo,
+                a: a0,
+            },
         );
         let a1 = a0 * 1.05;
         sim.step(a1);
@@ -400,7 +408,10 @@ mod tests {
         let mut sim = Simulation::new(
             cfg,
             grid_bodies(2, 0.1, 9),
-            SimulationMode::Cosmological { cosmology: cosmo, a: 0.01 },
+            SimulationMode::Cosmological {
+                cosmology: cosmo,
+                a: 0.01,
+            },
         );
         sim.step(0.009);
     }

@@ -97,6 +97,67 @@ impl StepBreakdown {
         self.walk.merge(&o.walk);
     }
 
+    /// The Table-I rows as a JSON object (hand-rolled; the build is
+    /// offline so no serde). Keys follow the paper's phase names in
+    /// snake_case; all timings are seconds per step.
+    pub fn to_json(&self, steps: f64) -> String {
+        let s = |v: f64| v / steps;
+        format!(
+            concat!(
+                "{{\n",
+                "  \"pm\": {{\n",
+                "    \"total\": {},\n",
+                "    \"density_assignment\": {},\n",
+                "    \"communication\": {},\n",
+                "    \"fft\": {},\n",
+                "    \"acceleration_on_mesh\": {},\n",
+                "    \"force_interpolation\": {}\n",
+                "  }},\n",
+                "  \"pp\": {{\n",
+                "    \"total\": {},\n",
+                "    \"local_tree\": {},\n",
+                "    \"communication\": {},\n",
+                "    \"tree_construction\": {},\n",
+                "    \"tree_traversal\": {},\n",
+                "    \"force_calculation\": {}\n",
+                "  }},\n",
+                "  \"domain_decomposition\": {{\n",
+                "    \"total\": {},\n",
+                "    \"position_update\": {},\n",
+                "    \"sampling_method\": {},\n",
+                "    \"particle_exchange\": {}\n",
+                "  }},\n",
+                "  \"total\": {},\n",
+                "  \"mean_ni\": {},\n",
+                "  \"mean_nj\": {},\n",
+                "  \"interactions_per_step\": {},\n",
+                "  \"flops_rate\": {}\n",
+                "}}"
+            ),
+            s(self.pm.total()),
+            s(self.pm.density_assignment),
+            s(self.pm.communication_sim),
+            s(self.pm.fft),
+            s(self.pm.acceleration_on_mesh),
+            s(self.pm.force_interpolation),
+            s(self.pp_total()),
+            s(self.pp_local_tree),
+            s(self.pp_communication),
+            s(self.pp_tree_construction),
+            s(self.pp_tree_traversal),
+            s(self.pp_force_calculation),
+            s(self.dd_total()),
+            s(self.dd_position_update),
+            s(self.dd_sampling_method),
+            s(self.dd_particle_exchange),
+            s(self.total()),
+            self.walk.mean_ni(),
+            self.walk.mean_nj(),
+            self.walk.interactions as f64 / steps,
+            self.flops_rate(),
+        )
+    }
+
     /// Render the Table-I-shaped text block for this breakdown.
     pub fn table(&self, steps: f64) -> String {
         let s = |v: f64| v / steps;
@@ -105,27 +166,84 @@ impl StepBreakdown {
             out.push_str(&line);
             out.push('\n');
         };
-        push(format!("PM(sec/step)            {:>10.4}", s(self.pm.total())));
-        push(format!("  density assignment    {:>10.4}", s(self.pm.density_assignment)));
-        push(format!("  communication         {:>10.4}", s(self.pm.communication_sim)));
+        push(format!(
+            "PM(sec/step)            {:>10.4}",
+            s(self.pm.total())
+        ));
+        push(format!(
+            "  density assignment    {:>10.4}",
+            s(self.pm.density_assignment)
+        ));
+        push(format!(
+            "  communication         {:>10.4}",
+            s(self.pm.communication_sim)
+        ));
         push(format!("  FFT                   {:>10.4}", s(self.pm.fft)));
-        push(format!("  acceleration on mesh  {:>10.4}", s(self.pm.acceleration_on_mesh)));
-        push(format!("  force interpolation   {:>10.4}", s(self.pm.force_interpolation)));
-        push(format!("PP(sec/step)            {:>10.4}", s(self.pp_total())));
-        push(format!("  local tree            {:>10.4}", s(self.pp_local_tree)));
-        push(format!("  communication         {:>10.4}", s(self.pp_communication)));
-        push(format!("  tree construction     {:>10.4}", s(self.pp_tree_construction)));
-        push(format!("  tree traversal        {:>10.4}", s(self.pp_tree_traversal)));
-        push(format!("  force calculation     {:>10.4}", s(self.pp_force_calculation)));
-        push(format!("Domain Decomp.(sec/step){:>10.4}", s(self.dd_total())));
-        push(format!("  position update       {:>10.4}", s(self.dd_position_update)));
-        push(format!("  sampling method       {:>10.4}", s(self.dd_sampling_method)));
-        push(format!("  particle exchange     {:>10.4}", s(self.dd_particle_exchange)));
+        push(format!(
+            "  acceleration on mesh  {:>10.4}",
+            s(self.pm.acceleration_on_mesh)
+        ));
+        push(format!(
+            "  force interpolation   {:>10.4}",
+            s(self.pm.force_interpolation)
+        ));
+        push(format!(
+            "PP(sec/step)            {:>10.4}",
+            s(self.pp_total())
+        ));
+        push(format!(
+            "  local tree            {:>10.4}",
+            s(self.pp_local_tree)
+        ));
+        push(format!(
+            "  communication         {:>10.4}",
+            s(self.pp_communication)
+        ));
+        push(format!(
+            "  tree construction     {:>10.4}",
+            s(self.pp_tree_construction)
+        ));
+        push(format!(
+            "  tree traversal        {:>10.4}",
+            s(self.pp_tree_traversal)
+        ));
+        push(format!(
+            "  force calculation     {:>10.4}",
+            s(self.pp_force_calculation)
+        ));
+        push(format!(
+            "Domain Decomp.(sec/step){:>10.4}",
+            s(self.dd_total())
+        ));
+        push(format!(
+            "  position update       {:>10.4}",
+            s(self.dd_position_update)
+        ));
+        push(format!(
+            "  sampling method       {:>10.4}",
+            s(self.dd_sampling_method)
+        ));
+        push(format!(
+            "  particle exchange     {:>10.4}",
+            s(self.dd_particle_exchange)
+        ));
         push(format!("Total(sec/step)         {:>10.4}", s(self.total())));
-        push(format!("<Ni>                    {:>10.1}", self.walk.mean_ni()));
-        push(format!("<Nj>                    {:>10.1}", self.walk.mean_nj()));
-        push(format!("#interactions/step      {:>10.3e}", self.walk.interactions as f64 / steps));
-        push(format!("measured performance    {:>10.3e} flops", self.flops_rate()));
+        push(format!(
+            "<Ni>                    {:>10.1}",
+            self.walk.mean_ni()
+        ));
+        push(format!(
+            "<Nj>                    {:>10.1}",
+            self.walk.mean_nj()
+        ));
+        push(format!(
+            "#interactions/step      {:>10.3e}",
+            self.walk.interactions as f64 / steps
+        ));
+        push(format!(
+            "measured performance    {:>10.3e} flops",
+            self.flops_rate()
+        ));
         out
     }
 }
@@ -136,10 +254,12 @@ mod tests {
 
     #[test]
     fn totals_add_up() {
-        let mut b = StepBreakdown::default();
-        b.pp_local_tree = 1.0;
-        b.pp_force_calculation = 2.0;
-        b.dd_sampling_method = 0.5;
+        let mut b = StepBreakdown {
+            pp_local_tree: 1.0,
+            pp_force_calculation: 2.0,
+            dd_sampling_method: 0.5,
+            ..Default::default()
+        };
         b.pm.fft = 0.25;
         assert!((b.pp_total() - 3.0).abs() < 1e-15);
         assert!((b.dd_total() - 0.5).abs() < 1e-15);
@@ -157,18 +277,61 @@ mod tests {
 
     #[test]
     fn accumulate_merges_everything() {
-        let mut a = StepBreakdown::default();
-        a.pp_tree_traversal = 1.0;
+        let mut a = StepBreakdown {
+            pp_tree_traversal: 1.0,
+            ..Default::default()
+        };
         a.walk.interactions = 10;
         a.walk.n_groups = 1;
-        let mut b = StepBreakdown::default();
-        b.pp_tree_traversal = 2.0;
+        let mut b = StepBreakdown {
+            pp_tree_traversal: 2.0,
+            ..Default::default()
+        };
         b.walk.interactions = 30;
         b.walk.n_groups = 2;
         a.accumulate(&b);
         assert_eq!(a.pp_tree_traversal, 3.0);
         assert_eq!(a.walk.interactions, 40);
         assert_eq!(a.walk.n_groups, 3);
+    }
+
+    #[test]
+    fn json_has_all_phases_and_divides_by_steps() {
+        let mut b = StepBreakdown::default();
+        b.pm.fft = 3.0;
+        b.pp_force_calculation = 6.0;
+        b.walk.interactions = 100;
+        let j = b.to_json(3.0);
+        for key in [
+            "\"pm\"",
+            "\"density_assignment\"",
+            "\"communication\"",
+            "\"fft\": 1",
+            "\"acceleration_on_mesh\"",
+            "\"force_interpolation\"",
+            "\"pp\"",
+            "\"local_tree\"",
+            "\"tree_construction\"",
+            "\"tree_traversal\"",
+            "\"force_calculation\": 2",
+            "\"domain_decomposition\"",
+            "\"position_update\"",
+            "\"sampling_method\"",
+            "\"particle_exchange\"",
+            "\"total\"",
+            "\"mean_ni\"",
+            "\"mean_nj\"",
+            "\"interactions_per_step\"",
+            "\"flops_rate\"",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+        // Balanced braces — a cheap well-formedness check without a
+        // JSON parser in the tree.
+        let open = j.matches('{').count();
+        let close = j.matches('}').count();
+        assert_eq!(open, close);
+        assert_eq!(open, 4);
     }
 
     #[test]

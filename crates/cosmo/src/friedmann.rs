@@ -98,12 +98,7 @@ impl Cosmology {
     }
 
     fn growth_unnormalised(&self, a: f64) -> f64 {
-        let integral = integrate(
-            |x| 1.0 / (x * self.e_of_a(x)).powi(3),
-            1e-8,
-            a,
-            4096,
-        );
+        let integral = integrate(|x| 1.0 / (x * self.e_of_a(x)).powi(3), 1e-8, a, 4096);
         2.5 * self.omega_m * self.e_of_a(a) * integral
     }
 
@@ -137,7 +132,7 @@ pub struct KickDrift {
 
 /// Composite Simpson on `[a, b]` with `n` (even) panels.
 fn integrate(f: impl Fn(f64) -> f64, a: f64, b: f64, n: usize) -> f64 {
-    debug_assert!(n % 2 == 0 && b > a);
+    debug_assert!(n.is_multiple_of(2) && b > a);
     let h = (b - a) / n as f64;
     let mut s = f(a) + f(b);
     for i in 1..n {
@@ -188,11 +183,14 @@ mod tests {
         // t0·H0 = (2/3)/√ΩΛ·asinh(√(ΩΛ/Ωm)) ≈ 0.991 for WMAP-7
         // (13.75 Gyr at h = 0.704).
         let age = c.time_of_a(1.0);
-        let analytic =
-            2.0 / 3.0 / c.omega_l.sqrt() * ((c.omega_l / c.omega_m).sqrt()).asinh();
+        let analytic = 2.0 / 3.0 / c.omega_l.sqrt() * ((c.omega_l / c.omega_m).sqrt()).asinh();
         assert!((age - analytic).abs() < 1e-4, "age {age} vs {analytic}");
         // Growth is suppressed relative to EdS at late times.
-        assert!(c.growth(0.5) > 0.55 && c.growth(0.5) < 0.65, "{}", c.growth(0.5));
+        assert!(
+            c.growth(0.5) > 0.55 && c.growth(0.5) < 0.65,
+            "{}",
+            c.growth(0.5)
+        );
         // Growth rate ≈ Ωm(a)^0.55.
         for a in [0.3, 0.6, 1.0] {
             let f = c.growth_rate(a);

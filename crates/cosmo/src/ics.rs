@@ -263,7 +263,9 @@ mod tests {
         assert_eq!(ics.vel.len(), 512);
         assert!((ics.mass * 512.0 - 1.0).abs() < 1e-12);
         for p in &ics.pos {
-            assert!((0.0..1.0).contains(&p.x) && (0.0..1.0).contains(&p.y) && (0.0..1.0).contains(&p.z));
+            assert!(
+                (0.0..1.0).contains(&p.x) && (0.0..1.0).contains(&p.y) && (0.0..1.0).contains(&p.z)
+            );
         }
     }
 
@@ -284,7 +286,11 @@ mod tests {
         let mut p = base_params(16, 1.0);
         p.normalize_rms_delta = Some(0.05);
         let ics = generate_ics(&p);
-        assert!((ics.delta_rms - 0.05).abs() < 1e-12, "rms {}", ics.delta_rms);
+        assert!(
+            (ics.delta_rms - 0.05).abs() < 1e-12,
+            "rms {}",
+            ics.delta_rms
+        );
         assert!(ics.max_displacement > 0.0);
     }
 
@@ -351,10 +357,7 @@ mod tests {
         };
         let ra = roughness(&a.delta_mesh);
         let rb = roughness(&b.delta_mesh);
-        assert!(
-            ra < 0.6 * rb,
-            "cutoff field roughness {ra} !< uncut {rb}"
-        );
+        assert!(ra < 0.6 * rb, "cutoff field roughness {ra} !< uncut {rb}");
     }
 
     #[test]

@@ -118,10 +118,7 @@ mod tests {
     fn free_streaming_cutoff_kills_high_k() {
         let kfs = 40.0;
         let cut = PowerSpectrum::microhalo(1.0, kfs);
-        let plain = PowerSpectrum {
-            k_fs: None,
-            ..cut
-        };
+        let plain = PowerSpectrum { k_fs: None, ..cut };
         // Mild below the cutoff…
         let r_low = cut.eval(0.2 * kfs) / plain.eval(0.2 * kfs);
         assert!(r_low > 0.9, "low-k suppression {r_low}");

@@ -36,14 +36,14 @@ pub fn measure_power(pos: &[Vec3], mass: &[f64], n_mesh: usize) -> Vec<PowerBin>
     let n_i = n as i64;
     for (p, &m) in pos.iter().zip(mass) {
         let ([ix, iy, iz], [wx, wy, wz]) = tsc(p, n);
-        for a in 0..3 {
+        for (a, &wxa) in wx.iter().enumerate() {
             let cx = (ix + a as i64).rem_euclid(n_i) as usize;
-            for b in 0..3 {
+            for (b, &wyb) in wy.iter().enumerate() {
                 let cy = (iy + b as i64).rem_euclid(n_i) as usize;
-                let w = wx[a] * wy[b] * m;
-                for c in 0..3 {
+                let w = wxa * wyb * m;
+                for (c, &wzc) in wz.iter().enumerate() {
                     let cz = (iz + c as i64).rem_euclid(n_i) as usize;
-                    rho[(cx * n + cy) * n + cz] += w * wz[c];
+                    rho[(cx * n + cy) * n + cz] += w * wzc;
                 }
             }
         }
@@ -117,9 +117,9 @@ fn tsc(p: &Vec3, n: usize) -> ([i64; 3], [[f64; 3]; 3]) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::friedmann::Cosmology;
     use crate::ics::{generate_ics, IcParams};
     use crate::power::PowerSpectrum;
-    use crate::friedmann::Cosmology;
 
     #[test]
     fn uniform_grid_has_no_power() {
@@ -139,7 +139,12 @@ mod tests {
         let mass = vec![1.0; pos.len()];
         let bins = measure_power(&pos, &mass, n);
         for b in bins {
-            assert!(b.power < 1e-20, "uniform grid power {} at k={}", b.power, b.k);
+            assert!(
+                b.power < 1e-20,
+                "uniform grid power {} at k={}",
+                b.power,
+                b.k
+            );
         }
     }
 

@@ -185,9 +185,7 @@ impl SamplingBalancer {
             .min(pos.len())
             .max(usize::from(!pos.is_empty()));
         // Deterministic per-rank, per-step sampling.
-        let mut rng = StdRng::seed_from_u64(
-            0x5EED_0000 ^ (world.rank() as u64) << 20 ^ self.step,
-        );
+        let mut rng = StdRng::seed_from_u64(0x5EED_0000 ^ (world.rank() as u64) << 20 ^ self.step);
         let samples: Vec<Vec3> = (0..want)
             .map(|_| pos[rng.random_range(0..pos.len().max(1))])
             .collect();
@@ -224,8 +222,7 @@ impl SamplingBalancer {
             let want = ((self.params.total_samples as f64 * share).round() as usize)
                 .min(pos.len())
                 .max(1);
-            let mut rng =
-                StdRng::seed_from_u64(0x5EED_0000 ^ (r as u64) << 20 ^ self.step);
+            let mut rng = StdRng::seed_from_u64(0x5EED_0000 ^ (r as u64) << 20 ^ self.step);
             for _ in 0..want {
                 all.push(pos[rng.random_range(0..pos.len())]);
             }
@@ -280,7 +277,9 @@ mod tests {
         // where static decomposition fails (§II).
         let mut s = seed;
         let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (s >> 11) as f64 / (1u64 << 53) as f64
         };
         (0..n)
@@ -288,7 +287,11 @@ mod tests {
                 if i % 2 == 0 {
                     Vec3::new(next(), next(), next())
                 } else {
-                    Vec3::new(0.1 + 0.05 * next(), 0.2 + 0.05 * next(), 0.7 + 0.05 * next())
+                    Vec3::new(
+                        0.1 + 0.05 * next(),
+                        0.2 + 0.05 * next(),
+                        0.7 + 0.05 * next(),
+                    )
                 }
             })
             .collect()

@@ -48,8 +48,8 @@ mod tests {
                 mine.push(Vec3::new(x, 0.5, 0.5));
             }
             let grid = DomainGrid::uniform([4, 1, 1]);
-            let received = exchange(ctx, world, mine, |v| grid.rank_of_point(*v));
-            received
+
+            exchange(ctx, world, mine, |v| grid.rank_of_point(*v))
         });
         let total: usize = out.iter().map(Vec::len).sum();
         assert_eq!(total, 4 * 40, "no particle may be lost or duplicated");
@@ -66,9 +66,9 @@ mod tests {
 
     #[test]
     fn empty_exchange() {
-        let out = World::new(3).with_net(NetModel::free()).run(|ctx, world| {
-            exchange(ctx, world, Vec::<u64>::new(), |_| 0)
-        });
+        let out = World::new(3)
+            .with_net(NetModel::free())
+            .run(|ctx, world| exchange(ctx, world, Vec::<u64>::new(), |_| 0));
         assert!(out.iter().all(Vec::is_empty));
     }
 

@@ -117,7 +117,9 @@ mod tests {
         let g = DomainGrid::uniform([2, 2, 2]);
         let mut s = 5u64;
         let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (s >> 11) as f64 / (1u64 << 53) as f64
         };
         for _ in 0..500 {

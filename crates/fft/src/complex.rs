@@ -42,7 +42,10 @@ impl Cpx {
     /// Complex conjugate.
     #[inline]
     pub fn conj(self) -> Cpx {
-        Cpx { re: self.re, im: -self.im }
+        Cpx {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Squared magnitude.
@@ -60,7 +63,10 @@ impl Cpx {
     /// Scale by a real factor.
     #[inline]
     pub fn scale(self, s: f64) -> Cpx {
-        Cpx { re: self.re * s, im: self.im * s }
+        Cpx {
+            re: self.re * s,
+            im: self.im * s,
+        }
     }
 }
 
@@ -151,7 +157,10 @@ mod tests {
     #[test]
     fn multiplication_formula() {
         // (1+2i)(3+4i) = 3+4i+6i-8 = -5+10i
-        assert_eq!(Cpx::new(1.0, 2.0) * Cpx::new(3.0, 4.0), Cpx::new(-5.0, 10.0));
+        assert_eq!(
+            Cpx::new(1.0, 2.0) * Cpx::new(3.0, 4.0),
+            Cpx::new(-5.0, 10.0)
+        );
     }
 
     #[test]

@@ -25,10 +25,19 @@ pub struct Fft1d {
 impl Fft1d {
     /// Plan a transform of size `n` (must be a power of two ≥ 1).
     pub fn new(n: usize) -> Self {
-        assert!(n.is_power_of_two(), "FFT size must be a power of two, got {n}");
+        assert!(
+            n.is_power_of_two(),
+            "FFT size must be a power of two, got {n}"
+        );
         let bits = n.trailing_zeros();
         let rev = (0..n as u32)
-            .map(|i| if bits == 0 { 0 } else { i.reverse_bits() >> (32 - bits) })
+            .map(|i| {
+                if bits == 0 {
+                    0
+                } else {
+                    i.reverse_bits() >> (32 - bits)
+                }
+            })
             .collect();
         // Twiddle tree: for each half-size m = 1,2,4,…,n/2 store
         // exp(-πi·k/m), k < m, at offset m-1.
@@ -124,14 +133,19 @@ mod tests {
         // Tiny deterministic LCG; no rand dependency needed here.
         let mut s = seed;
         let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5
         };
         (0..n).map(|_| Cpx::new(next(), next())).collect()
     }
 
     fn max_err(a: &[Cpx], b: &[Cpx]) -> f64 {
-        a.iter().zip(b).map(|(x, y)| (*x - *y).abs()).fold(0.0, f64::max)
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (*x - *y).abs())
+            .fold(0.0, f64::max)
     }
 
     #[test]

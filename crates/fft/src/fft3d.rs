@@ -8,6 +8,22 @@
 
 use crate::complex::Cpx;
 use crate::fft1d::Fft1d;
+use rayon::prelude::*;
+
+/// Raw mesh pointer shared across threads; users index disjoint
+/// elements only (each yz column of the x-pass is touched by exactly
+/// one task).
+struct SendPtr(*mut Cpx);
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+impl SendPtr {
+    /// Accessor so closures capture the `Sync` wrapper, not the raw
+    /// pointer field (edition-2021 closures capture disjoint fields).
+    fn get(&self) -> *mut Cpx {
+        self.0
+    }
+}
 
 /// An `n × n × n` complex mesh, `z` fastest.
 #[derive(Debug, Clone)]
@@ -89,6 +105,25 @@ impl Mesh3 {
             }
         }
     }
+
+    /// Parallel [`map_modes`](Self::map_modes) for pure per-mode maps
+    /// (`Fn`, no cross-mode state): x-planes are processed as rayon
+    /// tasks. Bitwise-identical to the serial version — each mode sees
+    /// exactly the same single application of `f`.
+    pub fn par_map_modes(&mut self, f: impl Fn(usize, usize, usize, Cpx) -> Cpx + Sync) {
+        let n = self.n;
+        self.data
+            .par_chunks_mut(n * n)
+            .enumerate()
+            .for_each(|(x, plane)| {
+                for y in 0..n {
+                    let row = y * n;
+                    for z in 0..n {
+                        plane[row + z] = f(x, y, z, plane[row + z]);
+                    }
+                }
+            });
+    }
 }
 
 /// In-place forward 3-D FFT (unnormalised, `exp(−2πi)` convention):
@@ -102,11 +137,19 @@ pub fn fft3d(mesh: &mut Mesh3, plan: &Fft1d) {
 pub fn fft3d_inverse(mesh: &mut Mesh3, plan: &Fft1d) {
     transform3d(mesh, plan, true);
     let s = 1.0 / (mesh.n as f64).powi(3);
-    for v in mesh.data.iter_mut() {
-        *v = v.scale(s);
-    }
+    let n = mesh.n;
+    mesh.data.par_chunks_mut(n * n).for_each(|plane| {
+        for v in plane.iter_mut() {
+            *v = v.scale(s);
+        }
+    });
 }
 
+/// The three axis passes, each a batch of independent 1-D line
+/// transforms run as rayon tasks. Every line is transformed by exactly
+/// the same `Fft1d` code as the serial loops this replaces, so the
+/// result is bitwise-identical regardless of thread count — parallelism
+/// only changes *which thread* runs a line, never the arithmetic.
 fn transform3d(mesh: &mut Mesh3, plan: &Fft1d, inverse: bool) {
     let n = mesh.n;
     assert_eq!(plan.len(), n, "plan size must match mesh side");
@@ -117,35 +160,45 @@ fn transform3d(mesh: &mut Mesh3, plan: &Fft1d, inverse: bool) {
             plan.forward(buf)
         }
     };
-    // Along z: contiguous rows.
-    for row in mesh.data.chunks_exact_mut(n) {
-        run(plan, row);
-    }
-    // Along y: stride n within each x-plane.
-    let mut line = vec![Cpx::ZERO; n];
-    for x in 0..n {
-        let plane = &mut mesh.data[x * n * n..(x + 1) * n * n];
-        for z in 0..n {
-            for y in 0..n {
-                line[y] = plane[y * n + z];
+    // Along z: contiguous rows, one task per row batch.
+    mesh.data.par_chunks_mut(n).for_each(|row| run(plan, row));
+    // Along y: stride n within each x-plane; one task per plane, each
+    // with its own gather/scatter line buffer.
+    mesh.data.par_chunks_mut(n * n).for_each_init(
+        || vec![Cpx::ZERO; n],
+        |line, plane| {
+            for z in 0..n {
+                for y in 0..n {
+                    line[y] = plane[y * n + z];
+                }
+                run(plan, line);
+                for y in 0..n {
+                    plane[y * n + z] = line[y];
+                }
             }
-            run(plan, &mut line);
-            for y in 0..n {
-                plane[y * n + z] = line[y];
-            }
-        }
-    }
-    // Along x: stride n².
+        },
+    );
+    // Along x: stride n² — the lines cross every chunk boundary, so
+    // chunking cannot express the partition; each yz column is claimed
+    // by exactly one task and accessed through a shared raw pointer.
     let n2 = n * n;
-    for yz in 0..n2 {
-        for x in 0..n {
-            line[x] = mesh.data[x * n2 + yz];
-        }
-        run(plan, &mut line);
-        for x in 0..n {
-            mesh.data[x * n2 + yz] = line[x];
-        }
-    }
+    let ptr = SendPtr(mesh.data.as_mut_ptr());
+    (0..n2).into_par_iter().for_each_init(
+        || vec![Cpx::ZERO; n],
+        |line, yz| {
+            // SAFETY: this task is the only one touching column `yz`;
+            // elements yz, n²+yz, 2n²+yz… are disjoint across tasks.
+            unsafe {
+                for (x, l) in line.iter_mut().enumerate() {
+                    *l = *ptr.get().add(x * n2 + yz);
+                }
+                run(plan, line);
+                for (x, l) in line.iter().enumerate() {
+                    *ptr.get().add(x * n2 + yz) = *l;
+                }
+            }
+        },
+    );
 }
 
 #[cfg(test)]
@@ -155,7 +208,9 @@ mod tests {
     fn rand_mesh(n: usize, seed: u64) -> Mesh3 {
         let mut s = seed;
         let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5
         };
         let vals: Vec<f64> = (0..n * n * n).map(|_| next()).collect();
@@ -188,8 +243,9 @@ mod tests {
         for x in 0..n {
             for y in 0..n {
                 for z in 0..n {
-                    *m.get_mut(x, y, z) =
-                        Cpx::real((2.0 * std::f64::consts::PI * k as f64 * x as f64 / n as f64).cos());
+                    *m.get_mut(x, y, z) = Cpx::real(
+                        (2.0 * std::f64::consts::PI * k as f64 * x as f64 / n as f64).cos(),
+                    );
                 }
             }
         }
@@ -235,7 +291,10 @@ mod tests {
                 for z in 0..n {
                     let a = m.get(x, y, z);
                     let b = m.get((n - x) % n, (n - y) % n, (n - z) % n);
-                    assert!((a - b.conj()).abs() < 1e-9, "not Hermitian at ({x},{y},{z})");
+                    assert!(
+                        (a - b.conj()).abs() < 1e-9,
+                        "not Hermitian at ({x},{y},{z})"
+                    );
                 }
             }
         }

@@ -270,7 +270,9 @@ mod tests {
     fn rand_mesh(n: usize, seed: u64) -> Mesh3 {
         let mut s = seed;
         let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5
         };
         let vals: Vec<f64> = (0..n * n * n).map(|_| next()).collect();

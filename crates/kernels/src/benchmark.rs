@@ -44,7 +44,9 @@ pub struct KernelBenchReport {
 fn bench_positions(n: usize, scale: f64, seed: u64) -> Vec<Vec3> {
     let mut s = seed;
     let mut next = move || {
-        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (s >> 11) as f64 / (1u64 << 53) as f64
     };
     (0..n)
@@ -103,10 +105,10 @@ mod tests {
         assert_eq!(r.n, 64);
         assert!(r.phantom_interactions_per_sec > 0.0);
         assert!(r.scalar_interactions_per_sec > 0.0);
-        assert!((r.phantom_flops
-            - r.phantom_interactions_per_sec * FLOPS_PER_INTERACTION)
-            .abs()
-            < 1e-6 * r.phantom_flops);
+        assert!(
+            (r.phantom_flops - r.phantom_interactions_per_sec * FLOPS_PER_INTERACTION).abs()
+                < 1e-6 * r.phantom_flops
+        );
         assert!(r.speedup > 0.0);
     }
 }

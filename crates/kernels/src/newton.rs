@@ -11,7 +11,11 @@ use crate::sources::{SourceList, Targets};
 use crate::InteractionCount;
 
 /// Reference scalar Newtonian accumulation with Plummer softening.
-pub fn newton_accel_scalar(targets: &mut Targets, sources: &SourceList, eps: f64) -> InteractionCount {
+pub fn newton_accel_scalar(
+    targets: &mut Targets,
+    sources: &SourceList,
+    eps: f64,
+) -> InteractionCount {
     let eps2 = eps * eps;
     for i in 0..targets.len() {
         let (px, py, pz) = (targets.x[i], targets.y[i], targets.z[i]);
@@ -39,7 +43,11 @@ pub fn newton_accel_scalar(targets: &mut Targets, sources: &SourceList, eps: f64
 
 /// Blocked Newtonian kernel with the approximate-rsqrt pipeline — the
 /// classic GRAPE-style force loop without the cutoff polynomial.
-pub fn newton_accel_blocked(targets: &mut Targets, sources: &SourceList, eps: f64) -> InteractionCount {
+pub fn newton_accel_blocked(
+    targets: &mut Targets,
+    sources: &SourceList,
+    eps: f64,
+) -> InteractionCount {
     const LANES: usize = 4;
     let nt = targets.len();
     let ns = sources.len();
@@ -90,14 +98,7 @@ mod tests {
     use super::*;
     use greem_math::Vec3;
 
-    fn rand_positions(n: usize, seed: u64) -> Vec<Vec3> {
-        let mut s = seed;
-        let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            (s >> 11) as f64 / (1u64 << 53) as f64
-        };
-        (0..n).map(|_| Vec3::new(next(), next(), next())).collect()
-    }
+    use greem_math::testutil::rand_positions;
 
     #[test]
     fn blocked_matches_scalar() {

@@ -109,18 +109,8 @@ pub fn pp_accel_phantom(
 mod tests {
     use super::*;
     use crate::scalar::pp_accel_scalar;
+    use greem_math::testutil::rand_positions_scaled as rand_positions;
     use greem_math::Vec3;
-
-    fn rand_positions(n: usize, seed: u64, scale: f64) -> Vec<Vec3> {
-        let mut s = seed;
-        let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            (s >> 11) as f64 / (1u64 << 53) as f64
-        };
-        (0..n)
-            .map(|_| Vec3::new(next() * scale, next() * scale, next() * scale))
-            .collect()
-    }
 
     fn compare_kernels(nt: usize, ns: usize, r_cut: f64, eps: f64, seed: u64) {
         let split = ForceSplit::new(r_cut, eps);

@@ -13,7 +13,11 @@ use crate::InteractionCount;
 /// Returns the number of pairwise interactions evaluated — like the
 /// hardware GRAPE, the kernel charges every pair in the list whether or
 /// not it lands inside the cutoff.
-pub fn pp_accel_scalar(targets: &mut Targets, sources: &SourceList, split: &ForceSplit) -> InteractionCount {
+pub fn pp_accel_scalar(
+    targets: &mut Targets,
+    sources: &SourceList,
+    split: &ForceSplit,
+) -> InteractionCount {
     for i in 0..targets.len() {
         let pi = targets.pos(i);
         let mut acc = Vec3::ZERO;

@@ -48,8 +48,10 @@ pub fn g_p3m(xi: f64) -> f64 {
     let z2 = z * z;
     let z6 = z2 * z2 * z2;
     let poly = 1.0
-        + xi * xi * xi
-            * (-8.0 / 5.0 + xi * xi * (8.0 / 5.0 + xi * (-0.5 + xi * (-12.0 / 35.0 + xi * (3.0 / 20.0)))));
+        + xi * xi
+            * xi
+            * (-8.0 / 5.0
+                + xi * xi * (8.0 / 5.0 + xi * (-0.5 + xi * (-12.0 / 35.0 + xi * (3.0 / 20.0)))));
     poly - z6 * (3.0 / 35.0 + xi * (18.0 / 35.0 + xi * (1.0 / 5.0)))
 }
 
@@ -120,6 +122,9 @@ fn simpson_adaptive(f: &dyn Fn(f64) -> f64, a: f64, b: f64, tol: f64, depth: u32
     fn simpson(a: f64, fa: f64, b: f64, fb: f64, fm: f64) -> f64 {
         (b - a) / 6.0 * (fa + 4.0 * fm + fb)
     }
+    // The argument list is the standard adaptive-Simpson recursion
+    // state (endpoint/midpoint samples carried to avoid re-evaluation).
+    #[allow(clippy::too_many_arguments)]
     fn recurse(
         f: &dyn Fn(f64) -> f64,
         a: f64,
@@ -292,7 +297,10 @@ mod tests {
             let g = g_p3m(xi);
             assert!(g <= prev + 1e-12, "g not monotone at xi={xi}");
             // Rounding may leave g a hair below zero right at the cutoff.
-            assert!((-1e-12..=1.0).contains(&g), "g out of range at xi={xi}: {g}");
+            assert!(
+                (-1e-12..=1.0).contains(&g),
+                "g out of range at xi={xi}: {g}"
+            );
             prev = g;
         }
     }
@@ -365,7 +373,13 @@ mod tests {
             }
             -(2.0 / std::f64::consts::PI) * acc
         };
-        for &r in &[0.1 * r_cut, 0.3 * r_cut, 0.5 * r_cut, 0.8 * r_cut, 1.2 * r_cut] {
+        for &r in &[
+            0.1 * r_cut,
+            0.3 * r_cut,
+            0.5 * r_cut,
+            0.8 * r_cut,
+            1.2 * r_cut,
+        ] {
             let h = 1e-4 * r_cut;
             // Attractive force magnitude = dφ/dr for φ = −(…)/r < 0.
             let f_long = (phi(r + h) - phi(r - h)) / (2.0 * h);

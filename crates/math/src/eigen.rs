@@ -24,15 +24,16 @@ pub struct Eigen3 {
 /// a handful of sweeps for any symmetric input.
 pub fn eigen_sym3(s: Sym3) -> Eigen3 {
     // Unpack to a full matrix.
-    let mut a = [
-        [s[0], s[1], s[2]],
-        [s[1], s[3], s[4]],
-        [s[2], s[4], s[5]],
-    ];
+    let mut a = [[s[0], s[1], s[2]], [s[1], s[3], s[4]], [s[2], s[4], s[5]]];
     let mut v = [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]];
     for _sweep in 0..50 {
         let off = a[0][1] * a[0][1] + a[0][2] * a[0][2] + a[1][2] * a[1][2];
-        if off < 1e-28 * (a[0][0].abs() + a[1][1].abs() + a[2][2].abs()).powi(2).max(1e-300) {
+        if off
+            < 1e-28
+                * (a[0][0].abs() + a[1][1].abs() + a[2][2].abs())
+                    .powi(2)
+                    .max(1e-300)
+        {
             break;
         }
         for (p, q) in [(0usize, 1usize), (0, 2), (1, 2)] {
@@ -45,18 +46,15 @@ pub fn eigen_sym3(s: Sym3) -> Eigen3 {
             let c = 1.0 / (t * t + 1.0).sqrt();
             let sn = t * c;
             // Rotate rows/cols p,q of a.
-            for k in 0..3 {
-                let akp = a[k][p];
-                let akq = a[k][q];
-                a[k][p] = c * akp - sn * akq;
-                a[k][q] = sn * akp + c * akq;
+            for row in a.iter_mut() {
+                let akp = row[p];
+                let akq = row[q];
+                row[p] = c * akp - sn * akq;
+                row[q] = sn * akp + c * akq;
             }
-            for k in 0..3 {
-                let apk = a[p][k];
-                let aqk = a[q][k];
-                a[p][k] = c * apk - sn * aqk;
-                a[q][k] = sn * apk + c * aqk;
-            }
+            let (row_p, row_q) = (a[p], a[q]);
+            a[p] = std::array::from_fn(|k| c * row_p[k] - sn * row_q[k]);
+            a[q] = std::array::from_fn(|k| sn * row_p[k] + c * row_q[k]);
             for row in v.iter_mut() {
                 let vp = row[p];
                 let vq = row[q];
@@ -140,7 +138,9 @@ mod tests {
     fn random_symmetric_matrices() {
         let mut st = 9u64;
         let mut next = move || {
-            st = st.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            st = st
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (st >> 11) as f64 / (1u64 << 53) as f64 - 0.5
         };
         for _ in 0..100 {

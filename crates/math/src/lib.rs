@@ -22,19 +22,22 @@
 //!   distance helpers for the periodic unit cube.
 //! * [`stats`] — small streaming statistics used by the instrumentation
 //!   that reproduces the paper's Table I row structure.
+//! * [`testutil`] — the deterministic snapshot generator shared by the
+//!   workspace's unit tests (one LCG instead of a copy per crate).
 
 pub mod aabb;
-pub mod eigen;
 pub mod cutoff;
+pub mod eigen;
 pub mod morton;
 pub mod periodic;
 pub mod rsqrt;
 pub mod stats;
+pub mod testutil;
 pub mod vec3;
 
 pub use aabb::Aabb;
-pub use eigen::{eigen_sym3, Eigen3, Sym3};
 pub use cutoff::{g_p3m, s2_density, s2_fourier, ForceSplit};
+pub use eigen::{eigen_sym3, Eigen3, Sym3};
 pub use morton::MortonKey;
 pub use periodic::{min_image, min_image_vec, wrap01, wrap_unit};
 pub use rsqrt::{rsqrt, rsqrt_exact, rsqrt_refine, rsqrt_seed};

@@ -38,7 +38,11 @@ pub fn min_image(a: f64, b: f64) -> f64 {
 /// Minimum-image displacement vector `a − b` on the unit torus.
 #[inline]
 pub fn min_image_vec(a: Vec3, b: Vec3) -> Vec3 {
-    Vec3::new(min_image(a.x, b.x), min_image(a.y, b.y), min_image(a.z, b.z))
+    Vec3::new(
+        min_image(a.x, b.x),
+        min_image(a.y, b.y),
+        min_image(a.z, b.z),
+    )
 }
 
 /// Minimum-image squared distance on the unit torus.
@@ -71,7 +75,13 @@ mod tests {
 
     #[test]
     fn min_image_range_and_antisymmetry() {
-        let pairs = [(0.1, 0.9), (0.9, 0.1), (0.5, 0.5), (0.0, 0.999), (0.25, 0.75)];
+        let pairs = [
+            (0.1, 0.9),
+            (0.9, 0.1),
+            (0.5, 0.5),
+            (0.0, 0.999),
+            (0.25, 0.75),
+        ];
         for &(a, b) in &pairs {
             let d = min_image(a, b);
             assert!((-0.5..0.5).contains(&d), "min_image({a},{b})={d}");

@@ -155,7 +155,11 @@ impl PhaseTimer {
 
     /// Begin timing; panics if already running (misuse bug).
     pub fn start(&mut self) {
-        assert!(self.started.is_none(), "PhaseTimer '{}' already running", self.name);
+        assert!(
+            self.started.is_none(),
+            "PhaseTimer '{}' already running",
+            self.name
+        );
         self.started = Some(Instant::now());
     }
 
@@ -210,7 +214,11 @@ impl PhaseTimer {
 
     /// Reset the accumulation (timer must not be running).
     pub fn reset(&mut self) {
-        assert!(self.started.is_none(), "PhaseTimer '{}' reset while running", self.name);
+        assert!(
+            self.started.is_none(),
+            "PhaseTimer '{}' reset while running",
+            self.name
+        );
         self.total = Duration::ZERO;
         self.invocations = 0;
     }

@@ -6,7 +6,9 @@
 //! particle state, tree nodes, mesh geometry — does.
 
 use std::iter::Sum;
-use std::ops::{Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::ops::{
+    Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign,
+};
 
 /// A 3-D vector of `f64` components.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -18,9 +20,17 @@ pub struct Vec3 {
 
 impl Vec3 {
     /// The zero vector.
-    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    pub const ZERO: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
     /// The all-ones vector.
-    pub const ONE: Vec3 = Vec3 { x: 1.0, y: 1.0, z: 1.0 };
+    pub const ONE: Vec3 = Vec3 {
+        x: 1.0,
+        y: 1.0,
+        z: 1.0,
+    };
 
     /// Construct a vector from components.
     #[inline]
@@ -37,7 +47,11 @@ impl Vec3 {
     /// Construct from a `[f64; 3]` array.
     #[inline]
     pub const fn from_array(a: [f64; 3]) -> Self {
-        Vec3 { x: a[0], y: a[1], z: a[2] }
+        Vec3 {
+            x: a[0],
+            y: a[1],
+            z: a[2],
+        }
     }
 
     /// The components as a `[f64; 3]` array.

@@ -252,7 +252,11 @@ impl Comm {
     }
 
     /// Gather at local rank 0 and broadcast the result to every member.
-    pub fn allgather<T: Clone + Send + 'static>(&self, ctx: &mut Ctx, local: Vec<T>) -> Vec<Vec<T>> {
+    pub fn allgather<T: Clone + Send + 'static>(
+        &self,
+        ctx: &mut Ctx,
+        local: Vec<T>,
+    ) -> Vec<Vec<T>> {
         let gathered = self.gather(ctx, 0, local);
         self.bcast(ctx, 0, gathered)
     }
@@ -262,7 +266,11 @@ impl Comm {
     /// `out[i]` is what local rank `i` sent here. Pairwise exchange
     /// schedule (round `k`: send to `me+k`, receive from `me−k`).
     pub fn alltoallv<T: Send + 'static>(&self, ctx: &mut Ctx, send: Vec<Vec<T>>) -> Vec<Vec<T>> {
-        assert_eq!(send.len(), self.size(), "alltoallv: need one buffer per rank");
+        assert_eq!(
+            send.len(),
+            self.size(),
+            "alltoallv: need one buffer per rank"
+        );
         let tag = self.next_tag(CollOp::AllToAll);
         let p = self.size();
         let r = self.my_rank;

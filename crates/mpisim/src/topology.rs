@@ -34,11 +34,11 @@ impl Torus3d {
         // nx+ny+nz (most cubic).
         let mut a = 1;
         while a * a * a <= n {
-            if n % a == 0 {
+            if n.is_multiple_of(a) {
                 let rem = n / a;
                 let mut b = a;
                 while b * b <= rem {
-                    if rem % b == 0 {
+                    if rem.is_multiple_of(b) {
                         let c = rem / b;
                         let surface = a + b + c;
                         if surface < best_surface {

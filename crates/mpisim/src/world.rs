@@ -109,7 +109,9 @@ impl World {
                 }
             }
         });
-        out.into_iter().map(|v| v.expect("rank produced no value")).collect()
+        out.into_iter()
+            .map(|v| v.expect("rank produced no value"))
+            .collect()
     }
 }
 

@@ -139,8 +139,10 @@ impl RelayModel {
         let stage2 = rounds * self.recv_congested(self.density_slab_bytes(), 1.0);
         let relay_forward = stage1 + stage2;
         // --- potential (backward): sender-bound at the FFT ranks.
-        let direct_backward =
-            self.send_congested(self.potential_out_bytes_per_fft_rank(), self.senders(self.p));
+        let direct_backward = self.send_congested(
+            self.potential_out_bytes_per_fft_rank(),
+            self.senders(self.p),
+        );
         // Relay: bcast across groups, then each rep scatters its
         // slab's share to its own group (1/groups of the data).
         let bcast = rounds * self.send_congested(self.density_slab_bytes(), 1.0);
@@ -197,7 +199,11 @@ mod tests {
     #[test]
     fn calibration_hits_the_direct_measurement() {
         let e = RelayModel::paper_experiment().evaluate();
-        assert!((e.direct_forward - 10.0).abs() < 0.2, "{}", e.direct_forward);
+        assert!(
+            (e.direct_forward - 10.0).abs() < 0.2,
+            "{}",
+            e.direct_forward
+        );
     }
 
     #[test]
@@ -229,18 +235,14 @@ mod tests {
     #[test]
     fn more_groups_help_until_reduce_dominates() {
         let base = RelayModel::paper_experiment();
-        let eval = |g: usize| {
-            RelayModel {
-                groups: g,
-                ..base
-            }
-            .evaluate()
-            .relay_forward
-        };
+        let eval = |g: usize| RelayModel { groups: g, ..base }.evaluate().relay_forward;
         // A few groups beat one group (= direct-ish); hundreds of
         // groups pay log-rounds overhead.
         assert!(eval(3) < eval(1));
-        assert!(eval(64) > eval(8) * 0.5, "reduce rounds must cost something");
+        assert!(
+            eval(64) > eval(8) * 0.5,
+            "reduce rounds must cost something"
+        );
     }
 
     #[test]

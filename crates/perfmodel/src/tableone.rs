@@ -116,7 +116,10 @@ impl TableOne {
         }
         let mut s = String::new();
         s.push_str(&format!("p (#nodes)                  {:>12}\n", self.nodes));
-        s.push_str(&format!("N/p                         {:>12.0}\n", self.n_over_p));
+        s.push_str(&format!(
+            "N/p                         {:>12.0}\n",
+            self.n_over_p
+        ));
         row_into(&mut s, "PM(sec/step)", self.pm_total());
         row_into(&mut s, "  density assignment", self.pm_density_assignment);
         row_into(&mut s, "  communication", self.pm_communication);
@@ -310,7 +313,11 @@ mod tests {
         // efficiency to <8 %.
         let t24 = paper_table(24576);
         assert!(rel(t24.total(), 173.84) < 0.05, "total {}", t24.total());
-        assert!(rel(t24.performance(), 1.53e15) < 0.08, "{}", t24.performance());
+        assert!(
+            rel(t24.performance(), 1.53e15) < 0.08,
+            "{}",
+            t24.performance()
+        );
         assert!(rel(t24.efficiency(), 0.487) < 0.08);
         let t82 = paper_table(82944);
         assert!(rel(t82.total(), 60.20) < 0.05, "total {}", t82.total());
@@ -335,18 +342,43 @@ mod tests {
         let m = model_table(82944);
         let t = paper_table(82944);
         let checks: [(&str, f64, f64, f64); 12] = [
-            ("assign", m.pm_density_assignment, t.pm_density_assignment, 0.10),
+            (
+                "assign",
+                m.pm_density_assignment,
+                t.pm_density_assignment,
+                0.10,
+            ),
             ("pm comm", m.pm_communication, t.pm_communication, 0.15),
             ("fft", m.pm_fft, t.pm_fft, 0.05),
-            ("interp", m.pm_force_interpolation, t.pm_force_interpolation, 0.10),
+            (
+                "interp",
+                m.pm_force_interpolation,
+                t.pm_force_interpolation,
+                0.10,
+            ),
             ("local tree", m.pp_local_tree, t.pp_local_tree, 0.10),
             ("pp comm", m.pp_communication, t.pp_communication, 0.25),
-            ("construction", m.pp_tree_construction, t.pp_tree_construction, 0.30),
+            (
+                "construction",
+                m.pp_tree_construction,
+                t.pp_tree_construction,
+                0.30,
+            ),
             ("traversal", m.pp_tree_traversal, t.pp_tree_traversal, 0.15),
-            ("force", m.pp_force_calculation, t.pp_force_calculation, 0.05),
+            (
+                "force",
+                m.pp_force_calculation,
+                t.pp_force_calculation,
+                0.05,
+            ),
             ("update", m.dd_position_update, t.dd_position_update, 0.10),
             ("sampling", m.dd_sampling_method, t.dd_sampling_method, 0.20),
-            ("exchange", m.dd_particle_exchange, t.dd_particle_exchange, 0.15),
+            (
+                "exchange",
+                m.dd_particle_exchange,
+                t.dd_particle_exchange,
+                0.15,
+            ),
         ];
         for (name, got, want, tol) in checks {
             assert!(
@@ -354,9 +386,18 @@ mod tests {
                 "{name}: model {got:.2} vs paper {want:.2} (tol {tol})"
             );
         }
-        assert!(rel(m.total(), t.total()) < 0.10, "total {} vs {}", m.total(), t.total());
+        assert!(
+            rel(m.total(), t.total()) < 0.10,
+            "total {} vs {}",
+            m.total(),
+            t.total()
+        );
         // The headline: ~4.45 Pflops at ~42 % efficiency.
-        assert!(rel(m.performance(), 4.45e15) < 0.10, "perf {:e}", m.performance());
+        assert!(
+            rel(m.performance(), 4.45e15) < 0.10,
+            "perf {:e}",
+            m.performance()
+        );
     }
 
     #[test]
@@ -373,7 +414,10 @@ mod tests {
         let speedup = m24.pp_total() / m82.pp_total();
         let nodes_ratio = 82944.0 / 24576.0;
         assert!(speedup > 0.8 * nodes_ratio, "PP speedup {speedup}");
-        assert!((m24.pm_fft - m82.pm_fft).abs() < 1e-12, "FFT must be flat in p");
+        assert!(
+            (m24.pm_fft - m82.pm_fft).abs() < 1e-12,
+            "FFT must be flat in p"
+        );
         // Efficiency decreases with p (Amdahl via the flat FFT).
         assert!(m82.efficiency() < m24.efficiency());
     }
@@ -381,7 +425,14 @@ mod tests {
     #[test]
     fn render_has_all_rows() {
         let s = model_table(82944).render();
-        for key in ["PM(sec/step)", "FFT", "force calculation", "<Nj>", "Pflops", "efficiency"] {
+        for key in [
+            "PM(sec/step)",
+            "FFT",
+            "force calculation",
+            "<Nj>",
+            "Pflops",
+            "efficiency",
+        ] {
             assert!(s.contains(key), "missing {key} in\n{s}");
         }
     }

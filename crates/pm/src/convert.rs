@@ -38,10 +38,8 @@ pub(crate) fn pack_density(local: &LocalMesh, n: usize, nf: usize, out: &mut [Ve
             for (uy0, wy0, ylen) in wrapped_runs(bx.lo[1], bx.hi[1], n_i) {
                 for (uz0, wz0, zlen) in wrapped_runs(bx.lo[2], bx.hi[2], n_i) {
                     let buf = &mut out[owner];
-                    let hdr = CellBox::new(
-                        [wx0 + x, wy0, wz0],
-                        [wx0 + x + run, wy0 + ylen, wz0 + zlen],
-                    );
+                    let hdr =
+                        CellBox::new([wx0 + x, wy0, wz0], [wx0 + x + run, wy0 + ylen, wz0 + zlen]);
                     buf.extend_from_slice(&hdr.pack());
                     for dx in 0..run {
                         for dy in 0..ylen {
@@ -300,12 +298,8 @@ mod tests {
                 None
             };
             // Irregular want boxes, some spilling over the boundary.
-            let want = CellBox::new(
-                [me as i64 - 2, -1, 3],
-                [me as i64 + 2, 4, 11],
-            );
-            let local =
-                slabs_to_local_potential(ctx, world, slab_data.as_deref(), n, nf, want);
+            let want = CellBox::new([me as i64 - 2, -1, 3], [me as i64 + 2, 4, 11]);
+            let local = slabs_to_local_potential(ctx, world, slab_data.as_deref(), n, nf, want);
             for x in want.lo[0]..want.hi[0] {
                 for y in want.lo[1]..want.hi[1] {
                     for z in want.lo[2]..want.hi[2] {

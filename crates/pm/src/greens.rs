@@ -45,13 +45,21 @@ impl GreensFn {
         let two_pi = 2.0 * std::f64::consts::PI;
         let k_axis = (0..n)
             .map(|i| {
-                let m = if i <= n / 2 { i as f64 } else { i as f64 - n as f64 };
+                let m = if i <= n / 2 {
+                    i as f64
+                } else {
+                    i as f64 - n as f64
+                };
                 two_pi * m
             })
             .collect();
         let w_tsc = (0..n)
             .map(|i| {
-                let m = if i <= n / 2 { i as f64 } else { i as f64 - n as f64 };
+                let m = if i <= n / 2 {
+                    i as f64
+                } else {
+                    i as f64 - n as f64
+                };
                 let x = std::f64::consts::PI * m / n as f64;
                 let s = if x.abs() < 1e-12 { 1.0 } else { x.sin() / x };
                 s * s * s

@@ -18,7 +18,10 @@ pub struct CellBox {
 impl CellBox {
     /// A box from corners; `lo ≤ hi` in every axis.
     pub fn new(lo: [i64; 3], hi: [i64; 3]) -> Self {
-        assert!((0..3).all(|i| lo[i] <= hi[i]), "invalid CellBox {lo:?}..{hi:?}");
+        assert!(
+            (0..3).all(|i| lo[i] <= hi[i]),
+            "invalid CellBox {lo:?}..{hi:?}"
+        );
         CellBox { lo, hi }
     }
 
@@ -163,7 +166,7 @@ mod tests {
         let b = CellBox::new([-1, 2, 0], [3, 5, 4]);
         assert_eq!(b.dims(), [4, 3, 4]);
         assert_eq!(b.len(), 48);
-        let mut seen = vec![false; 48];
+        let mut seen = [false; 48];
         for x in -1..3 {
             for y in 2..5 {
                 for z in 0..4 {

@@ -106,9 +106,16 @@ impl ParallelPm {
         // low ranks are torus-adjacent by construction.
         let fft_comm = world.split(ctx, u64::from(me >= cfg.nf), me as u64);
         let fft = (me < cfg.nf).then(|| SlabFft::new(cfg.n_mesh, fft_comm));
-        let relay = cfg
-            .relay_groups
-            .map(|g| RelayComms::build(ctx, world, RelayConfig { nf: cfg.nf, n_groups: g }));
+        let relay = cfg.relay_groups.map(|g| {
+            RelayComms::build(
+                ctx,
+                world,
+                RelayConfig {
+                    nf: cfg.nf,
+                    n_groups: g,
+                },
+            )
+        });
         ParallelPm {
             greens: GreensFn::new(cfg.n_mesh, cfg.r_cut, cfg.deconvolve),
             cfg,
@@ -146,11 +153,11 @@ impl ParallelPm {
         for (p, &m) in pos.iter().zip(mass) {
             let ([ix, iy, iz], [wx, wy, wz]) = tsc_weights([p.x, p.y, p.z], n);
             let amp = m * vol_inv;
-            for a in 0..3 {
-                for b in 0..3 {
-                    let wxy = wx[a] * wy[b] * amp;
-                    for c in 0..3 {
-                        rho.add([ix + a as i64, iy + b as i64, iz + c as i64], wxy * wz[c]);
+            for (a, &wxa) in wx.iter().enumerate() {
+                for (b, &wyb) in wy.iter().enumerate() {
+                    let wxy = wxa * wyb * amp;
+                    for (c, &wzc) in wz.iter().enumerate() {
+                        rho.add([ix + a as i64, iy + b as i64, iz + c as i64], wxy * wzc);
                     }
                 }
             }
@@ -199,9 +206,7 @@ impl ParallelPm {
         let want = assign_box.grow(2);
         let phi = match &self.relay {
             Some(comms) => relay_slabs_to_local(ctx, comms, pot_slab, n, want),
-            None => {
-                slabs_to_local_potential(ctx, world, pot_slab.as_deref(), n, self.cfg.nf, want)
-            }
+            None => slabs_to_local_potential(ctx, world, pot_slab.as_deref(), n, self.cfg.nf, want),
         };
         times.communication_wall += t0.elapsed().as_secs_f64();
         times.communication_sim += ctx.vtime() - v0;
@@ -245,12 +250,12 @@ impl ParallelPm {
             .map(|p| {
                 let ([ix, iy, iz], [wx, wy, wz]) = tsc_weights([p.x, p.y, p.z], n);
                 let mut v = Vec3::ZERO;
-                for a in 0..3 {
-                    for b in 0..3 {
-                        let wxy = wx[a] * wy[b];
-                        for c in 0..3 {
+                for (a, &wxa) in wx.iter().enumerate() {
+                    for (b, &wyb) in wy.iter().enumerate() {
+                        let wxy = wxa * wyb;
+                        for (c, &wzc) in wz.iter().enumerate() {
                             let cell = [ix + a as i64, iy + b as i64, iz + c as i64];
-                            let w = wxy * wz[c];
+                            let w = wxy * wzc;
                             v.x += w * acc_mesh[0].get(cell);
                             v.y += w * acc_mesh[1].get(cell);
                             v.z += w * acc_mesh[2].get(cell);
@@ -271,14 +276,7 @@ mod tests {
     use crate::serial::{PmParams, PmSolver};
     use mpisim::{NetModel, World};
 
-    fn rand_pos(n: usize, seed: u64) -> Vec<Vec3> {
-        let mut s = seed;
-        let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            (s >> 11) as f64 / (1u64 << 53) as f64
-        };
-        (0..n).map(|_| Vec3::new(next(), next(), next())).collect()
-    }
+    use greem_math::testutil::rand_positions as rand_pos;
 
     /// The parallel solver (direct and relay) must reproduce the serial
     /// PM accelerations for particles scattered across rank domains.
@@ -337,17 +335,19 @@ mod tests {
 
     #[test]
     fn phase_times_are_populated() {
-        let results = World::new(2).with_net(NetModel::k_computer()).run(|ctx, world| {
-            let cfg = ParallelPmConfig::standard(8, 2);
-            let pm = ParallelPm::new(ctx, world, cfg);
-            let me = world.rank();
-            let dlo = [me as f64 * 0.5, 0.0, 0.0];
-            let dhi = [(me + 1) as f64 * 0.5, 1.0, 1.0];
-            let pos = vec![Vec3::new(dlo[0] + 0.1, 0.5, 0.5)];
-            let mass = vec![1.0];
-            let (_, t) = pm.solve(ctx, world, dlo, dhi, &pos, &mass);
-            t
-        });
+        let results = World::new(2)
+            .with_net(NetModel::k_computer())
+            .run(|ctx, world| {
+                let cfg = ParallelPmConfig::standard(8, 2);
+                let pm = ParallelPm::new(ctx, world, cfg);
+                let me = world.rank();
+                let dlo = [me as f64 * 0.5, 0.0, 0.0];
+                let dhi = [(me + 1) as f64 * 0.5, 1.0, 1.0];
+                let pos = vec![Vec3::new(dlo[0] + 0.1, 0.5, 0.5)];
+                let mass = vec![1.0];
+                let (_, t) = pm.solve(ctx, world, dlo, dhi, &pos, &mass);
+                t
+            });
         for t in results {
             assert!(t.density_assignment >= 0.0);
             assert!(t.communication_sim > 0.0, "conversions must cost sim time");

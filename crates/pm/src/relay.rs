@@ -77,7 +77,10 @@ impl RelayComms {
         let small = world.split(ctx, group as u64, me as u64);
         let in_rank = small.rank();
         let reduce = world.split(ctx, in_rank as u64, group as u64);
-        debug_assert!(group != 0 || reduce.rank() == 0, "root group must lead COMM_REDUCE");
+        debug_assert!(
+            group != 0 || reduce.rank() == 0,
+            "root group must lead COMM_REDUCE"
+        );
         RelayComms {
             small,
             reduce,
@@ -253,8 +256,7 @@ mod tests {
         let want_of = |r: usize| CellBox::new([r as i64 - 1, -2, 0], [r as i64 + 3, 5, 9]);
         let direct = World::new(p).with_net(NetModel::free()).run(|ctx, world| {
             let slab = make_slab(world.rank());
-            slabs_to_local_potential(ctx, world, slab.as_deref(), n, nf, want_of(world.rank()))
-                .data
+            slabs_to_local_potential(ctx, world, slab.as_deref(), n, nf, want_of(world.rank())).data
         });
         for n_groups in [1usize, 2] {
             let relayed = World::new(p).with_net(NetModel::free()).run(|ctx, world| {

@@ -8,6 +8,7 @@
 
 use greem_fft::{fft3d, fft3d_inverse, Fft1d, Mesh3};
 use greem_math::Vec3;
+use rayon::prelude::*;
 
 use crate::greens::GreensFn;
 use crate::tsc::tsc_weights;
@@ -68,7 +69,10 @@ pub struct PmSolver {
 impl PmSolver {
     /// Build a solver for the given parameters.
     pub fn new(params: PmParams) -> Self {
-        assert!(params.n_mesh.is_power_of_two(), "PM mesh must be a power of two");
+        assert!(
+            params.n_mesh.is_power_of_two(),
+            "PM mesh must be a power of two"
+        );
         PmSolver {
             greens: GreensFn::new(params.n_mesh, params.r_cut, params.deconvolve),
             plan: Fft1d::new(params.n_mesh),
@@ -83,7 +87,48 @@ impl PmSolver {
 
     /// TSC mass-density assignment onto the full periodic mesh:
     /// `ρ[c] = Σ_p m_p·W(c − x_p) / h³`. Positions must be in `[0,1)`.
+    ///
+    /// Parallelised with per-chunk scratch meshes rather than x-slab
+    /// ownership: TSC scatters span 3 planes, so slab ownership needs
+    /// ghost layers and a particle→slab binning pass, while scratch
+    /// meshes keep the scatter loop identical to the serial one and pay
+    /// only an n³-sized reduction — the better trade at the mesh sizes
+    /// the single-rank path runs (≤128³). The chunk count is a pure
+    /// function of the problem size (never of the thread count), so the
+    /// reduction order is fixed and the result is deterministic on any
+    /// host. It may differ from the serial sum by reassociation only:
+    /// ≲1e-12 relative.
     pub fn assign_density(&self, pos: &[Vec3], mass: &[f64]) -> Vec<f64> {
+        let n = self.params.n_mesh;
+        let chunks = assignment_chunks(pos.len(), n);
+        if chunks == 1 {
+            return self.assign_density_serial(pos, mass);
+        }
+        let chunk_len = pos.len().div_ceil(chunks);
+        let partials: Vec<Vec<f64>> = (0..chunks)
+            .into_par_iter()
+            .map(|c| {
+                let lo = c * chunk_len;
+                let hi = ((c + 1) * chunk_len).min(pos.len());
+                self.assign_density_serial(&pos[lo..hi], &mass[lo..hi])
+            })
+            .collect();
+        // Reduce in fixed chunk order, parallel over mesh slabs.
+        let mut rho = partials[0].clone();
+        rho.par_chunks_mut(n * n).enumerate().for_each(|(x, slab)| {
+            for part in &partials[1..] {
+                let src = &part[x * n * n..(x + 1) * n * n];
+                for (d, s) in slab.iter_mut().zip(src) {
+                    *d += s;
+                }
+            }
+        });
+        rho
+    }
+
+    /// The serial scatter loop — the reference the parallel assignment
+    /// reduces over (and equivalence tests compare against).
+    pub fn assign_density_serial(&self, pos: &[Vec3], mass: &[f64]) -> Vec<f64> {
         let n = self.params.n_mesh;
         let n_i = n as i64;
         let vol_inv = (n * n * n) as f64; // 1/h³
@@ -91,15 +136,15 @@ impl PmSolver {
         for (p, &m) in pos.iter().zip(mass) {
             let ([ix, iy, iz], [wx, wy, wz]) = tsc_weights([p.x, p.y, p.z], n);
             let amp = m * vol_inv;
-            for a in 0..3 {
+            for (a, &wxa) in wx.iter().enumerate() {
                 let cx = (ix + a as i64).rem_euclid(n_i) as usize;
-                for b in 0..3 {
+                for (b, &wyb) in wy.iter().enumerate() {
                     let cy = (iy + b as i64).rem_euclid(n_i) as usize;
-                    let wxy = wx[a] * wy[b] * amp;
+                    let wxy = wxa * wyb * amp;
                     let row = (cx * n + cy) * n;
-                    for c in 0..3 {
+                    for (c, &wzc) in wz.iter().enumerate() {
                         let cz = (iz + c as i64).rem_euclid(n_i) as usize;
-                        rho[row + cz] += wxy * wz[c];
+                        rho[row + cz] += wxy * wzc;
                     }
                 }
             }
@@ -115,7 +160,7 @@ impl PmSolver {
         let mut mesh = Mesh3::from_real(n, density);
         fft3d(&mut mesh, &self.plan);
         let greens = &self.greens;
-        mesh.map_modes(|ix, iy, iz, v| v * greens.eval(ix, iy, iz));
+        mesh.par_map_modes(|ix, iy, iz, v| v * greens.eval(ix, iy, iz));
         fft3d_inverse(&mut mesh, &self.plan);
         mesh.to_real()
     }
@@ -128,53 +173,116 @@ impl PmSolver {
         assert_eq!(phi.len(), n * n * n);
         let inv12h = n as f64 / 12.0;
         let idx = |x: usize, y: usize, z: usize| (x * n + y) * n + z;
-        let mut out = [vec![0.0; n * n * n], vec![0.0; n * n * n], vec![0.0; n * n * n]];
         let wrap = |i: usize, d: i64| ((i as i64 + d).rem_euclid(n as i64)) as usize;
-        for x in 0..n {
+        // One parallel pass per component, each over x-slabs of its own
+        // output mesh. Every cell is written once with the same stencil
+        // arithmetic as the serial loop: bitwise-identical results.
+        let mut out = [
+            vec![0.0; n * n * n],
+            vec![0.0; n * n * n],
+            vec![0.0; n * n * n],
+        ];
+        let [ox, oy, oz] = &mut out;
+        ox.par_chunks_mut(n * n).enumerate().for_each(|(x, slab)| {
             for y in 0..n {
                 for z in 0..n {
-                    let i = idx(x, y, z);
                     let dx = -phi[idx(wrap(x, 2), y, z)] + 8.0 * phi[idx(wrap(x, 1), y, z)]
                         - 8.0 * phi[idx(wrap(x, -1), y, z)]
                         + phi[idx(wrap(x, -2), y, z)];
+                    slab[y * n + z] = -dx * inv12h;
+                }
+            }
+        });
+        oy.par_chunks_mut(n * n).enumerate().for_each(|(x, slab)| {
+            for y in 0..n {
+                for z in 0..n {
                     let dy = -phi[idx(x, wrap(y, 2), z)] + 8.0 * phi[idx(x, wrap(y, 1), z)]
                         - 8.0 * phi[idx(x, wrap(y, -1), z)]
                         + phi[idx(x, wrap(y, -2), z)];
+                    slab[y * n + z] = -dy * inv12h;
+                }
+            }
+        });
+        oz.par_chunks_mut(n * n).enumerate().for_each(|(x, slab)| {
+            for y in 0..n {
+                for z in 0..n {
                     let dz = -phi[idx(x, y, wrap(z, 2))] + 8.0 * phi[idx(x, y, wrap(z, 1))]
                         - 8.0 * phi[idx(x, y, wrap(z, -1))]
                         + phi[idx(x, y, wrap(z, -2))];
-                    out[0][i] = -dx * inv12h;
-                    out[1][i] = -dy * inv12h;
-                    out[2][i] = -dz * inv12h;
+                    slab[y * n + z] = -dz * inv12h;
                 }
             }
-        }
+        });
         out
     }
 
-    /// TSC interpolation of a mesh field to particle positions.
+    /// TSC interpolation of a mesh field to particle positions
+    /// (parallel over particles; per-particle arithmetic is unchanged,
+    /// so results are bitwise-identical to the serial loop).
     pub fn interpolate(&self, field: &[f64], pos: &[Vec3]) -> Vec<f64> {
         let n = self.params.n_mesh;
         let n_i = n as i64;
-        pos.iter()
+        pos.par_iter()
             .map(|p| {
                 let ([ix, iy, iz], [wx, wy, wz]) = tsc_weights([p.x, p.y, p.z], n);
                 let mut v = 0.0;
-                for a in 0..3 {
+                for (a, &wxa) in wx.iter().enumerate() {
                     let cx = (ix + a as i64).rem_euclid(n_i) as usize;
-                    for b in 0..3 {
+                    for (b, &wyb) in wy.iter().enumerate() {
                         let cy = (iy + b as i64).rem_euclid(n_i) as usize;
                         let row = (cx * n + cy) * n;
-                        let wxy = wx[a] * wy[b];
-                        for c in 0..3 {
+                        let wxy = wxa * wyb;
+                        for (c, &wzc) in wz.iter().enumerate() {
                             let cz = (iz + c as i64).rem_euclid(n_i) as usize;
-                            v += wxy * wz[c] * field[row + cz];
+                            v += wxy * wzc * field[row + cz];
                         }
                     }
                 }
                 v
             })
             .collect()
+    }
+
+    /// Fused TSC interpolation of the three acceleration meshes and the
+    /// potential: one pass computing the TSC weights once per particle
+    /// instead of four times. Each field keeps its own accumulator in
+    /// the same a/b/c gather order, so every value is bitwise-identical
+    /// to four separate [`interpolate`](Self::interpolate) calls.
+    pub fn interpolate_forces(
+        &self,
+        acc: &[Vec<f64>; 3],
+        phi: &[f64],
+        pos: &[Vec3],
+    ) -> (Vec<Vec3>, Vec<f64>) {
+        let n = self.params.n_mesh;
+        let n_i = n as i64;
+        let rows: Vec<(Vec3, f64)> = pos
+            .par_iter()
+            .map(|p| {
+                let ([ix, iy, iz], [wx, wy, wz]) = tsc_weights([p.x, p.y, p.z], n);
+                let mut a3 = Vec3::ZERO;
+                let mut pot = 0.0;
+                for (a, &wxa) in wx.iter().enumerate() {
+                    let cx = (ix + a as i64).rem_euclid(n_i) as usize;
+                    for (b, &wyb) in wy.iter().enumerate() {
+                        let cy = (iy + b as i64).rem_euclid(n_i) as usize;
+                        let row = (cx * n + cy) * n;
+                        let wxy = wxa * wyb;
+                        for (c, &wzc) in wz.iter().enumerate() {
+                            let cz = (iz + c as i64).rem_euclid(n_i) as usize;
+                            let w = wxy * wzc;
+                            let i = row + cz;
+                            a3.x += w * acc[0][i];
+                            a3.y += w * acc[1][i];
+                            a3.z += w * acc[2][i];
+                            pot += w * phi[i];
+                        }
+                    }
+                }
+                (a3, pot)
+            })
+            .collect();
+        rows.into_iter().unzip()
     }
 
     /// The full PM cycle: long-range accelerations (and potentials) at
@@ -184,19 +292,24 @@ impl PmSolver {
         let rho = self.assign_density(pos, mass);
         let phi = self.potential_mesh(&rho);
         let acc = self.accel_meshes(&phi);
-        let ax = self.interpolate(&acc[0], pos);
-        let ay = self.interpolate(&acc[1], pos);
-        let az = self.interpolate(&acc[2], pos);
-        let potential = self.interpolate(&phi, pos);
-        let accel = ax
-            .into_iter()
-            .zip(ay)
-            .zip(az)
-            .map(|((x, y), z)| Vec3::new(x, y, z))
-            .collect();
+        let (accel, potential) = self.interpolate_forces(&acc, &phi, pos);
         PmResult { accel, potential }
     }
+}
 
+/// Chunk count for parallel density assignment: a pure function of the
+/// problem size so the reduction order — and therefore the result — is
+/// identical on every host and thread count. Bounded by a scratch-mesh
+/// memory budget (each chunk owns an n³ f64 mesh) and by a minimum
+/// number of particles per chunk (below that the scatter is too cheap
+/// to amortise the reduction).
+fn assignment_chunks(n_particles: usize, n_mesh: usize) -> usize {
+    const MIN_PARTICLES_PER_CHUNK: usize = 4096;
+    const SCRATCH_BUDGET_BYTES: usize = 256 << 20;
+    let by_particles = n_particles / MIN_PARTICLES_PER_CHUNK;
+    let mesh_bytes = n_mesh * n_mesh * n_mesh * std::mem::size_of::<f64>();
+    let by_memory = SCRATCH_BUDGET_BYTES / mesh_bytes.max(1);
+    by_particles.min(by_memory).clamp(1, 8)
 }
 
 #[cfg(test)]
@@ -204,14 +317,7 @@ mod tests {
     use super::*;
     use greem_math::cutoff::g_long;
 
-    fn rand_pos(n: usize, seed: u64) -> Vec<Vec3> {
-        let mut s = seed;
-        let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            (s >> 11) as f64 / (1u64 << 53) as f64
-        };
-        (0..n).map(|_| Vec3::new(next(), next(), next())).collect()
-    }
+    use greem_math::testutil::rand_positions as rand_pos;
 
     #[test]
     fn assignment_conserves_mass() {
@@ -219,12 +325,48 @@ mod tests {
         let pos = rand_pos(100, 3);
         let mass: Vec<f64> = (0..100).map(|i| 0.5 + (i % 7) as f64 * 0.1).collect();
         let rho = solver.assign_density(&pos, &mass);
-        let total: f64 = rho.iter().sum::<f64>() / (16f64 * 16.0 * 16.0).powi(1) * 1.0;
         let cell_vol = 1.0 / (16f64).powi(3);
         let got: f64 = rho.iter().sum::<f64>() * cell_vol;
         let want: f64 = mass.iter().sum();
-        let _ = total;
         assert!((got - want).abs() < 1e-10 * want, "mass {got} vs {want}");
+    }
+
+    #[test]
+    fn parallel_assignment_matches_serial_reference() {
+        // Enough particles to exceed the chunking threshold, so the
+        // parallel reduction path actually runs.
+        let solver = PmSolver::new(PmParams::standard(16));
+        let pos = rand_pos(20_000, 17);
+        let mass: Vec<f64> = (0..20_000).map(|i| 0.5 + (i % 5) as f64 * 0.2).collect();
+        let par = solver.assign_density(&pos, &mass);
+        let ser = solver.assign_density_serial(&pos, &mass);
+        let scale = ser.iter().map(|v| v.abs()).fold(1e-300, f64::max);
+        for (p, s) in par.iter().zip(&ser) {
+            // Reassociated sums only: documented ≲1e-12 relative.
+            assert!((p - s).abs() <= 1e-12 * scale, "{p} vs {s}");
+        }
+    }
+
+    #[test]
+    fn fused_interpolation_matches_separate_calls() {
+        let solver = PmSolver::new(PmParams::standard(16));
+        let pos = rand_pos(500, 23);
+        let mass = vec![1.0; 500];
+        let rho = solver.assign_density(&pos, &mass);
+        let phi = solver.potential_mesh(&rho);
+        let acc = solver.accel_meshes(&phi);
+        let (a3, pot) = solver.interpolate_forces(&acc, &phi, &pos);
+        let ax = solver.interpolate(&acc[0], &pos);
+        let ay = solver.interpolate(&acc[1], &pos);
+        let az = solver.interpolate(&acc[2], &pos);
+        let pw = solver.interpolate(&phi, &pos);
+        for i in 0..pos.len() {
+            // Same gather order per field: bitwise equality.
+            assert_eq!(a3[i].x, ax[i]);
+            assert_eq!(a3[i].y, ay[i]);
+            assert_eq!(a3[i].z, az[i]);
+            assert_eq!(pot[i], pw[i]);
+        }
     }
 
     #[test]
@@ -258,12 +400,7 @@ mod tests {
         let pos = rand_pos(200, 5);
         let mass: Vec<f64> = (0..200).map(|i| 1.0 + (i % 3) as f64).collect();
         let res = solver.solve(&pos, &mass);
-        let ptot: Vec3 = res
-            .accel
-            .iter()
-            .zip(&mass)
-            .map(|(a, &m)| *a * m)
-            .sum();
+        let ptot: Vec3 = res.accel.iter().zip(&mass).map(|(a, &m)| *a * m).sum();
         let scale: f64 = res
             .accel
             .iter()

@@ -1,6 +1,18 @@
 //! Octree construction from Morton-sorted particles.
+//!
+//! Construction is parallel: key computation, the Morton sort, the
+//! permutation gathers, and the eight top-level subtrees all run as
+//! rayon tasks. The sort key is the total order `(MortonKey, slot)` and
+//! the eight sub-arenas are concatenated in octant order, which
+//! reproduces the serial DFS node layout exactly — `build` and
+//! `build_serial` return bitwise-identical trees at any thread count.
 
 use greem_math::{Aabb, MortonKey, Sym3, Vec3};
+use rayon::prelude::*;
+
+/// Below this particle count the whole build runs serially — the
+/// broadcast/latch overhead of eight subtree tasks outweighs the work.
+const PAR_BUILD_CUTOFF: usize = 2048;
 
 /// Construction parameters.
 #[derive(Debug, Clone, Copy)]
@@ -100,33 +112,63 @@ impl Octree {
     /// cube internally (recursive bisection produces cubic cells, which
     /// the opening criterion's `ℓ/d` assumes).
     pub fn build(positions: &[Vec3], masses: &[f64], root_box: Aabb, params: TreeParams) -> Octree {
+        Self::build_impl(positions, masses, root_box, params, true)
+    }
+
+    /// Serial reference build: identical result to [`build`](Self::build)
+    /// (same `(key, slot)` sort order, same DFS arena layout), used by
+    /// the parallel-equivalence tests.
+    pub fn build_serial(
+        positions: &[Vec3],
+        masses: &[f64],
+        root_box: Aabb,
+        params: TreeParams,
+    ) -> Octree {
+        Self::build_impl(positions, masses, root_box, params, false)
+    }
+
+    fn build_impl(
+        positions: &[Vec3],
+        masses: &[f64],
+        root_box: Aabb,
+        params: TreeParams,
+        parallel: bool,
+    ) -> Octree {
         assert_eq!(positions.len(), masses.len());
         let n = positions.len();
+        let parallel = parallel && n >= PAR_BUILD_CUTOFF;
         let side = root_box.max_extent().max(f64::MIN_POSITIVE);
         let root_box = Aabb::new(
             root_box.center() - Vec3::splat(0.5 * side),
             root_box.center() + Vec3::splat(0.5 * side),
         );
         let scale = Vec3::splat(1.0 / side);
-        // Morton-sort an index permutation.
+        let key_of = |p: &Vec3| {
+            let q = (*p - root_box.lo).hadamard(scale);
+            debug_assert!(
+                (-1e-9..1.0 + 1e-9).contains(&q.x)
+                    && (-1e-9..1.0 + 1e-9).contains(&q.y)
+                    && (-1e-9..1.0 + 1e-9).contains(&q.z),
+                "particle outside root box: {p:?}"
+            );
+            MortonKey::from_unit_pos(q.x, q.y, q.z)
+        };
+        // Morton-sort an index permutation. The `(key, slot)` pair is a
+        // total order, so the permutation is unique — equal keys keep
+        // input order — and serial and parallel sorts agree exactly.
         let mut order: Vec<u32> = (0..n as u32).collect();
-        let keys: Vec<MortonKey> = positions
-            .iter()
-            .map(|p| {
-                let q = (*p - root_box.lo).hadamard(scale);
-                debug_assert!(
-                    (-1e-9..1.0 + 1e-9).contains(&q.x)
-                        && (-1e-9..1.0 + 1e-9).contains(&q.y)
-                        && (-1e-9..1.0 + 1e-9).contains(&q.z),
-                    "particle outside root box: {p:?}"
-                );
-                MortonKey::from_unit_pos(q.x, q.y, q.z)
-            })
-            .collect();
-        order.sort_unstable_by_key(|&i| keys[i as usize]);
-
-        let pos: Vec<Vec3> = order.iter().map(|&i| positions[i as usize]).collect();
-        let mass: Vec<f64> = order.iter().map(|&i| masses[i as usize]).collect();
+        let (keys, pos, mass): (Vec<MortonKey>, Vec<Vec3>, Vec<f64>);
+        if parallel {
+            keys = positions.par_iter().map(key_of).collect();
+            order.par_sort_unstable_by_key(|&i| (keys[i as usize], i));
+            pos = order.par_iter().map(|&i| positions[i as usize]).collect();
+            mass = order.par_iter().map(|&i| masses[i as usize]).collect();
+        } else {
+            keys = positions.iter().map(key_of).collect();
+            order.sort_unstable_by_key(|&i| (keys[i as usize], i));
+            pos = order.iter().map(|&i| positions[i as usize]).collect();
+            mass = order.iter().map(|&i| masses[i as usize]).collect();
+        }
         let sorted_keys: Vec<MortonKey> = order.iter().map(|&i| keys[i as usize]).collect();
 
         let mut tree = Octree {
@@ -136,86 +178,100 @@ impl Octree {
             mass,
             orig_index: order,
         };
-        if n > 0 {
-            tree.build_node(&sorted_keys, 0, n, 0, root_box.center(), root_box.max_extent() * 0.5, &params);
+        if n == 0 {
+            return tree;
+        }
+        let center = root_box.center();
+        let half = root_box.max_extent() * 0.5;
+        let splitting_root = n > params.leaf_capacity && params.max_depth > 0;
+        if parallel && splitting_root {
+            tree.build_parallel_root(&sorted_keys, center, half, &params);
+        } else {
+            build_arena(
+                &mut tree.nodes,
+                &sorted_keys,
+                &tree.pos,
+                &tree.mass,
+                0,
+                n,
+                0,
+                center,
+                half,
+                &params,
+            );
         }
         tree
     }
 
-    /// Recursively build the node over sorted slots `[first, last)` at
-    /// `level`; returns the node index.
-    fn build_node(
+    /// Build the root node, then the eight top-level subtrees as
+    /// parallel tasks. Sub-arenas are concatenated in octant order with
+    /// child indices rebased, reproducing the serial DFS layout exactly
+    /// (a serial DFS emits each octant's whole subtree contiguously, in
+    /// octant order, right after the root).
+    fn build_parallel_root(
         &mut self,
         keys: &[MortonKey],
-        first: usize,
-        last: usize,
-        level: u32,
         center: Vec3,
         half: f64,
         params: &TreeParams,
-    ) -> i32 {
-        let count = last - first;
-        debug_assert!(count > 0);
-        let idx = self.nodes.len();
-        // Moments.
-        let mut m = 0.0;
-        let mut com = Vec3::ZERO;
-        for i in first..last {
-            m += self.mass[i];
-            com += self.pos[i] * self.mass[i];
-        }
-        let com = if m > 0.0 {
-            com / m
-        } else {
-            // Massless clump (possible in tests): fall back to centroid.
-            self.pos[first..last].iter().copied().sum::<Vec3>() / count as f64
-        };
-        let mut s_moment = [0.0; 6];
-        for i in first..last {
-            let d = self.pos[i] - com;
-            let w = self.mass[i];
-            s_moment[0] += w * d.x * d.x;
-            s_moment[1] += w * d.x * d.y;
-            s_moment[2] += w * d.x * d.z;
-            s_moment[3] += w * d.y * d.y;
-            s_moment[4] += w * d.y * d.z;
-            s_moment[5] += w * d.z * d.z;
-        }
-        self.nodes.push(Node {
-            first: first as u32,
-            count: count as u32,
-            child: [-1; 8],
-            com,
-            mass: m,
-            s_moment,
-            center,
-            half,
-            is_leaf: true,
-        });
-        if count <= params.leaf_capacity || level >= params.max_depth {
-            return idx as i32;
-        }
-        // Split: particles are key-sorted, so each octant is a
-        // contiguous sub-range found by scanning the 3-bit digit.
-        self.nodes[idx].is_leaf = false;
-        let mut start = first;
-        let quarter = half * 0.5;
-        while start < last {
-            let oct = keys[start].octant_at_level(level);
+    ) {
+        let n = self.pos.len();
+        debug_assert!(self.nodes.is_empty());
+        let mut root = make_node(&self.pos, &self.mass, 0, n, center, half);
+        root.is_leaf = false;
+        self.nodes.push(root);
+        // Octant sub-ranges: particles are key-sorted, so each is a
+        // contiguous run of the level-0 digit.
+        let mut ranges: Vec<(u8, usize, usize)> = Vec::with_capacity(8);
+        let mut start = 0;
+        while start < n {
+            let oct = keys[start].octant_at_level(0);
             let mut end = start + 1;
-            while end < last && keys[end].octant_at_level(level) == oct {
+            while end < n && keys[end].octant_at_level(0) == oct {
                 end += 1;
             }
-            let off = Vec3::new(
-                if oct & 0b100 != 0 { quarter } else { -quarter },
-                if oct & 0b010 != 0 { quarter } else { -quarter },
-                if oct & 0b001 != 0 { quarter } else { -quarter },
-            );
-            let child = self.build_node(keys, start, end, level + 1, center + off, quarter, params);
-            self.nodes[idx].child[oct as usize] = child;
+            ranges.push((oct, start, end));
             start = end;
         }
-        idx as i32
+        let quarter = half * 0.5;
+        let pos = &self.pos;
+        let mass = &self.mass;
+        let subs: Vec<(u8, Vec<Node>)> = ranges
+            .into_par_iter()
+            .map(|(oct, first, last)| {
+                let off = Vec3::new(
+                    if oct & 0b100 != 0 { quarter } else { -quarter },
+                    if oct & 0b010 != 0 { quarter } else { -quarter },
+                    if oct & 0b001 != 0 { quarter } else { -quarter },
+                );
+                let mut sub = Vec::new();
+                build_arena(
+                    &mut sub,
+                    keys,
+                    pos,
+                    mass,
+                    first,
+                    last,
+                    1,
+                    center + off,
+                    quarter,
+                    params,
+                );
+                (oct, sub)
+            })
+            .collect();
+        for (oct, sub) in subs {
+            let offset = self.nodes.len() as i32;
+            self.nodes[0].child[oct as usize] = offset;
+            self.nodes.extend(sub.into_iter().map(|mut node| {
+                for c in node.child.iter_mut() {
+                    if *c >= 0 {
+                        *c += offset;
+                    }
+                }
+                node
+            }));
+        }
     }
 
     /// The root bounding box the tree was built in.
@@ -259,18 +315,115 @@ impl Octree {
     }
 }
 
+/// Node over sorted slots `[first, last)`: moments and geometry, no
+/// children yet.
+fn make_node(
+    pos: &[Vec3],
+    mass: &[f64],
+    first: usize,
+    last: usize,
+    center: Vec3,
+    half: f64,
+) -> Node {
+    let count = last - first;
+    debug_assert!(count > 0);
+    let mut m = 0.0;
+    let mut com = Vec3::ZERO;
+    for i in first..last {
+        m += mass[i];
+        com += pos[i] * mass[i];
+    }
+    let com = if m > 0.0 {
+        com / m
+    } else {
+        // Massless clump (possible in tests): fall back to centroid.
+        pos[first..last].iter().copied().sum::<Vec3>() / count as f64
+    };
+    let mut s_moment = [0.0; 6];
+    for i in first..last {
+        let d = pos[i] - com;
+        let w = mass[i];
+        s_moment[0] += w * d.x * d.x;
+        s_moment[1] += w * d.x * d.y;
+        s_moment[2] += w * d.x * d.z;
+        s_moment[3] += w * d.y * d.y;
+        s_moment[4] += w * d.y * d.z;
+        s_moment[5] += w * d.z * d.z;
+    }
+    Node {
+        first: first as u32,
+        count: count as u32,
+        child: [-1; 8],
+        com,
+        mass: m,
+        s_moment,
+        center,
+        half,
+        is_leaf: true,
+    }
+}
+
+/// Recursively build the subtree over sorted slots `[first, last)` at
+/// `level` into `nodes` (a DFS arena with indices local to `nodes`);
+/// returns the subtree root's index.
+#[allow(clippy::too_many_arguments)]
+fn build_arena(
+    nodes: &mut Vec<Node>,
+    keys: &[MortonKey],
+    pos: &[Vec3],
+    mass: &[f64],
+    first: usize,
+    last: usize,
+    level: u32,
+    center: Vec3,
+    half: f64,
+    params: &TreeParams,
+) -> i32 {
+    let count = last - first;
+    let idx = nodes.len();
+    nodes.push(make_node(pos, mass, first, last, center, half));
+    if count <= params.leaf_capacity || level >= params.max_depth {
+        return idx as i32;
+    }
+    // Split: particles are key-sorted, so each octant is a
+    // contiguous sub-range found by scanning the 3-bit digit.
+    nodes[idx].is_leaf = false;
+    let mut start = first;
+    let quarter = half * 0.5;
+    while start < last {
+        let oct = keys[start].octant_at_level(level);
+        let mut end = start + 1;
+        while end < last && keys[end].octant_at_level(level) == oct {
+            end += 1;
+        }
+        let off = Vec3::new(
+            if oct & 0b100 != 0 { quarter } else { -quarter },
+            if oct & 0b010 != 0 { quarter } else { -quarter },
+            if oct & 0b001 != 0 { quarter } else { -quarter },
+        );
+        let child = build_arena(
+            nodes,
+            keys,
+            pos,
+            mass,
+            start,
+            end,
+            level + 1,
+            center + off,
+            quarter,
+            params,
+        );
+        nodes[idx].child[oct as usize] = child;
+        start = end;
+    }
+    idx as i32
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn rand_positions(n: usize, seed: u64) -> Vec<Vec3> {
-        let mut s = seed;
-        let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            (s >> 11) as f64 / (1u64 << 53) as f64
-        };
-        (0..n).map(|_| Vec3::new(next(), next(), next())).collect()
-    }
+    use greem_math::testutil::rand_positions;
 
     fn build_uniform(n: usize, seed: u64) -> (Octree, Vec<Vec3>) {
         let pos = rand_positions(n, seed);
@@ -351,7 +504,10 @@ mod tests {
                 // definite cell, geometry may disagree by one ULP-cell.
                 let d2 = cell.dist2_to_point(p);
                 let tol = (1e-6 * node.half).powi(2).max(1e-24);
-                assert!(d2 <= tol, "particle {p:?} outside its cell {cell:?} (d2={d2})");
+                assert!(
+                    d2 <= tol,
+                    "particle {p:?} outside its cell {cell:?} (d2={d2})"
+                );
             }
         }
     }
@@ -377,13 +533,50 @@ mod tests {
     #[test]
     fn orig_index_is_permutation() {
         let (tree, pos) = build_uniform(128, 5);
-        let mut seen = vec![false; 128];
+        let mut seen = [false; 128];
         for (slot, &oi) in tree.orig_index().iter().enumerate() {
             assert!(!seen[oi as usize]);
             seen[oi as usize] = true;
             assert_eq!(tree.pos()[slot], pos[oi as usize]);
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn parallel_build_matches_serial_bitwise() {
+        // Above PAR_BUILD_CUTOFF so the parallel path actually runs.
+        let n = 5000;
+        let pos = rand_positions(n, 7);
+        let masses: Vec<f64> = (0..n).map(|i| 1.0 + (i % 4) as f64 * 0.25).collect();
+        let par = Octree::build(&pos, &masses, Aabb::UNIT, TreeParams::default());
+        let ser = Octree::build_serial(&pos, &masses, Aabb::UNIT, TreeParams::default());
+        assert_eq!(par.orig_index(), ser.orig_index());
+        assert_eq!(par.nodes().len(), ser.nodes().len());
+        for (a, b) in par.nodes().iter().zip(ser.nodes()) {
+            assert_eq!(a.first, b.first);
+            assert_eq!(a.count, b.count);
+            assert_eq!(a.child, b.child);
+            assert_eq!(a.com, b.com);
+            assert_eq!(a.mass, b.mass);
+            assert_eq!(a.s_moment, b.s_moment);
+            assert_eq!(a.center, b.center);
+            assert_eq!(a.half, b.half);
+            assert_eq!(a.is_leaf, b.is_leaf);
+        }
+    }
+
+    #[test]
+    fn duplicate_keys_sort_deterministically() {
+        // Equal Morton keys keep input order under the (key, slot)
+        // total order, so repeated builds agree slot-for-slot.
+        let mut pos = rand_positions(3000, 9);
+        for p in pos.iter_mut().take(1000) {
+            *p = Vec3::splat(0.25); // heavy duplication
+        }
+        let masses = vec![1.0; pos.len()];
+        let a = Octree::build(&pos, &masses, Aabb::UNIT, TreeParams::default());
+        let b = Octree::build(&pos, &masses, Aabb::UNIT, TreeParams::default());
+        assert_eq!(a.orig_index(), b.orig_index());
     }
 
     #[test]

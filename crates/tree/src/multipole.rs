@@ -113,7 +113,9 @@ mod tests {
         // and compare against the clump's own moments.
         let mut st = 3u64;
         let mut next = move || {
-            st = st.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            st = st
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (st >> 11) as f64 / (1u64 << 53) as f64 - 0.5
         };
         let pts: Vec<(Vec3, f64)> = (0..40)

@@ -298,9 +298,11 @@ impl<'t> GroupWalk<'t> {
                     }
                     Multipole::PseudoParticleQuad => {
                         if node.mass > 0.0 {
-                            for (p, m) in
-                                crate::multipole::pseudo_particles(node.com, node.mass, node.s_moment)
-                            {
+                            for (p, m) in crate::multipole::pseudo_particles(
+                                node.com,
+                                node.mass,
+                                node.s_moment,
+                            ) {
                                 list.push(SourceEntry {
                                     pos: shift(p),
                                     mass: m,
@@ -339,14 +341,7 @@ mod tests {
     use crate::build::TreeParams;
     use greem_math::{min_image_vec, ForceSplit};
 
-    fn rand_positions(n: usize, seed: u64) -> Vec<Vec3> {
-        let mut s = seed;
-        let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            (s >> 11) as f64 / (1u64 << 53) as f64
-        };
-        (0..n).map(|_| Vec3::new(next(), next(), next())).collect()
-    }
+    use greem_math::testutil::rand_positions;
 
     /// Brute-force periodic short-range accelerations (minimum image).
     fn direct_pp(pos: &[Vec3], masses: &[f64], split: &ForceSplit) -> Vec<Vec3> {
@@ -441,7 +436,10 @@ mod tests {
         let max = rel.iter().cloned().fold(0.0, f64::max);
         assert!(mean < 5e-3, "mean rel force error {mean}");
         assert!(max < 0.1, "max rel force error {max}");
-        assert!(stats.node_entries > 0, "θ=0.4 should accept some multipoles");
+        assert!(
+            stats.node_entries > 0,
+            "θ=0.4 should accept some multipoles"
+        );
     }
 
     #[test]
@@ -465,7 +463,10 @@ mod tests {
                 covered[i as usize] = true;
             }
         }
-        assert!(covered.iter().all(|&c| c), "groups must cover all particles");
+        assert!(
+            covered.iter().all(|&c| c),
+            "groups must cover all particles"
+        );
     }
 
     #[test]
@@ -627,7 +628,12 @@ mod tests {
         let stats = GroupWalk::new(&tree, TraverseParams::default()).for_each_group(|_, _| {});
         assert_eq!(stats.n_groups, 0);
 
-        let tree = Octree::build(&[Vec3::splat(0.5)], &[1.0], Aabb::UNIT, TreeParams::default());
+        let tree = Octree::build(
+            &[Vec3::splat(0.5)],
+            &[1.0],
+            Aabb::UNIT,
+            TreeParams::default(),
+        );
         let split = ForceSplit::new(0.2, 0.0);
         let (acc, stats) = walk_pp(&tree, 1, TraverseParams::default(), &split);
         assert_eq!(stats.n_groups, 1);

@@ -54,7 +54,10 @@ fn main() {
     let mut sim = Simulation::new(
         cfg,
         bodies,
-        SimulationMode::Cosmological { cosmology: cosmo, a: a0 },
+        SimulationMode::Cosmological {
+            cosmology: cosmo,
+            a: a0,
+        },
     );
 
     // Integrate with log-spaced scale-factor steps; snapshot at the
@@ -67,7 +70,10 @@ fn main() {
     let mut next = 1;
     let snap = |sim: &Simulation, z: f64| {
         let s = projected_density(sim.bodies(), 48, 2, &format!("z = {z}"));
-        println!("\n=== projected density at z = {z} (peak contrast {:.1}) ===", s.peak_contrast());
+        println!(
+            "\n=== projected density at z = {z} (peak contrast {:.1}) ===",
+            s.peak_contrast()
+        );
         println!("{}", s.ascii());
     };
     snap(&sim, targets[0]);

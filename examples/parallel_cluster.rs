@@ -19,13 +19,18 @@ fn main() {
     let n = 6000;
     let mut state = 7u64;
     let mut rnd = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (state >> 11) as f64 / (1u64 << 53) as f64
     };
     let bodies: Vec<Body> = (0..n)
         .map(|i| {
             let pos = if i % 2 == 0 {
-                wrap01(Vec3::new(0.7, 0.3, 0.4) + Vec3::new(rnd() - 0.5, rnd() - 0.5, rnd() - 0.5) * 0.08)
+                wrap01(
+                    Vec3::new(0.7, 0.3, 0.4)
+                        + Vec3::new(rnd() - 0.5, rnd() - 0.5, rnd() - 0.5) * 0.08,
+                )
             } else {
                 Vec3::new(rnd(), rnd(), rnd())
             };
@@ -61,7 +66,14 @@ fn main() {
                 last_ghosts = s.n_ghosts;
             }
             let dom = sim.my_domain(world);
-            (world.rank(), dom, last_owned, last_ghosts, total, ctx.vtime())
+            (
+                world.rank(),
+                dom,
+                last_owned,
+                last_ghosts,
+                total,
+                ctx.vtime(),
+            )
         });
 
     for (rank, dom, owned, ghosts, _, vt) in &reports {

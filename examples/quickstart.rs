@@ -17,14 +17,19 @@ fn main() {
     let n = 4000;
     let mut state = 42u64;
     let mut rnd = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (state >> 11) as f64 / (1u64 << 53) as f64
     };
     let bodies: Vec<Body> = (0..n)
         .map(|i| {
             let pos = if i % 3 == 0 {
                 // clump around (0.3, 0.6, 0.5)
-                wrap01(Vec3::new(0.3, 0.6, 0.5) + Vec3::new(rnd() - 0.5, rnd() - 0.5, rnd() - 0.5) * 0.06)
+                wrap01(
+                    Vec3::new(0.3, 0.6, 0.5)
+                        + Vec3::new(rnd() - 0.5, rnd() - 0.5, rnd() - 0.5) * 0.06,
+                )
             } else {
                 Vec3::new(rnd(), rnd(), rnd())
             };
@@ -57,8 +62,10 @@ fn main() {
     let p1 = sim.momentum();
     let e1 = sim.energy();
     println!("momentum drift |Δp| = {:.3e}", (p1 - p0).norm());
-    println!("energy          E0 = {e0:.6}, E1 = {e1:.6} (drift {:.2}%)",
-        100.0 * ((e1 - e0) / e0).abs());
+    println!(
+        "energy          E0 = {e0:.6}, E1 = {e1:.6} (drift {:.2}%)",
+        100.0 * ((e1 - e0) / e0).abs()
+    );
     println!(
         "\nwalk stats: ⟨Ni⟩ = {:.1}, ⟨Nj⟩ = {:.1}, {:.3e} interactions/step",
         total.walk.mean_ni(),

@@ -37,23 +37,34 @@ fn main() {
     println!("live measurement: p = {p} ranks, nf = {nf} FFT ranks, mesh {n_mesh}³\n");
     println!("method        max vtime over ranks (s)");
 
-    let direct = World::new(p).with_net(NetModel::k_computer()).run(move |ctx, world| {
-        let local = stripe(world.rank(), p, n_mesh as i64);
-        let t0 = ctx.vtime();
-        let _ = local_density_to_slabs(ctx, world, &local, n_mesh, nf);
-        ctx.vtime() - t0
-    });
+    let direct = World::new(p)
+        .with_net(NetModel::k_computer())
+        .run(move |ctx, world| {
+            let local = stripe(world.rank(), p, n_mesh as i64);
+            let t0 = ctx.vtime();
+            let _ = local_density_to_slabs(ctx, world, &local, n_mesh, nf);
+            ctx.vtime() - t0
+        });
     let d = direct.iter().cloned().fold(0.0, f64::max);
     println!("direct        {d:.6}");
 
     for groups in [2usize, 4, 8] {
-        let times = World::new(p).with_net(NetModel::k_computer()).run(move |ctx, world| {
-            let comms = RelayComms::build(ctx, world, RelayConfig { nf, n_groups: groups });
-            let local = stripe(world.rank(), p, n_mesh as i64);
-            let t0 = ctx.vtime();
-            let _ = relay_density_to_slabs(ctx, &comms, &local, n_mesh);
-            ctx.vtime() - t0
-        });
+        let times = World::new(p)
+            .with_net(NetModel::k_computer())
+            .run(move |ctx, world| {
+                let comms = RelayComms::build(
+                    ctx,
+                    world,
+                    RelayConfig {
+                        nf,
+                        n_groups: groups,
+                    },
+                );
+                let local = stripe(world.rank(), p, n_mesh as i64);
+                let t0 = ctx.vtime();
+                let _ = relay_density_to_slabs(ctx, &comms, &local, n_mesh);
+                ctx.vtime() - t0
+            });
         let t = times.iter().cloned().fold(0.0, f64::max);
         println!("relay g={groups}     {t:.6}   ({:.2}x)", d / t);
     }

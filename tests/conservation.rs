@@ -6,7 +6,9 @@ use greem_repro::math::{wrap01, Vec3};
 fn jittered_grid(n_side: usize, jitter: f64, seed: u64) -> Vec<Body> {
     let mut s = seed;
     let mut next = move || {
-        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5
     };
     let h = 1.0 / n_side as f64;

@@ -27,7 +27,11 @@ fn single_particle_universe_is_static() {
         sim.step(1e-2);
     }
     let b = sim.bodies()[0];
-    assert!(b.vel.norm() < 1e-10, "lone particle accelerated: {:?}", b.vel);
+    assert!(
+        b.vel.norm() < 1e-10,
+        "lone particle accelerated: {:?}",
+        b.vel
+    );
     assert!(b.pos.is_finite());
 }
 
@@ -52,7 +56,11 @@ fn extreme_mass_ratio_stays_finite() {
     let mut sim = Simulation::new(TreePmConfig::standard(16), bodies, SimulationMode::Static);
     sim.step(1e-4);
     for b in sim.bodies() {
-        assert!(b.pos.is_finite() && b.vel.is_finite(), "body {} blew up", b.id);
+        assert!(
+            b.pos.is_finite() && b.vel.is_finite(),
+            "body {} blew up",
+            b.id
+        );
     }
 }
 

@@ -39,7 +39,10 @@ fn layzer_irvine_closure() {
     let mut sim = Simulation::new(
         TreePmConfig::standard(16),
         bodies,
-        SimulationMode::Cosmological { cosmology: cosmo, a: a0 },
+        SimulationMode::Cosmological {
+            cosmology: cosmo,
+            a: a0,
+        },
     );
 
     // March a from a0 to 4·a0 recording (a, T, W) each step.
@@ -70,7 +73,9 @@ fn layzer_irvine_closure() {
     }
     let rhs = -integral;
     // Scale for the tolerance: the energies involved.
-    let scale = (a_e * (t_e.abs() + w_e.abs())).max(integral.abs()).max(1e-30);
+    let scale = (a_e * (t_e.abs() + w_e.abs()))
+        .max(integral.abs())
+        .max(1e-30);
     let closure = (lhs - rhs).abs() / scale;
     assert!(
         closure < 0.15,

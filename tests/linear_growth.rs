@@ -53,7 +53,10 @@ fn contrast_grows_with_the_linear_growth_factor() {
     let mut sim = Simulation::new(
         TreePmConfig::standard(16),
         bodies,
-        SimulationMode::Cosmological { cosmology: cosmo, a: a0 },
+        SimulationMode::Cosmological {
+            cosmology: cosmo,
+            a: a0,
+        },
     );
     // Grow a by 4× in 12 log steps (δ stays ≤ 0.08: still linear).
     let steps = 12;
@@ -104,7 +107,10 @@ fn velocities_grow_as_a_to_three_halves_at_high_z() {
     let mut sim = Simulation::new(
         TreePmConfig::standard(16),
         bodies,
-        SimulationMode::Cosmological { cosmology: cosmo, a: a0 },
+        SimulationMode::Cosmological {
+            cosmology: cosmo,
+            a: a0,
+        },
     );
     let steps = 10;
     let a_end = 3.0 * a0;

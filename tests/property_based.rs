@@ -41,7 +41,7 @@ proptest! {
     #[test]
     fn min_image_is_minimal(a in unit_coord(), b in unit_coord()) {
         let d = min_image(a, b);
-        prop_assert!(d >= -0.5 && d < 0.5);
+        prop_assert!((-0.5..0.5).contains(&d));
         // No other image is closer.
         for k in [-2.0f64, -1.0, 0.0, 1.0, 2.0] {
             prop_assert!(d.abs() <= (a - b + k).abs() + 1e-12);

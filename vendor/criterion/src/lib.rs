@@ -1,0 +1,253 @@
+//! Offline stand-in for [criterion](https://docs.rs/criterion).
+//!
+//! Implements the group / `bench_with_input` / `Bencher::iter` surface
+//! the workspace's benches use, with plain wall-clock statistics
+//! (median of timed batches) instead of criterion's full analysis.
+//!
+//! Mode handling matches the real crate: `cargo bench` passes `--bench`
+//! and gets timed runs; `cargo test` (which also builds `harness =
+//! false` bench targets) omits it and gets a single smoke iteration per
+//! benchmark so the tier-1 suite stays fast.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// True when invoked by `cargo bench` (timing mode).
+fn bench_mode() -> bool {
+    std::env::args().any(|a| a == "--bench")
+}
+
+/// Optional substring filter: first free CLI argument, as in libtest.
+fn filter() -> Option<String> {
+    std::env::args().skip(1).find(|a| !a.starts_with('-'))
+}
+
+pub struct Criterion {
+    filter: Option<String>,
+    timing: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            filter: filter(),
+            timing: bench_mode(),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            sample_size: 100,
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{param}"),
+        }
+    }
+
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    parent: &'a Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        // Recorded by the real crate for elements/sec reporting; the
+        // stand-in reports raw times only.
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.into(), |b| f(b));
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id, |b| f(b, input));
+        self
+    }
+
+    fn run(&self, id: BenchmarkId, mut f: impl FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, id.id);
+        if let Some(flt) = &self.parent.filter {
+            if !full.contains(flt.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            timing: self.parent.timing,
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(&full);
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+pub struct Bencher {
+    timing: bool,
+    sample_size: usize,
+    measurement_time: Duration,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        if !self.timing {
+            // Smoke mode under `cargo test`: prove the bench runs.
+            std::hint::black_box(f());
+            return;
+        }
+        // Warm-up: run until ~10% of the measurement budget is spent,
+        // estimating the per-iteration cost as we go.
+        let warmup_budget = self.measurement_time.as_secs_f64() * 0.1;
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed().as_secs_f64() < warmup_budget {
+            std::hint::black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+
+        // Spread the remaining budget over sample_size timed batches.
+        let budget = self.measurement_time.as_secs_f64() * 0.9;
+        let iters_per_sample =
+            ((budget / self.sample_size as f64 / per_iter.max(1e-9)) as u64).max(1);
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(f());
+            }
+            self.samples
+                .push(t0.elapsed().as_secs_f64() / iters_per_sample as f64);
+        }
+    }
+
+    fn report(&mut self, name: &str) {
+        if !self.timing {
+            println!("{name}: ok (smoke)");
+            return;
+        }
+        if self.samples.is_empty() {
+            return;
+        }
+        self.samples.sort_by(|a, b| a.total_cmp(b));
+        let median = self.samples[self.samples.len() / 2];
+        let lo = self.samples[0];
+        let hi = self.samples[self.samples.len() - 1];
+        println!(
+            "{name}  time: [{} {} {}]",
+            fmt_time(lo),
+            fmt_time(median),
+            fmt_time(hi)
+        );
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.4} s")
+    } else if secs >= 1e-3 {
+        format!("{:.4} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.4} µs", secs * 1e6)
+    } else {
+        format!("{:.2} ns", secs * 1e9)
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_body_once() {
+        let mut c = Criterion {
+            filter: None,
+            timing: false,
+        };
+        let mut group = c.benchmark_group("g");
+        let mut runs = 0;
+        group.bench_function("f", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("walk", 32).id, "walk/32");
+        assert_eq!(BenchmarkId::from_parameter(7).id, "7");
+    }
+}

@@ -1,0 +1,62 @@
+//! Offline stand-in for [crossbeam](https://docs.rs/crossbeam). Only the
+//! `channel` module is provided (the subset mpisim uses: `unbounded`,
+//! cloneable `Sender`, `Receiver`), implemented over `std::sync::mpsc`.
+
+pub mod channel {
+    use std::sync::mpsc;
+
+    pub use std::sync::mpsc::{RecvError, SendError};
+
+    /// Multi-producer sender (cloneable, like crossbeam's).
+    pub struct Sender<T> {
+        inner: mpsc::Sender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value)
+        }
+    }
+
+    /// Single-consumer receiver.
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv()
+        }
+
+        pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
+            self.inner.try_recv()
+        }
+    }
+
+    /// Unbounded MPSC channel (crossbeam's is MPMC; mpisim only ever
+    /// moves each receiver into a single rank thread, so MPSC suffices).
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn cloned_senders_feed_one_receiver() {
+            let (tx, rx) = super::unbounded::<u32>();
+            let tx2 = tx.clone();
+            tx.send(1).unwrap();
+            tx2.send(2).unwrap();
+            assert_eq!(rx.recv().unwrap() + rx.recv().unwrap(), 3);
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Offline stand-in for [rand](https://docs.rs/rand). Provides
+//! `rngs::StdRng` (SplitMix64 — statistically fine for test/bench data,
+//! NOT cryptographic), `SeedableRng::seed_from_u64`, and the `RngExt`
+//! sampling methods (`random::<T>()`, `random_range`) this workspace
+//! calls. Streams are deterministic per seed but do not match the real
+//! crate's; all in-repo expectations are distribution-level, not
+//! byte-level.
+
+use std::ops::Range;
+
+/// Seedable construction (the subset of rand's `SeedableRng`).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling methods (rand 0.9+ spells these `random`/`random_range`).
+pub trait RngExt {
+    fn next_u64(&mut self) -> u64;
+
+    fn random<T: SampleUniform>(&mut self) -> T {
+        T::sample(self.next_u64())
+    }
+
+    fn random_range<T: SampleRange>(&mut self, range: Range<T>) -> T {
+        T::sample_range(self.next_u64(), range)
+    }
+}
+
+/// Types producible from a uniform `u64` draw.
+pub trait SampleUniform {
+    fn sample(bits: u64) -> Self;
+}
+
+impl SampleUniform for f64 {
+    /// Uniform in [0, 1): 53 mantissa bits.
+    fn sample(bits: u64) -> f64 {
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl SampleUniform for u64 {
+    fn sample(bits: u64) -> u64 {
+        bits
+    }
+}
+
+impl SampleUniform for bool {
+    fn sample(bits: u64) -> bool {
+        bits & 1 == 1
+    }
+}
+
+/// Types samplable from a `Range` (half-open).
+pub trait SampleRange: Sized {
+    fn sample_range(bits: u64, range: Range<Self>) -> Self;
+}
+
+impl SampleRange for usize {
+    fn sample_range(bits: u64, range: Range<usize>) -> usize {
+        assert!(range.start < range.end, "cannot sample empty range");
+        let span = (range.end - range.start) as u64;
+        // Modulo bias is < 2^-40 for any span this workspace uses.
+        range.start + (bits % span) as usize
+    }
+}
+
+impl SampleRange for u64 {
+    fn sample_range(bits: u64, range: Range<u64>) -> u64 {
+        assert!(range.start < range.end, "cannot sample empty range");
+        range.start + bits % (range.end - range.start)
+    }
+}
+
+impl SampleRange for f64 {
+    fn sample_range(bits: u64, range: Range<f64>) -> f64 {
+        let u = f64::sample(bits);
+        range.start + u * (range.end - range.start)
+    }
+}
+
+pub mod rngs {
+    use super::{RngExt, SeedableRng};
+
+    /// SplitMix64 generator (Vigna 2015): tiny, fast, passes BigCrush
+    /// on its outputs, and — unlike the real `StdRng` — needs no
+    /// external crypto code, which matters for the offline build.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngExt for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval_with_sane_mean() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 10_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn range_sampling_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let i = rng.random_range(5usize..17);
+            assert!((5..17).contains(&i));
+        }
+    }
+}

@@ -1,0 +1,336 @@
+//! Indexed parallel iterators.
+//!
+//! Everything funnels into two primitives over an index space `0..len`:
+//! [`for_each_index`] (side effects) and [`collect_vec`] (ordered
+//! results written straight into their output slots). Work is claimed
+//! dynamically in grains from a shared atomic counter, so load
+//! imbalance between items (e.g. tree groups of very different
+//! interaction-list lengths) self-levels, while each index still
+//! produces exactly its own slot — results are deterministic regardless
+//! of which thread computed what.
+
+use std::mem::{ManuallyDrop, MaybeUninit};
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::pool;
+
+/// Raw pointer that may cross threads; every user guarantees disjoint
+/// index access.
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Accessor (rather than direct field use) so closures capture the
+    /// `Sync` wrapper, not the raw `*mut T` field (edition-2021 closures
+    /// capture disjoint fields).
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+fn grain_for(len: usize) -> usize {
+    (len / (pool::current_num_threads() * 8)).max(1)
+}
+
+/// Run `f` for every index in `0..len` across the pool.
+pub(crate) fn for_each_index(len: usize, f: impl Fn(usize) + Sync) {
+    for_each_index_init(len, || (), |(), i| f(i));
+}
+
+/// Like [`for_each_index`] with a per-thread scratch value built by
+/// `init` (the `map_init`/`for_each_init` backbone).
+pub(crate) fn for_each_index_init<S>(
+    len: usize,
+    init: impl Fn() -> S + Sync,
+    f: impl Fn(&mut S, usize) + Sync,
+) {
+    if len == 0 {
+        return;
+    }
+    let grain = grain_for(len);
+    let counter = AtomicUsize::new(0);
+    pool::run(&|_worker| {
+        let mut scratch = init();
+        loop {
+            let start = counter.fetch_add(grain, Ordering::Relaxed);
+            if start >= len {
+                break;
+            }
+            for i in start..(start + grain).min(len) {
+                f(&mut scratch, i);
+            }
+        }
+    });
+}
+
+/// Build a `Vec` whose element `i` is `f(i)`, computed across the pool.
+pub(crate) fn collect_vec<T: Send>(len: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    collect_vec_init(len, || (), |(), i| f(i))
+}
+
+/// [`collect_vec`] with per-thread scratch.
+pub(crate) fn collect_vec_init<S, T: Send>(
+    len: usize,
+    init: impl Fn() -> S + Sync,
+    f: impl Fn(&mut S, usize) -> T + Sync,
+) -> Vec<T> {
+    let mut out: Vec<MaybeUninit<T>> = Vec::with_capacity(len);
+    // SAFETY: MaybeUninit needs no initialisation; length equals capacity.
+    unsafe { out.set_len(len) };
+    let ptr = SendPtr(out.as_mut_ptr() as *mut T);
+    // Each index is claimed exactly once, so each slot is written exactly
+    // once. On panic `out` drops as Vec<MaybeUninit<T>>: the allocation is
+    // freed and initialised elements leak, which is safe.
+    for_each_index_init(len, init, |scratch, i| {
+        let v = f(scratch, i);
+        unsafe { ptr.get().add(i).write(v) };
+    });
+    // SAFETY: all len slots initialised above.
+    let mut out = ManuallyDrop::new(out);
+    unsafe { Vec::from_raw_parts(out.as_mut_ptr() as *mut T, len, out.capacity()) }
+}
+
+/// An indexed source of `Send` items. `get` hands out item `i`; callers
+/// must consume each index at most once (sources may move values out or
+/// hand out `&mut` aliases).
+///
+/// # Safety
+///
+/// Implementations must produce disjoint items for distinct indices.
+pub unsafe trait ParallelIterator: Sized + Sync {
+    type Item: Send;
+
+    fn len(&self) -> usize;
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// # Safety
+    /// Each index in `0..len` may be consumed at most once.
+    unsafe fn get(&self, i: usize) -> Self::Item;
+
+    fn map<R: Send, F: Fn(Self::Item) -> R + Sync>(self, f: F) -> Map<Self, F> {
+        Map { inner: self, f }
+    }
+
+    /// Map with a per-thread scratch value: `init` runs once per pool
+    /// thread per call, `f` receives the scratch and the item.
+    fn map_init<S, R, INIT, F>(self, init: INIT, f: F) -> MapInit<Self, INIT, F>
+    where
+        R: Send,
+        INIT: Fn() -> S + Sync,
+        F: Fn(&mut S, Self::Item) -> R + Sync,
+    {
+        MapInit {
+            inner: self,
+            init,
+            f,
+        }
+    }
+
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { inner: self }
+    }
+
+    fn for_each<F: Fn(Self::Item) + Sync>(self, f: F) {
+        // SAFETY: each index visited exactly once.
+        for_each_index(self.len(), |i| f(unsafe { self.get(i) }));
+    }
+
+    fn for_each_init<S, INIT, F>(self, init: INIT, f: F)
+    where
+        INIT: Fn() -> S + Sync,
+        F: Fn(&mut S, Self::Item) + Sync,
+    {
+        // SAFETY: each index visited exactly once.
+        for_each_index_init(self.len(), init, |s, i| f(s, unsafe { self.get(i) }));
+    }
+
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_par_iter(self)
+    }
+
+    fn sum<S: std::iter::Sum<Self::Item> + Send>(self) -> S
+    where
+        Self::Item: Clone,
+    {
+        // Small sums only; collect then fold keeps ordering deterministic.
+        let items: Vec<Self::Item> = self.collect();
+        items.into_iter().sum()
+    }
+}
+
+/// Conversion into a [`ParallelIterator`] (rayon's entry point).
+pub trait IntoParallelIterator {
+    type Item: Send;
+    type Iter: ParallelIterator<Item = Self::Item>;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Collecting parallel results (rayon's `FromParallelIterator`).
+pub trait FromParallelIterator<T: Send>: Sized {
+    fn from_par_iter<P: ParallelIterator<Item = T>>(p: P) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<P: ParallelIterator<Item = T>>(p: P) -> Self {
+        // SAFETY: collect_vec consumes each index exactly once.
+        collect_vec(p.len(), |i| unsafe { p.get(i) })
+    }
+}
+
+// ---------------------------------------------------------------- range
+
+pub struct RangeIter {
+    start: usize,
+    len: usize,
+}
+
+// SAFETY: items are plain indices; trivially disjoint.
+unsafe impl ParallelIterator for RangeIter {
+    type Item = usize;
+    fn len(&self) -> usize {
+        self.len
+    }
+    unsafe fn get(&self, i: usize) -> usize {
+        self.start + i
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    type Iter = RangeIter;
+    fn into_par_iter(self) -> RangeIter {
+        RangeIter {
+            start: self.start,
+            len: self.end.saturating_sub(self.start),
+        }
+    }
+}
+
+// ---------------------------------------------------------------- vec
+
+/// Moves items out of a `Vec` by index. Items not consumed (panic paths)
+/// leak; the allocation itself is always freed.
+pub struct VecIter<T: Send> {
+    data: Vec<ManuallyDrop<T>>,
+}
+
+// SAFETY: each index moves out its own element exactly once.
+unsafe impl<T: Send + Sync> ParallelIterator for VecIter<T> {
+    type Item = T;
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+    unsafe fn get(&self, i: usize) -> T {
+        std::ptr::read(&*self.data[i])
+    }
+}
+
+impl<T: Send + Sync> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecIter<T>;
+    fn into_par_iter(self) -> VecIter<T> {
+        // SAFETY: ManuallyDrop<T> is layout-compatible with T.
+        let mut v = ManuallyDrop::new(self);
+        let data = unsafe {
+            Vec::from_raw_parts(
+                v.as_mut_ptr() as *mut ManuallyDrop<T>,
+                v.len(),
+                v.capacity(),
+            )
+        };
+        VecIter { data }
+    }
+}
+
+// ---------------------------------------------------------------- map
+
+pub struct Map<P, F> {
+    inner: P,
+    f: F,
+}
+
+// SAFETY: forwards to the inner source one-to-one.
+unsafe impl<P, R, F> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    R: Send,
+    F: Fn(P::Item) -> R + Sync,
+{
+    type Item = R;
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+    unsafe fn get(&self, i: usize) -> R {
+        (self.f)(self.inner.get(i))
+    }
+}
+
+pub struct Enumerate<P> {
+    inner: P,
+}
+
+// SAFETY: forwards to the inner source one-to-one.
+unsafe impl<P: ParallelIterator> ParallelIterator for Enumerate<P> {
+    type Item = (usize, P::Item);
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+    unsafe fn get(&self, i: usize) -> (usize, P::Item) {
+        (i, self.inner.get(i))
+    }
+}
+
+/// `map_init` is a terminal adapter (the scratch value cannot thread
+/// through the stateless `get` protocol): it offers `collect` and
+/// `for_each` directly.
+pub struct MapInit<P, INIT, F> {
+    inner: P,
+    init: INIT,
+    f: F,
+}
+
+impl<P, S, R, INIT, F> MapInit<P, INIT, F>
+where
+    P: ParallelIterator,
+    R: Send,
+    INIT: Fn() -> S + Sync,
+    F: Fn(&mut S, P::Item) -> R + Sync,
+{
+    pub fn collect<C: FromMapInit<R>>(self) -> C {
+        // SAFETY: each index consumed exactly once.
+        C::from_map_init(self.inner.len(), &self.init, |s, i| unsafe {
+            (self.f)(s, self.inner.get(i))
+        })
+    }
+
+    pub fn for_each(self) {
+        // SAFETY: each index consumed exactly once.
+        for_each_index_init(self.inner.len(), &self.init, |s, i| {
+            (self.f)(s, unsafe { self.inner.get(i) });
+        });
+    }
+}
+
+/// Collection protocol for [`MapInit`].
+pub trait FromMapInit<T: Send>: Sized {
+    fn from_map_init<S>(
+        len: usize,
+        init: &(impl Fn() -> S + Sync),
+        f: impl Fn(&mut S, usize) -> T + Sync,
+    ) -> Self;
+}
+
+impl<T: Send> FromMapInit<T> for Vec<T> {
+    fn from_map_init<S>(
+        len: usize,
+        init: &(impl Fn() -> S + Sync),
+        f: impl Fn(&mut S, usize) -> T + Sync,
+    ) -> Self {
+        collect_vec_init(len, init, f)
+    }
+}

@@ -1,0 +1,95 @@
+//! Offline stand-in for [rayon](https://docs.rs/rayon) exposing the
+//! subset of its API this workspace uses: `join`, indexed parallel
+//! iterators (`par_iter`, `into_par_iter`, `map`, `map_init`,
+//! `for_each`, `enumerate`, `collect`), mutable slice chunking, and a
+//! parallel unstable sort.
+//!
+//! The container build has no network access, so the real crate cannot
+//! be fetched; this implementation is API-compatible for our call sites
+//! and honours `RAYON_NUM_THREADS`. Work distribution is dynamic
+//! (atomic-counter grain claiming) but output placement is by index, so
+//! results land where a serial loop would put them.
+
+mod iter;
+mod pool;
+mod slice;
+
+pub use pool::{current_num_threads, join};
+
+pub mod iter_api {
+    pub use crate::iter::{
+        FromMapInit, FromParallelIterator, IntoParallelIterator, ParallelIterator,
+    };
+}
+
+pub mod prelude {
+    pub use crate::iter::{FromParallelIterator, IntoParallelIterator, ParallelIterator};
+    pub use crate::slice::{ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = crate::join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn nested_join_does_not_deadlock() {
+        let ((a, b), (c, d)) = crate::join(|| crate::join(|| 1, || 2), || crate::join(|| 3, || 4));
+        assert_eq!((a, b, c, d), (1, 2, 3, 4));
+    }
+
+    #[test]
+    fn collect_preserves_order() {
+        let v: Vec<usize> = (0..10_000).into_par_iter().map(|i| i * 3).collect();
+        let expect: Vec<usize> = (0..10_000).map(|i| i * 3).collect();
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn map_init_reuses_scratch_and_preserves_order() {
+        let v: Vec<usize> = (0..5_000)
+            .into_par_iter()
+            .map_init(Vec::<usize>::new, |scratch, i| {
+                scratch.clear();
+                scratch.extend(0..i % 7);
+                i + scratch.len()
+            })
+            .collect();
+        let expect: Vec<usize> = (0..5_000).map(|i| i + i % 7).collect();
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn par_iter_from_slice_reads_all() {
+        let data: Vec<u64> = (0..20_000).collect();
+        let total: u64 = data.par_iter().map(|&x| x).sum();
+        assert_eq!(total, 19_999 * 20_000 / 2);
+    }
+
+    #[test]
+    fn into_par_iter_vec_moves_items() {
+        let strings: Vec<String> = (0..512).map(|i| i.to_string()).collect();
+        let lens: Vec<usize> = strings.into_par_iter().map(|s| s.len()).collect();
+        assert_eq!(lens[0], 1);
+        assert_eq!(lens[511], 3);
+    }
+
+    #[test]
+    fn parallel_loop_inside_join_falls_back_cleanly() {
+        let (sum, len) = crate::join(
+            || -> usize { (0..1000).into_par_iter().sum() },
+            || -> usize {
+                let v: Vec<usize> = (0..100).into_par_iter().map(|i| i * 2).collect();
+                v.len()
+            },
+        );
+        assert_eq!(sum, 999 * 1000 / 2);
+        assert_eq!(len, 100);
+    }
+}

@@ -1,0 +1,178 @@
+//! The fork-join substrate: a fixed pool of worker threads executing
+//! lifetime-erased *broadcast* jobs.
+//!
+//! One job is one closure `f(worker_index)` handed to every worker (the
+//! caller participates as index 0). All work distribution happens
+//! *inside* the closure through a shared atomic counter, so a job
+//! completes correctly no matter how many of the broadcast invocations
+//! actually run — which is what makes the pool re-entrancy-safe: a call
+//! from inside a worker simply runs `f(0)` inline (serial fallback)
+//! instead of deadlocking on its own queue.
+
+use std::cell::Cell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
+
+/// Completion latch + panic flag shared between the caller and the
+/// workers of one broadcast job.
+struct Latch {
+    remaining: AtomicUsize,
+    panicked: AtomicBool,
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Latch {
+    fn new(workers: usize) -> Self {
+        Latch {
+            remaining: AtomicUsize::new(workers),
+            panicked: AtomicBool::new(false),
+            done: Mutex::new(workers == 0),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn arrive(&self) {
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            *self.done.lock().unwrap() = true;
+            self.cv.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut done = self.done.lock().unwrap();
+        while !*done {
+            done = self.cv.wait(done).unwrap();
+        }
+    }
+}
+
+/// A broadcast job in flight. The closure reference is lifetime-erased;
+/// soundness rests on [`run`] not returning until every worker has
+/// arrived at the latch, so the borrow outlives all uses.
+struct Job {
+    f: &'static (dyn Fn(usize) + Sync),
+    latch: Arc<Latch>,
+}
+
+struct Pool {
+    /// One injection queue per worker; `Mutex` because `mpsc::Sender`
+    /// is `!Sync` and jobs may be injected from several non-pool
+    /// threads at once (e.g. both halves of a `join`).
+    senders: Vec<Mutex<mpsc::Sender<Job>>>,
+}
+
+thread_local! {
+    /// True on pool worker threads: tells re-entrant `run` calls to
+    /// degrade to inline execution instead of waiting on themselves.
+    static IS_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+fn worker_loop(rx: mpsc::Receiver<Job>, index: usize) {
+    IS_WORKER.with(|w| w.set(true));
+    while let Ok(job) = rx.recv() {
+        if catch_unwind(AssertUnwindSafe(|| (job.f)(index))).is_err() {
+            job.latch.panicked.store(true, Ordering::Release);
+        }
+        job.latch.arrive();
+    }
+}
+
+/// Configured thread count: `RAYON_NUM_THREADS` if set and positive,
+/// else the host's available parallelism.
+fn configured_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let workers = configured_threads().saturating_sub(1);
+        let senders = (0..workers)
+            .map(|i| {
+                let (tx, rx) = mpsc::channel::<Job>();
+                // Worker index 0 is the caller; pool threads are 1..n.
+                std::thread::Builder::new()
+                    .name(format!("greem-worker-{}", i + 1))
+                    .spawn(move || worker_loop(rx, i + 1))
+                    .expect("spawning pool worker");
+                Mutex::new(tx)
+            })
+            .collect();
+        Pool { senders }
+    })
+}
+
+/// Number of threads the pool uses (workers + the calling thread).
+pub fn current_num_threads() -> usize {
+    pool().senders.len() + 1
+}
+
+/// True when the current thread is a pool worker (re-entrant context).
+pub(crate) fn on_worker_thread() -> bool {
+    IS_WORKER.with(|w| w.get())
+}
+
+/// Run `f(index)` on every pool thread (the caller is index 0) and wait
+/// for all invocations to finish. `f` must distribute work internally
+/// (shared atomic counter) so that any subset of invocations completes
+/// the whole task.
+pub(crate) fn run(f: &(dyn Fn(usize) + Sync)) {
+    let pool = pool();
+    if pool.senders.is_empty() || on_worker_thread() {
+        f(0);
+        return;
+    }
+    let latch = Arc::new(Latch::new(pool.senders.len()));
+    // Erase the borrow lifetime: sound because we wait on the latch
+    // (every worker arrived) before returning.
+    let f_static: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(f) };
+    for s in &pool.senders {
+        s.lock()
+            .unwrap()
+            .send(Job {
+                f: f_static,
+                latch: Arc::clone(&latch),
+            })
+            .expect("pool worker died");
+    }
+    let caller = catch_unwind(AssertUnwindSafe(|| f(0)));
+    latch.wait();
+    match caller {
+        Err(payload) => resume_unwind(payload),
+        Ok(()) if latch.panicked.load(Ordering::Acquire) => {
+            panic!("a rayon worker task panicked");
+        }
+        Ok(()) => {}
+    }
+}
+
+/// Run both closures, potentially in parallel, and return both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() == 1 || on_worker_thread() {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = hb.join().unwrap_or_else(|p| resume_unwind(p));
+        (ra, rb)
+    })
+}

@@ -1,0 +1,272 @@
+//! Parallel views over slices: shared iteration, disjoint mutable
+//! chunks, and a parallel unstable sort.
+
+use std::marker::PhantomData;
+
+use crate::iter::{for_each_index, ParallelIterator};
+use crate::pool;
+
+/// Shared-reference iteration (`par_iter`).
+pub trait ParallelSlice<T: Sync> {
+    fn par_iter(&self) -> SliceIter<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> SliceIter<'_, T> {
+        SliceIter { slice: self }
+    }
+}
+
+pub struct SliceIter<'a, T> {
+    slice: &'a [T],
+}
+
+// SAFETY: shared references are freely duplicable; indices map 1:1.
+unsafe impl<'a, T: Sync> ParallelIterator for SliceIter<'a, T> {
+    type Item = &'a T;
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+    unsafe fn get(&self, i: usize) -> &'a T {
+        &self.slice[i]
+    }
+}
+
+/// Mutable chunking and sorting (`par_chunks_mut`, `par_sort_unstable_by_key`).
+pub trait ParallelSliceMut<T: Send> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksMut<'_, T>;
+
+    /// Parallel unstable sort. `T: Copy` (all callers sort indices or
+    /// plain key structs) keeps the merge machinery simple and
+    /// panic-trivial.
+    fn par_sort_unstable_by_key<K: Ord, F: Fn(&T) -> K + Sync>(&mut self, key: F)
+    where
+        T: Copy + Sync;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be non-zero");
+        ChunksMut {
+            ptr: self.as_mut_ptr(),
+            len: self.len(),
+            chunk_size,
+            _marker: PhantomData,
+        }
+    }
+
+    fn par_sort_unstable_by_key<K: Ord, F: Fn(&T) -> K + Sync>(&mut self, key: F)
+    where
+        T: Copy + Sync,
+    {
+        par_sort_by_key(self, &key);
+    }
+}
+
+pub struct ChunksMut<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    chunk_size: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: the raw pointer stands in for the &mut borrow held by _marker;
+// distinct chunk indices reference disjoint subslices.
+unsafe impl<'a, T: Send> Send for ChunksMut<'a, T> {}
+unsafe impl<'a, T: Send> Sync for ChunksMut<'a, T> {}
+
+// SAFETY: chunks at distinct indices are disjoint by construction.
+unsafe impl<'a, T: Send> ParallelIterator for ChunksMut<'a, T> {
+    type Item = &'a mut [T];
+    fn len(&self) -> usize {
+        self.len.div_ceil(self.chunk_size)
+    }
+    unsafe fn get(&self, i: usize) -> &'a mut [T] {
+        let start = i * self.chunk_size;
+        let len = self.chunk_size.min(self.len - start);
+        std::slice::from_raw_parts_mut(self.ptr.add(start), len)
+    }
+}
+
+/// Below this length the std serial sort wins (thread handoff + merge
+/// buffers cost more than they save).
+const PAR_SORT_CUTOFF: usize = 8192;
+
+fn par_sort_by_key<T, K, F>(data: &mut [T], key: &F)
+where
+    T: Copy + Send + Sync,
+    K: Ord,
+    F: Fn(&T) -> K + Sync,
+{
+    let threads = pool::current_num_threads();
+    if data.len() < PAR_SORT_CUTOFF || threads == 1 {
+        data.sort_unstable_by_key(key);
+        return;
+    }
+
+    // Phase 1: split into one run per thread, sort runs in parallel.
+    let n = data.len();
+    let n_runs = threads.min(n);
+    let run_len = n.div_ceil(n_runs);
+    let mut bounds: Vec<usize> = (0..=n_runs).map(|i| (i * run_len).min(n)).collect();
+    {
+        let mut rest = &mut *data;
+        let mut runs: Vec<&mut [T]> = Vec::with_capacity(n_runs);
+        for w in bounds.windows(2) {
+            let (head, tail) = rest.split_at_mut(w[1] - w[0]);
+            runs.push(head);
+            rest = tail;
+        }
+        runs.into_par_iter_chunks()
+            .for_each(|run| run.sort_unstable_by_key(key));
+    }
+
+    // Phase 2: pairwise merge rounds through an aux buffer until one
+    // run remains. Each round merges disjoint pairs in parallel.
+    let mut aux: Vec<T> = data.to_vec();
+    let mut src_is_data = true;
+    while bounds.len() > 2 {
+        let pairs = (bounds.len() - 1) / 2;
+        {
+            let (src, dst): (&[T], &mut [T]) = if src_is_data {
+                (unsafe { &*(data as *const [T]) }, &mut aux)
+            } else {
+                (&aux, data)
+            };
+            let dst_ptr = SendMutPtr(dst.as_mut_ptr());
+            for_each_index(pairs + (bounds.len() - 1) % 2, |p| {
+                if p < pairs {
+                    let (lo, mid, hi) = (bounds[2 * p], bounds[2 * p + 1], bounds[2 * p + 2]);
+                    // SAFETY: pairs write disjoint [lo, hi) ranges.
+                    let out =
+                        unsafe { std::slice::from_raw_parts_mut(dst_ptr.get().add(lo), hi - lo) };
+                    merge_by_key(&src[lo..mid], &src[mid..hi], out, key);
+                } else {
+                    // Odd trailing run: copy through unchanged.
+                    let (lo, hi) = (bounds[bounds.len() - 2], bounds[bounds.len() - 1]);
+                    let out =
+                        unsafe { std::slice::from_raw_parts_mut(dst_ptr.get().add(lo), hi - lo) };
+                    out.copy_from_slice(&src[lo..hi]);
+                }
+            });
+        }
+        src_is_data = !src_is_data;
+        let mut next = Vec::with_capacity(bounds.len() / 2 + 1);
+        for (i, &b) in bounds.iter().enumerate() {
+            if i % 2 == 0 || i == bounds.len() - 1 {
+                next.push(b);
+            }
+        }
+        next.dedup();
+        bounds = next;
+    }
+    if !src_is_data {
+        data.copy_from_slice(&aux);
+    }
+}
+
+struct SendMutPtr<T>(*mut T);
+unsafe impl<T> Send for SendMutPtr<T> {}
+unsafe impl<T> Sync for SendMutPtr<T> {}
+
+impl<T> SendMutPtr<T> {
+    /// Accessor (rather than direct field use) so closures capture the
+    /// `Sync` wrapper, not the raw `*mut T` field (edition-2021 closures
+    /// capture disjoint fields).
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+fn merge_by_key<T: Copy, K: Ord>(a: &[T], b: &[T], out: &mut [T], key: &impl Fn(&T) -> K) {
+    debug_assert_eq!(a.len() + b.len(), out.len());
+    let (mut i, mut j) = (0, 0);
+    for slot in out.iter_mut() {
+        // `<=` keeps the left run's element on ties: stable across runs,
+        // which makes the result independent of the run split (and so
+        // of the thread count) whenever the key is a total order.
+        *slot = if i < a.len() && (j >= b.len() || key(&a[i]) <= key(&b[j])) {
+            i += 1;
+            a[i - 1]
+        } else {
+            j += 1;
+            b[j - 1]
+        };
+    }
+}
+
+/// Parallel iteration over an owned list of disjoint `&mut` runs (the
+/// sort's run phase). Kept local: the general `Vec` source would move
+/// the references out through `ptr::read`, which this avoids.
+trait IntoParIterChunks<'a, T: Send> {
+    fn into_par_iter_chunks(self) -> VecSliceIter<'a, T>;
+}
+
+impl<'a, T: Send + Sync> IntoParIterChunks<'a, T> for Vec<&'a mut [T]> {
+    fn into_par_iter_chunks(self) -> VecSliceIter<'a, T> {
+        VecSliceIter {
+            slices: self
+                .into_iter()
+                .map(|s| (s.as_mut_ptr(), s.len()))
+                .collect(),
+            _marker: PhantomData,
+        }
+    }
+}
+
+struct VecSliceIter<'a, T> {
+    slices: Vec<(*mut T, usize)>,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+unsafe impl<'a, T: Send> Send for VecSliceIter<'a, T> {}
+unsafe impl<'a, T: Send> Sync for VecSliceIter<'a, T> {}
+
+// SAFETY: the stored slices were disjoint &mut borrows.
+unsafe impl<'a, T: Send> ParallelIterator for VecSliceIter<'a, T> {
+    type Item = &'a mut [T];
+    fn len(&self) -> usize {
+        self.slices.len()
+    }
+    unsafe fn get(&self, i: usize) -> &'a mut [T] {
+        let (ptr, len) = self.slices[i];
+        std::slice::from_raw_parts_mut(ptr, len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_sort_matches_std_sort() {
+        let mut a: Vec<u64> = (0..50_000).map(|i| (i * 2654435761u64) % 10_000).collect();
+        let mut b = a.clone();
+        a.sort_unstable_by_key(|&x| x);
+        b.par_sort_unstable_by_key(|&x| x);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn par_sort_total_order_key_is_deterministic() {
+        let base: Vec<(u64, u32)> = (0..30_000u32)
+            .map(|i| ((i as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 40, i))
+            .collect();
+        let mut one = base.clone();
+        let mut two = base.clone();
+        one.par_sort_unstable_by_key(|&(k, i)| (k, i));
+        two.sort_unstable_by_key(|&(k, i)| (k, i));
+        assert_eq!(one, two);
+    }
+
+    #[test]
+    fn chunks_mut_covers_all_elements() {
+        let mut v = vec![0u32; 1000];
+        v.par_chunks_mut(7).enumerate().for_each(|(c, chunk)| {
+            for x in chunk.iter_mut() {
+                *x = c as u32 + 1;
+            }
+        });
+        assert!(v.iter().all(|&x| x > 0));
+    }
+}

@@ -1,134 +1,272 @@
 //! The table/figure regeneration harness.
 //!
 //! ```text
-//! cargo run --release -p greem-bench --bin harness -- <experiment> [--small] [--json]
+//! cargo run --release -p greem-bench --bin harness -- <command> [--small] [--json] [--out PATH]
 //! ```
 //!
-//! Experiments: `table1`, `fig1`, `fig2`, `fig3`, `fig4`, `fig5`,
-//! `fig6`, `kernel`, `ni_sweep`, `accuracy`, `tree_vs_treepm`,
-//! `scaling`, `all`. `--small` shrinks every workload (a smoke mode for
-//! slow machines / debug builds). `--json` replaces the `table1` text
-//! report with a machine-readable per-phase timing object (the Table I
-//! breakdown) on stdout, for scripted before/after comparisons.
+//! Commands: the experiments `table1`, `fig1`, `fig2`, `fig3`, `fig4`,
+//! `fig5`, `fig6`, `kernel`, `multipole`, `ni_sweep`, `accuracy`,
+//! `tree_vs_treepm`, `scaling`, `all`; plus `trace` (capture the fig. 5
+//! relay schedule as per-rank virtual-time Chrome-trace JSON) and
+//! `bench-summary` (emit the `BENCH_treepm.json` step-rate summary).
+//!
+//! `--small` shrinks every workload (a smoke mode for slow machines /
+//! debug builds). `--json` replaces any experiment's text report with a
+//! machine-readable summary object on stdout (`{"experiment": …}`),
+//! for scripted before/after comparisons. `--out PATH` redirects the
+//! payload of `trace` / `bench-summary` to a file.
 
 use greem_bench::experiments::*;
+use greem_bench::trace::{relay_trace_validated, TraceRun};
+
+/// Parsed command line, shared by every subcommand.
+struct HarnessArgs {
+    command: String,
+    small: bool,
+    json: bool,
+    out: Option<String>,
+}
+
+impl HarnessArgs {
+    fn parse() -> Result<Self, String> {
+        let mut small = false;
+        let mut json = false;
+        let mut out = None;
+        let mut command = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--small" => small = true,
+                "--json" => json = true,
+                "--out" => out = Some(args.next().ok_or("--out needs a path")?),
+                "--help" | "-h" => {
+                    println!("see the module docs at the top of harness.rs / EXPERIMENTS.md");
+                    std::process::exit(0);
+                }
+                other if other.starts_with("--") => {
+                    return Err(format!("unknown option '{other}' (try --help)"));
+                }
+                other => {
+                    if let Some(first) = &command {
+                        return Err(format!("two commands given: '{first}' and '{other}'"));
+                    }
+                    command = Some(other.to_string());
+                }
+            }
+        }
+        Ok(HarnessArgs {
+            command: command.unwrap_or_else(|| "all".to_string()),
+            small,
+            json,
+            out,
+        })
+    }
+
+    /// Print to stdout or write to `--out`.
+    fn deliver(&self, payload: &str) {
+        match &self.out {
+            None => println!("{payload}"),
+            Some(path) => {
+                if let Err(e) = std::fs::write(path, payload) {
+                    eprintln!("harness: cannot write {path}: {e}");
+                    std::process::exit(1);
+                }
+                eprintln!("harness: wrote {path}");
+            }
+        }
+    }
+}
+
+const EXPERIMENTS: [&str; 13] = [
+    "table1",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "kernel",
+    "ni_sweep",
+    "accuracy",
+    "tree_vs_treepm",
+    "multipole",
+    "scaling",
+];
+
+fn text_report(name: &str, small: bool) -> Option<String> {
+    let report = match name {
+        "table1" => {
+            let run = if small {
+                table1::small_run()
+            } else {
+                table1::MeasuredRun::default()
+            };
+            table1::report(&run)
+        }
+        "fig1" => fig1::report(if small { 800 } else { 5000 }),
+        "fig2" => fig2::report(if small { 32 } else { 64 }),
+        "fig3" => fig3::report(if small { 2000 } else { 20000 }),
+        "fig4" => fig4::report(),
+        "fig5" => {
+            if small {
+                fig5::report(8, 2, 16)
+            } else {
+                // The funnel regime: many ranks converging on few
+                // FFT ranks with sizeable slabs — where the relay
+                // schedule visibly wins on the simulated network.
+                fig5::report(48, 2, 32)
+            }
+        }
+        "fig6" => {
+            let run = if small {
+                fig6::MicrohaloRun {
+                    n_side: 8,
+                    n_mesh: 16,
+                    steps: 12,
+                    ..Default::default()
+                }
+            } else {
+                fig6::MicrohaloRun::default()
+            };
+            fig6::report(&run)
+        }
+        "kernel" => kernel::report(),
+        "multipole" => multipole_ablation::report(if small { 300 } else { 800 }),
+        "ni_sweep" => ni_sweep::report(if small { 2000 } else { 20000 }),
+        "accuracy" => accuracy::report(if small { 200 } else { 600 }),
+        "tree_vs_treepm" => tree_vs_treepm::report(if small { 500 } else { 2000 }),
+        "scaling" => scaling::report(if small { 1000 } else { 6000 }),
+        _ => return None,
+    };
+    Some(report)
+}
+
+fn json_summary(name: &str, small: bool) -> Option<String> {
+    Some(match name {
+        "table1" => table1::summary_json(small),
+        "fig1" => fig1::summary_json(small),
+        "fig2" => fig2::summary_json(small),
+        "fig3" => fig3::summary_json(small),
+        "fig4" => fig4::summary_json(small),
+        "fig5" => fig5::summary_json(small),
+        "fig6" => fig6::summary_json(small),
+        "kernel" => kernel::summary_json(small),
+        "multipole" => multipole_ablation::summary_json(small),
+        "ni_sweep" => ni_sweep::summary_json(small),
+        "accuracy" => accuracy::summary_json(small),
+        "tree_vs_treepm" => tree_vs_treepm::summary_json(small),
+        "scaling" => scaling::summary_json(small),
+        _ => return None,
+    })
+}
+
+/// `harness trace`: capture the relay schedule, validate the export,
+/// and deliver the Chrome-trace JSON.
+fn run_trace(args: &HarnessArgs) {
+    let run = if args.small {
+        TraceRun::small()
+    } else {
+        TraceRun::standard()
+    };
+    match relay_trace_validated(run) {
+        Ok((json, summary)) => {
+            eprintln!(
+                "harness trace: {} ranks, {} spans ({} comm) — schema OK",
+                summary.processes, summary.spans, summary.comm_spans
+            );
+            args.deliver(&json);
+        }
+        Err(e) => {
+            eprintln!("harness trace: invalid trace: {e}");
+            eprintln!("(the 'trace' command needs the default 'obs' feature)");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `harness bench-summary`: a deterministic-workload step-rate summary
+/// (`BENCH_treepm.json`): steps/s, interactions/step, per-phase ms.
+fn run_bench_summary(args: &HarnessArgs) {
+    let run = if args.small {
+        table1::small_run()
+    } else {
+        table1::MeasuredRun::default()
+    };
+    let t0 = std::time::Instant::now();
+    let bd = table1::measured_breakdown(&run);
+    let wall = t0.elapsed().as_secs_f64();
+    let steps = run.steps as f64;
+    let mut w = greem_obs::json::JsonWriter::new();
+    w.begin_obj(None);
+    w.str_(Some("bench"), "treepm");
+    w.bool_(Some("small"), args.small);
+    w.u64(Some("n_particles"), run.n_particles as u64);
+    w.u64(Some("n_mesh"), run.n_mesh as u64);
+    w.u64(Some("ranks"), run.ranks as u64);
+    w.u64(Some("steps"), run.steps as u64);
+    w.f64(Some("wall_s"), wall);
+    w.f64(Some("steps_per_sec"), steps / wall);
+    w.u64(
+        Some("interactions_per_step"),
+        (bd.walk.interactions as f64 / steps) as u64,
+    );
+    w.begin_obj(Some("phase_ms"));
+    let ms = |v: f64| v * 1e3 / steps;
+    w.f64(Some("pm_total"), ms(bd.pm.total()));
+    w.f64(Some("pm_fft"), ms(bd.pm.fft));
+    w.f64(Some("pp_tree_construction"), ms(bd.pp_tree_construction));
+    w.f64(Some("pp_tree_traversal"), ms(bd.pp_tree_traversal));
+    w.f64(Some("pp_force_calculation"), ms(bd.pp_force_calculation));
+    w.f64(Some("pp_communication"), ms(bd.pp_communication));
+    w.f64(Some("dd_total"), ms(bd.dd_total()));
+    w.end_obj();
+    w.end_obj();
+    args.deliver(&w.finish());
+}
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let small = args.iter().any(|a| a == "--small");
-    let json = args.iter().any(|a| a == "--json");
-    let which = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .cloned()
-        .unwrap_or_else(|| {
-            if json {
-                "table1".to_string()
-            } else {
-                "all".to_string()
-            }
-        });
-
-    if json {
-        if which != "table1" {
-            eprintln!("--json emits the Table I phase breakdown; use it with 'table1'");
+    let args = match HarnessArgs::parse() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("harness: {e}");
             std::process::exit(2);
         }
-        let run = if small {
-            table1::MeasuredRun {
-                n_particles: 1500,
-                n_mesh: 16,
-                ranks: 4,
-                div: [2, 2, 1],
-                steps: 1,
-            }
-        } else {
-            table1::MeasuredRun::default()
-        };
-        let bd = table1::measured_breakdown(&run);
-        println!("{}", bd.to_json(run.steps as f64));
-        return;
+    };
+
+    match args.command.as_str() {
+        "trace" => return run_trace(&args),
+        "bench-summary" => return run_bench_summary(&args),
+        _ => {}
     }
 
     let run = |name: &str| -> Option<String> {
-        let report = match name {
-            "table1" => {
-                let run = if small {
-                    table1::MeasuredRun {
-                        n_particles: 1500,
-                        n_mesh: 16,
-                        ranks: 4,
-                        div: [2, 2, 1],
-                        steps: 1,
-                    }
-                } else {
-                    table1::MeasuredRun::default()
-                };
-                table1::report(&run)
-            }
-            "fig1" => fig1::report(if small { 800 } else { 5000 }),
-            "fig2" => fig2::report(if small { 32 } else { 64 }),
-            "fig3" => fig3::report(if small { 2000 } else { 20000 }),
-            "fig4" => fig4::report(),
-            "fig5" => {
-                if small {
-                    fig5::report(8, 2, 16)
-                } else {
-                    // The funnel regime: many ranks converging on few
-                    // FFT ranks with sizeable slabs — where the relay
-                    // schedule visibly wins on the simulated network.
-                    fig5::report(48, 2, 32)
-                }
-            }
-            "fig6" => {
-                let run = if small {
-                    fig6::MicrohaloRun {
-                        n_side: 8,
-                        n_mesh: 16,
-                        steps: 12,
-                        ..Default::default()
-                    }
-                } else {
-                    fig6::MicrohaloRun::default()
-                };
-                fig6::report(&run)
-            }
-            "kernel" => kernel::report(),
-            "multipole" => multipole_ablation::report(if small { 300 } else { 800 }),
-            "ni_sweep" => ni_sweep::report(if small { 2000 } else { 20000 }),
-            "accuracy" => accuracy::report(if small { 200 } else { 600 }),
-            "tree_vs_treepm" => tree_vs_treepm::report(if small { 500 } else { 2000 }),
-            "scaling" => scaling::report(if small { 1000 } else { 6000 }),
-            _ => return None,
-        };
-        Some(report)
+        if args.json {
+            json_summary(name, args.small)
+        } else {
+            text_report(name, args.small)
+        }
     };
 
-    let all = [
-        "table1",
-        "fig1",
-        "fig2",
-        "fig3",
-        "fig4",
-        "fig5",
-        "fig6",
-        "kernel",
-        "ni_sweep",
-        "accuracy",
-        "tree_vs_treepm",
-        "multipole",
-        "scaling",
-    ];
-    if which == "all" {
-        for name in all {
-            println!("\n################ {name} ################\n");
-            println!("{}", run(name).unwrap());
+    if args.command == "all" {
+        if args.json {
+            // One JSON object per line (JSONL), experiment-tagged.
+            for name in EXPERIMENTS {
+                println!("{}", run(name).unwrap());
+            }
+        } else {
+            for name in EXPERIMENTS {
+                println!("\n################ {name} ################\n");
+                println!("{}", run(name).unwrap());
+            }
         }
     } else {
-        match run(&which) {
+        match run(&args.command) {
             Some(r) => println!("{r}"),
             None => {
-                eprintln!("unknown experiment '{which}'. Available: {all:?} or 'all'");
+                eprintln!(
+                    "unknown command '{}'. Available: {EXPERIMENTS:?}, 'all', 'trace', 'bench-summary'",
+                    args.command
+                );
                 std::process::exit(2);
             }
         }

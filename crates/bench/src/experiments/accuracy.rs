@@ -102,6 +102,37 @@ pub fn report(n: usize) -> String {
     s
 }
 
+/// Machine-readable summary: the same two sweeps as [`report`].
+pub fn summary_json(small: bool) -> String {
+    let n = if small { 200 } else { 600 };
+    let pos = workloads::clustered(n, 3, 0.3, 19);
+    let mass = workloads::unit_masses(n);
+    let reference = direct_periodic_fast(&pos, &mass);
+    let row_into = |w: &mut greem_obs::json::JsonWriter, row: &AccuracyRow| {
+        w.begin_obj(None);
+        w.u64(Some("n_mesh"), row.n_mesh as u64);
+        w.f64(Some("rcut_cells"), row.rcut_cells);
+        w.f64(Some("rms_rel_error"), row.rms_rel_error);
+        w.f64(Some("p99_rel_error"), row.p99_rel_error);
+        w.u64(Some("interactions"), row.interactions);
+        w.end_obj();
+    };
+    let mut w = super::summary_writer("accuracy", small);
+    w.u64(Some("n"), n as u64);
+    w.begin_arr(Some("mesh_sweep"));
+    for m in [8usize, 16, 32, 64] {
+        row_into(&mut w, &measure(&pos, &mass, &reference, m, 3.0, 0.4));
+    }
+    w.end_arr();
+    w.begin_arr(Some("rcut_sweep"));
+    for rc in [1.5, 2.0, 3.0, 4.0, 6.0] {
+        row_into(&mut w, &measure(&pos, &mass, &reference, 16, rc, 0.4));
+    }
+    w.end_arr();
+    w.end_obj();
+    w.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -70,6 +70,27 @@ pub fn report(n: usize) -> String {
     s
 }
 
+/// Machine-readable summary: the θ census rows.
+pub fn summary_json(small: bool) -> String {
+    let n = if small { 800 } else { 5000 };
+    let rows = census(n, &[0.0, 0.2, 0.4, 0.6, 0.8, 1.0], 7);
+    let mut w = super::summary_writer("fig1", small);
+    w.u64(Some("n"), n as u64);
+    w.begin_arr(Some("rows"));
+    for r in &rows {
+        w.begin_obj(None);
+        w.f64(Some("theta"), r.theta);
+        w.u64(Some("particle_entries"), r.particle_entries);
+        w.u64(Some("node_entries"), r.node_entries);
+        w.f64(Some("mean_nj"), r.mean_nj);
+        w.u64(Some("interactions"), r.interactions);
+        w.end_obj();
+    }
+    w.end_arr();
+    w.end_obj();
+    w.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

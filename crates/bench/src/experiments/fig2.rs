@@ -71,6 +71,31 @@ pub fn report(n_mesh: usize) -> String {
     s
 }
 
+/// Machine-readable summary: the force-split profile rows.
+pub fn summary_json(small: bool) -> String {
+    let n_mesh = if small { 32 } else { 64 };
+    let rcut = 8.0 / n_mesh as f64;
+    let radii: Vec<f64> = (1..=14).map(|i| i as f64 * 0.1 * rcut).collect();
+    let rows = profile(n_mesh, &radii);
+    let mut w = super::summary_writer("fig2", small);
+    w.u64(Some("n_mesh"), n_mesh as u64);
+    w.begin_arr(Some("rows"));
+    for r in &rows {
+        w.begin_obj(None);
+        w.f64(Some("r"), r.r);
+        w.f64(Some("r_over_rcut"), r.r_over_rcut);
+        w.f64(Some("f_pp"), r.f_pp);
+        w.f64(Some("f_pm"), r.f_pm);
+        w.f64(Some("f_total"), r.f_total);
+        w.f64(Some("f_newton"), r.f_newton);
+        w.f64(Some("f_ewald"), r.f_ewald);
+        w.end_obj();
+    }
+    w.end_arr();
+    w.end_obj();
+    w.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -115,6 +115,26 @@ pub fn report(n: usize) -> String {
     s
 }
 
+/// Machine-readable summary: the imbalance trajectory.
+pub fn summary_json(small: bool) -> String {
+    let n = if small { 2000 } else { 20000 };
+    let result = run(n, [8, 8, 1], 10, 99);
+    let mut w = super::summary_writer("fig3", small);
+    w.u64(Some("n"), n as u64);
+    w.begin_arr(Some("div"));
+    for d in [8u64, 8, 1] {
+        w.u64(None, d);
+    }
+    w.end_arr();
+    w.begin_arr(Some("imbalance_history"));
+    for im in &result.imbalance_history {
+        w.f64(None, *im);
+    }
+    w.end_arr();
+    w.end_obj();
+    w.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -92,6 +92,41 @@ pub fn report() -> String {
     s
 }
 
+/// Machine-readable summary: the conversion traffic census.
+pub fn summary_json(small: bool) -> String {
+    let c = if small {
+        census(4, 2, 8)
+    } else {
+        census(6, 2, 16)
+    };
+    let mut w = super::summary_writer("fig4", small);
+    w.u64(Some("p"), c.p as u64);
+    w.u64(Some("nf"), c.nf as u64);
+    w.u64(Some("n_mesh"), c.n_mesh as u64);
+    w.begin_arr(Some("local_cells"));
+    for &v in &c.local_cells {
+        w.u64(None, v as u64);
+    }
+    w.end_arr();
+    w.begin_arr(Some("slab_cells"));
+    for &v in &c.slab_cells {
+        w.u64(None, v as u64);
+    }
+    w.end_arr();
+    w.begin_arr(Some("bytes_sent"));
+    for &v in &c.bytes_sent {
+        w.u64(None, v);
+    }
+    w.end_arr();
+    w.begin_arr(Some("bytes_received"));
+    for &v in &c.bytes_received {
+        w.u64(None, v);
+    }
+    w.end_arr();
+    w.end_obj();
+    w.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

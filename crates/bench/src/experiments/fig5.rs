@@ -27,7 +27,7 @@ pub struct RelayTiming {
     pub backward: f64,
 }
 
-fn stripe_local(me: usize, p: usize, n: i64) -> LocalMesh {
+pub(crate) fn stripe_local(me: usize, p: usize, n: i64) -> LocalMesh {
     let w = (n / p as i64).max(1);
     let own = CellBox::new([me as i64 * w, 0, 0], [(me as i64 + 1) * w, n, n]).grow(1);
     let mut local = LocalMesh::zeros(own);
@@ -113,6 +113,36 @@ pub fn report(p: usize, nf: usize, n_mesh: usize) -> String {
     s.push_str("\n-- paper-scale model (12288 nodes, 4096^3 mesh, 3 groups) --\n");
     s.push_str(&RelayModel::paper_experiment().evaluate().render());
     s
+}
+
+/// Machine-readable summary: the direct-vs-relay timing sweep.
+pub fn summary_json(small: bool) -> String {
+    let (p, nf, n_mesh) = if small { (8, 2, 16) } else { (48, 2, 32) };
+    let mut configs: Vec<Option<usize>> = vec![None];
+    for g in [2usize, 4, 8, 12] {
+        if p / g >= nf && p.is_multiple_of(g) {
+            configs.push(Some(g));
+        }
+    }
+    let mut w = super::summary_writer("fig5", small);
+    w.u64(Some("p"), p as u64);
+    w.u64(Some("nf"), nf as u64);
+    w.u64(Some("n_mesh"), n_mesh as u64);
+    w.begin_arr(Some("timings"));
+    for cfg in configs {
+        let t = measure(p, nf, n_mesh, cfg);
+        w.begin_obj(None);
+        match t.groups {
+            Some(g) => w.u64(Some("groups"), g as u64),
+            None => w.raw(Some("groups"), "null"),
+        }
+        w.f64(Some("forward_s"), t.forward);
+        w.f64(Some("backward_s"), t.backward);
+        w.end_obj();
+    }
+    w.end_arr();
+    w.end_obj();
+    w.finish()
 }
 
 #[cfg(test)]

@@ -204,6 +204,42 @@ pub fn growth_check(epochs: &[Epoch]) -> (f64, f64) {
     (measured_growth, linear_growth)
 }
 
+/// Machine-readable summary: per-epoch clustering statistics.
+pub fn summary_json(small: bool) -> String {
+    let p = if small {
+        MicrohaloRun {
+            n_side: 8,
+            n_mesh: 16,
+            steps: 12,
+            ..Default::default()
+        }
+    } else {
+        MicrohaloRun::default()
+    };
+    let epochs = run(&p);
+    let mut w = super::summary_writer("fig6", small);
+    w.u64(Some("n_side"), p.n_side as u64);
+    w.u64(Some("n_mesh"), p.n_mesh as u64);
+    w.u64(Some("steps"), p.steps as u64);
+    w.begin_arr(Some("epochs"));
+    for e in &epochs {
+        w.begin_obj(None);
+        w.f64(Some("z"), e.z);
+        w.f64(Some("delta_rms"), e.delta_rms);
+        w.f64(Some("delta_linear"), e.delta_linear);
+        w.f64(Some("peak_contrast"), e.snapshot.peak_contrast());
+        w.u64(Some("halos"), e.halos.len() as u64);
+        w.u64(
+            Some("largest_halo"),
+            e.halos.first().map(|h| h.members.len()).unwrap_or(0) as u64,
+        );
+        w.end_obj();
+    }
+    w.end_arr();
+    w.end_obj();
+    w.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -46,6 +46,36 @@ pub fn report() -> String {
     s
 }
 
+/// Machine-readable summary: the kernel benchmark rows.
+pub fn summary_json(small: bool) -> String {
+    let (sizes, iters): (&[usize], usize) = if small {
+        (&[128, 256], 2)
+    } else {
+        (&[256, 512, 1024], 8)
+    };
+    let rows = sweep(sizes, iters);
+    let mut w = super::summary_writer("kernel", small);
+    w.begin_arr(Some("rows"));
+    for r in &rows {
+        w.begin_obj(None);
+        w.u64(Some("n"), r.n as u64);
+        w.f64(
+            Some("phantom_interactions_per_sec"),
+            r.phantom_interactions_per_sec,
+        );
+        w.f64(Some("phantom_flops"), r.phantom_flops);
+        w.f64(
+            Some("scalar_interactions_per_sec"),
+            r.scalar_interactions_per_sec,
+        );
+        w.f64(Some("speedup"), r.speedup);
+        w.end_obj();
+    }
+    w.end_arr();
+    w.end_obj();
+    w.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,6 +1,8 @@
 //! One module per reproduced table/figure. Every experiment returns its
 //! report as a `String` (the harness prints it; the tests smoke-run
-//! scaled-down versions).
+//! scaled-down versions) and a machine-readable summary via
+//! `summary_json(small)` (the harness's `--json` mode; one top-level
+//! object per experiment with an `"experiment"` tag).
 
 pub mod accuracy;
 pub mod fig1;
@@ -15,3 +17,16 @@ pub mod ni_sweep;
 pub mod scaling;
 pub mod table1;
 pub mod tree_vs_treepm;
+
+use greem_obs::json::JsonWriter;
+
+/// Open the common `{"experiment": name, "small": …` envelope every
+/// `summary_json` shares; the caller adds its payload and closes the
+/// object.
+pub(crate) fn summary_writer(name: &str, small: bool) -> JsonWriter {
+    let mut w = JsonWriter::new();
+    w.begin_obj(None);
+    w.str_(Some("experiment"), name);
+    w.bool_(Some("small"), small);
+    w
+}

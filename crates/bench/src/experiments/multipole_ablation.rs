@@ -93,6 +93,32 @@ pub fn report(n: usize) -> String {
     s
 }
 
+/// Machine-readable summary: the (θ, multipole) sweep rows.
+pub fn summary_json(small: bool) -> String {
+    let n = if small { 300 } else { 800 };
+    let rows = sweep(n, 16, &[0.3, 0.5, 0.7, 0.9, 1.2], 55);
+    let mut w = super::summary_writer("multipole", small);
+    w.u64(Some("n"), n as u64);
+    w.begin_arr(Some("rows"));
+    for r in &rows {
+        w.begin_obj(None);
+        w.str_(
+            Some("multipole"),
+            match r.multipole {
+                Multipole::Monopole => "monopole",
+                Multipole::PseudoParticleQuad => "quadrupole",
+            },
+        );
+        w.f64(Some("theta"), r.theta);
+        w.f64(Some("rms_rel_error"), r.rms_rel_error);
+        w.u64(Some("interactions"), r.interactions);
+        w.end_obj();
+    }
+    w.end_arr();
+    w.end_obj();
+    w.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -82,6 +82,29 @@ pub fn report(n: usize) -> String {
     s
 }
 
+/// Machine-readable summary: the group-size sweep rows.
+pub fn summary_json(small: bool) -> String {
+    let n = if small { 2000 } else { 20000 };
+    let rows = sweep(n, 64, &[4, 8, 16, 32, 64, 128, 256, 512], 11);
+    let mut w = super::summary_writer("ni_sweep", small);
+    w.u64(Some("n"), n as u64);
+    w.begin_arr(Some("rows"));
+    for r in &rows {
+        w.begin_obj(None);
+        w.u64(Some("group_size"), r.group_size as u64);
+        w.f64(Some("mean_ni"), r.mean_ni);
+        w.f64(Some("mean_nj"), r.mean_nj);
+        w.f64(Some("traversal_s"), r.traversal_s);
+        w.f64(Some("force_s"), r.force_s);
+        w.f64(Some("total_s"), r.total_s);
+        w.u64(Some("interactions"), r.interactions);
+        w.end_obj();
+    }
+    w.end_arr();
+    w.end_obj();
+    w.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

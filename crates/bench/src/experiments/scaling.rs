@@ -111,6 +111,46 @@ pub fn report(n: usize) -> String {
     s
 }
 
+/// Machine-readable summary: measured scaling points plus the perfmodel
+/// curve.
+pub fn summary_json(small: bool) -> String {
+    let n = if small { 1000 } else { 6000 };
+    let configs = [
+        (1usize, [1usize, 1, 1]),
+        (2, [2, 1, 1]),
+        (4, [2, 2, 1]),
+        (8, [2, 2, 2]),
+    ];
+    let points = measure(n, &configs, 2);
+    let mut w = super::summary_writer("scaling", small);
+    w.u64(Some("n"), n as u64);
+    w.begin_arr(Some("measured"));
+    for p in &points {
+        w.begin_obj(None);
+        w.u64(Some("ranks"), p.ranks as u64);
+        w.f64(Some("wall_per_step_s"), p.wall_per_step);
+        w.f64(Some("pp_force_s"), p.pp_force);
+        w.u64(Some("interactions_per_step"), p.interactions);
+        w.end_obj();
+    }
+    w.end_arr();
+    w.begin_arr(Some("model"));
+    for p in [6144usize, 12288, 24576, 49152, 82944] {
+        let t = model_table(p);
+        w.begin_obj(None);
+        w.u64(Some("nodes"), p as u64);
+        w.f64(Some("total_s_per_step"), t.total());
+        w.f64(Some("pp_s"), t.pp_total());
+        w.f64(Some("fft_s"), t.pm_fft);
+        w.f64(Some("pflops"), t.performance() / 1e15);
+        w.f64(Some("efficiency"), t.efficiency());
+        w.end_obj();
+    }
+    w.end_arr();
+    w.end_obj();
+    w.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

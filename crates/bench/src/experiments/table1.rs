@@ -96,6 +96,56 @@ pub fn report(run: &MeasuredRun) -> String {
     s
 }
 
+/// The harness's scaled-down run (`--small`).
+pub fn small_run() -> MeasuredRun {
+    MeasuredRun {
+        n_particles: 1500,
+        n_mesh: 16,
+        ranks: 4,
+        div: [2, 2, 1],
+        steps: 1,
+    }
+}
+
+/// Machine-readable summary: the measured per-phase breakdown plus the
+/// published and modelled columns.
+pub fn summary_json(small: bool) -> String {
+    let run = if small {
+        small_run()
+    } else {
+        MeasuredRun::default()
+    };
+    let bd = measured_breakdown(&run);
+    let col = |w: &mut greem_obs::json::JsonWriter, t: &greem_perfmodel::TableOne| {
+        w.begin_obj(None);
+        w.u64(Some("nodes"), t.nodes as u64);
+        w.f64(Some("total_s_per_step"), t.total());
+        w.f64(Some("pm_s"), t.pm_total());
+        w.f64(Some("pp_s"), t.pp_total());
+        w.f64(Some("dd_s"), t.dd_total());
+        w.f64(Some("pflops"), t.performance() / 1e15);
+        w.f64(Some("efficiency"), t.efficiency());
+        w.end_obj();
+    };
+    let mut w = super::summary_writer("table1", small);
+    w.u64(Some("n_particles"), run.n_particles as u64);
+    w.u64(Some("ranks"), run.ranks as u64);
+    w.u64(Some("steps"), run.steps as u64);
+    w.raw(Some("measured"), &bd.to_json(run.steps as f64));
+    w.begin_arr(Some("paper"));
+    for p in [24576usize, 82944] {
+        col(&mut w, &paper_table(p));
+    }
+    w.end_arr();
+    w.begin_arr(Some("model"));
+    for p in [24576usize, 82944] {
+        col(&mut w, &model_table(p));
+    }
+    w.end_arr();
+    w.end_obj();
+    w.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

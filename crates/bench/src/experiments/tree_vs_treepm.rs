@@ -140,6 +140,29 @@ pub fn report(n: usize) -> String {
     s
 }
 
+/// Machine-readable summary: both θ sweeps.
+pub fn summary_json(small: bool) -> String {
+    let n = if small { 500 } else { 2000 };
+    let thetas = [0.2, 0.35, 0.5, 0.7, 0.9, 1.2, 1.6, 2.0];
+    let rows_into = |w: &mut greem_obs::json::JsonWriter, key: &str, rows: &[OpsRow]| {
+        w.begin_arr(Some(key));
+        for r in rows {
+            w.begin_obj(None);
+            w.f64(Some("theta"), r.theta);
+            w.f64(Some("rms_rel_error"), r.rms_rel_error);
+            w.u64(Some("interactions"), r.interactions);
+            w.end_obj();
+        }
+        w.end_arr();
+    };
+    let mut w = super::summary_writer("tree_vs_treepm", small);
+    w.u64(Some("n"), n as u64);
+    rows_into(&mut w, "pure_tree", &pure_tree_rows(n, &thetas, 77));
+    rows_into(&mut w, "treepm", &treepm_rows(n, 64, &thetas, 77));
+    w.end_obj();
+    w.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

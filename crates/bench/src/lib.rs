@@ -13,4 +13,5 @@
 //! Criterion benches live under `benches/`.
 
 pub mod experiments;
+pub mod trace;
 pub mod workloads;

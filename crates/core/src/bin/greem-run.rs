@@ -8,10 +8,16 @@
 //!           [--z-start 400] [--z-end 31] [--cutoff-modes 4]
 //!           [--delta0 0.1] [--seed 1] [--theta 0.5] [--group 100]
 //!           [--checkpoint-out PATH] [--resume PATH] [--quiet]
+//!           [--trace PATH] [--metrics PATH]
 //! ```
 //!
 //! With `--resume` the particle state and epoch come from the
 //! checkpoint and the IC options are ignored.
+//!
+//! `--trace PATH` writes a Chrome-trace (Perfetto-loadable) JSON of
+//! the run's spans; `--metrics PATH` writes one JSON report line per
+//! step (Table I rows, walk statistics, flop rate). Both need the
+//! default `obs` feature; without it the flags warn and are ignored.
 
 use greem::{projected_density, Body, Simulation, SimulationMode, StepBreakdown, TreePmConfig};
 use greem_cosmo::{generate_ics, Cosmology, IcParams, PowerSpectrum};
@@ -31,6 +37,8 @@ struct Opts {
     checkpoint_out: Option<String>,
     resume: Option<String>,
     quiet: bool,
+    trace: Option<String>,
+    metrics: Option<String>,
 }
 
 impl Default for Opts {
@@ -49,6 +57,8 @@ impl Default for Opts {
             checkpoint_out: None,
             resume: None,
             quiet: false,
+            trace: None,
+            metrics: None,
         }
     }
 }
@@ -76,6 +86,8 @@ fn parse_args() -> Result<Opts, String> {
             "--checkpoint-out" => o.checkpoint_out = Some(val(&a)?),
             "--resume" => o.resume = Some(val(&a)?),
             "--quiet" => o.quiet = true,
+            "--trace" => o.trace = Some(val(&a)?),
+            "--metrics" => o.metrics = Some(val(&a)?),
             "--help" | "-h" => {
                 println!("see the module docs at the top of greem-run.rs / README.md");
                 std::process::exit(0);
@@ -97,6 +109,26 @@ fn main() {
             std::process::exit(2);
         }
     };
+    #[cfg(feature = "obs")]
+    if o.trace.is_some() {
+        greem_obs::trace::enable();
+    }
+    #[cfg(not(feature = "obs"))]
+    if o.trace.is_some() || o.metrics.is_some() {
+        eprintln!("greem-run: built without the `obs` feature; --trace/--metrics are ignored");
+    }
+    #[cfg(feature = "obs")]
+    let mut metrics_out = match &o.metrics {
+        Some(path) => match std::fs::File::create(path) {
+            Ok(f) => Some(std::io::BufWriter::new(f)),
+            Err(e) => {
+                eprintln!("greem-run: cannot create {path}: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => None,
+    };
+
     let cfg = TreePmConfig {
         theta: o.theta,
         group_size: o.group,
@@ -166,6 +198,19 @@ fn main() {
         a *= ratio;
         let bd = sim.step(a);
         total.accumulate(&bd);
+        #[cfg(feature = "obs")]
+        if let Some(w) = metrics_out.as_mut() {
+            use greem_obs::Observe as _;
+            use std::io::Write as _;
+            let mut reg = greem_obs::Registry::new();
+            bd.observe(&mut reg);
+            reg.gauge_set("scale_factor", a);
+            let line = greem_obs::export::step_report_line(step as u64, a, &reg);
+            if let Err(e) = writeln!(w, "{line}") {
+                eprintln!("greem-run: metrics write failed: {e}");
+                std::process::exit(1);
+            }
+        }
         if !o.quiet {
             println!(
                 "step {step:>3}/{}: a = {a:.5} (z = {:6.1})  {:7.3}s  {:>11} interactions",
@@ -191,6 +236,30 @@ fn main() {
             Err(e) => {
                 eprintln!("greem-run: checkpoint failed: {e}");
                 std::process::exit(1);
+            }
+        }
+    }
+
+    #[cfg(feature = "obs")]
+    {
+        if let Some(mut w) = metrics_out {
+            use std::io::Write as _;
+            if let Err(e) = w.flush() {
+                eprintln!("greem-run: metrics flush failed: {e}");
+                std::process::exit(1);
+            }
+            println!("step metrics written to {}", o.metrics.as_deref().unwrap());
+        }
+        if let Some(path) = &o.trace {
+            greem_obs::trace::disable();
+            let events = greem_obs::trace::drain();
+            let json = greem_obs::export::chrome_trace(&events, greem_obs::export::Clock::Wall);
+            match std::fs::write(path, json) {
+                Ok(()) => println!("trace ({} events) written to {path}", events.len()),
+                Err(e) => {
+                    eprintln!("greem-run: trace write failed: {e}");
+                    std::process::exit(1);
+                }
             }
         }
     }

@@ -110,11 +110,19 @@ impl TreePm {
     /// Evaluate PP accelerations only (tree + kernel) on a snapshot.
     pub fn compute_pp(&self, pos: &[Vec3], mass: &[f64]) -> (Vec<Vec3>, WalkStats, PpTimes) {
         assert_eq!(pos.len(), mass.len());
+        #[cfg(feature = "obs")]
+        let mut _pp_span = greem_obs::trace::span("force", "pp.compute");
         let mut times = PpTimes::default();
         let t0 = Instant::now();
-        let tree = Octree::build(pos, mass, Aabb::UNIT, self.cfg.tree_params());
+        let tree = {
+            #[cfg(feature = "obs")]
+            let _span = greem_obs::trace::span("force", "pp.tree_build");
+            Octree::build(pos, mass, Aabb::UNIT, self.cfg.tree_params())
+        };
         times.tree_build = t0.elapsed().as_secs_f64();
 
+        #[cfg(feature = "obs")]
+        let _walk_span = greem_obs::trace::span("force", "pp.walk_force");
         let walk = GroupWalk::new(&tree, self.cfg.traverse_params());
         let groups = walk.groups();
         let split = self.cfg.split();
@@ -163,26 +171,46 @@ impl TreePm {
         }
         times.traversal = traversal_ns.load(Ordering::Relaxed) as f64 * 1e-9;
         times.force = force_ns.load(Ordering::Relaxed) as f64 * 1e-9;
+        #[cfg(feature = "obs")]
+        _pp_span.arg("interactions", walk_stats.interactions as f64);
         (accel, walk_stats, times)
     }
 
     /// Evaluate PM accelerations only.
     pub fn compute_pm(&self, pos: &[Vec3], mass: &[f64]) -> (PmResult, greem_pm::PmPhaseTimes) {
         let mut t = greem_pm::PmPhaseTimes::default();
+        #[cfg(feature = "obs")]
+        let _pm_span = greem_obs::trace::span("force", "pm.compute");
         let t0 = Instant::now();
-        let rho = self.pm.assign_density(pos, mass);
+        let rho = {
+            #[cfg(feature = "obs")]
+            let _span = greem_obs::trace::span("force", "pm.density_assignment");
+            self.pm.assign_density(pos, mass)
+        };
         t.density_assignment = t0.elapsed().as_secs_f64();
         let t0 = Instant::now();
-        let phi = self.pm.potential_mesh(&rho);
+        let phi = {
+            #[cfg(feature = "obs")]
+            let _span = greem_obs::trace::span("force", "pm.fft");
+            self.pm.potential_mesh(&rho)
+        };
         t.fft = t0.elapsed().as_secs_f64();
         let t0 = Instant::now();
-        let acc = self.pm.accel_meshes(&phi);
+        let acc = {
+            #[cfg(feature = "obs")]
+            let _span = greem_obs::trace::span("force", "pm.acceleration_on_mesh");
+            self.pm.accel_meshes(&phi)
+        };
         t.acceleration_on_mesh = t0.elapsed().as_secs_f64();
         let t0 = Instant::now();
+        #[cfg(feature = "obs")]
+        let interp_span = greem_obs::trace::span("force", "pm.force_interpolation");
         let ax = self.pm.interpolate(&acc[0], pos);
         let ay = self.pm.interpolate(&acc[1], pos);
         let az = self.pm.interpolate(&acc[2], pos);
         let potential = self.pm.interpolate(&phi, pos);
+        #[cfg(feature = "obs")]
+        drop(interp_span);
         t.force_interpolation = t0.elapsed().as_secs_f64();
         let accel = ax
             .into_iter()
@@ -199,6 +227,8 @@ impl TreePm {
         // final sum; `join` overlaps them so the serial stretches of
         // one (FFT butterflies, tree-arena concatenation) fill the
         // otherwise-idle time of the other's workers.
+        #[cfg(feature = "obs")]
+        let _span = greem_obs::trace::span("force", "force.compute");
         let ((pm, pm_times), (pp_accel, walk, pp_times)) =
             rayon::join(|| self.compute_pm(pos, mass), || self.compute_pp(pos, mass));
         let accel = pp_accel

@@ -148,6 +148,8 @@ impl ParallelTreePm {
     /// mode `dt_or_a_next` is the timestep; for cosmological mode it is
     /// the target scale factor.
     pub fn step(&mut self, ctx: &mut Ctx, world: &Comm, dt_or_a_next: f64) -> ParallelStepStats {
+        #[cfg(feature = "obs")]
+        let mut _step_span = greem_obs::trace::span("step", "treepm.step");
         let mut bd = StepBreakdown::default();
         match self.mode {
             SimulationMode::Static => {
@@ -184,6 +186,11 @@ impl ParallelTreePm {
                 self.mode = SimulationMode::Cosmological { cosmology, a: a1 };
             }
         }
+        #[cfg(feature = "obs")]
+        {
+            _step_span.arg("interactions", bd.walk.interactions as f64);
+            _step_span.arg("n_owned", self.bodies.len() as f64);
+        }
         ParallelStepStats {
             breakdown: bd,
             n_owned: self.bodies.len(),
@@ -199,6 +206,8 @@ impl ParallelTreePm {
 
     fn drift(&mut self, w: f64, bd: &mut StepBreakdown) {
         let t0 = Instant::now();
+        #[cfg(feature = "obs")]
+        let _span = greem_obs::trace::span("step", "dd.position_update");
         for b in self.bodies.iter_mut() {
             b.pos = wrap01(b.pos + b.vel * w);
         }
@@ -210,16 +219,24 @@ impl ParallelTreePm {
         // Rebalance with the measured force cost as the sampling weight.
         let t0 = Instant::now();
         let v0 = ctx.vtime();
-        let pos: Vec<Vec3> = self.bodies.iter().map(|b| b.pos).collect();
-        self.grid = self.balancer.rebalance(ctx, world, &pos, self.last_cost);
+        {
+            #[cfg(feature = "obs")]
+            let _span = greem_obs::trace::span("step", "dd.sampling_method");
+            let pos: Vec<Vec3> = self.bodies.iter().map(|b| b.pos).collect();
+            self.grid = self.balancer.rebalance(ctx, world, &pos, self.last_cost);
+        }
         bd.dd_sampling_method += t0.elapsed().as_secs_f64() + (ctx.vtime() - v0);
 
         // Route every particle to its (possibly new) owner.
         let t0 = Instant::now();
         let v0 = ctx.vtime();
-        let grid = self.grid.clone();
-        let mine = std::mem::take(&mut self.bodies);
-        self.bodies = exchange(ctx, world, mine, move |b: &Body| grid.rank_of_point(b.pos));
+        {
+            #[cfg(feature = "obs")]
+            let _span = greem_obs::trace::span("step", "dd.particle_exchange");
+            let grid = self.grid.clone();
+            let mine = std::mem::take(&mut self.bodies);
+            self.bodies = exchange(ctx, world, mine, move |b: &Body| grid.rank_of_point(b.pos));
+        }
         bd.dd_particle_exchange += t0.elapsed().as_secs_f64() + (ctx.vtime() - v0);
     }
 
@@ -249,7 +266,11 @@ impl ParallelTreePm {
         // Boundary communication.
         let t0 = Instant::now();
         let v0 = ctx.vtime();
-        let ghosts = self.exchange_ghosts(ctx, world);
+        let ghosts = {
+            #[cfg(feature = "obs")]
+            let _span = greem_obs::trace::span("step", "pp.communication");
+            self.exchange_ghosts(ctx, world)
+        };
         self.n_ghosts = ghosts.len();
         bd.pp_communication += t0.elapsed().as_secs_f64() + (ctx.vtime() - v0);
 
@@ -263,12 +284,18 @@ impl ParallelTreePm {
         bd.pp_local_tree += t0.elapsed().as_secs_f64();
 
         let t0 = Instant::now();
-        let tree = Octree::build(&pos, &mass, Aabb::UNIT, self.cfg.tree_params());
+        let tree = {
+            #[cfg(feature = "obs")]
+            let _span = greem_obs::trace::span("step", "pp.tree_construction");
+            Octree::build(&pos, &mass, Aabb::UNIT, self.cfg.tree_params())
+        };
         bd.pp_tree_construction += t0.elapsed().as_secs_f64();
 
         // Walk + kernel. Groups covering only ghosts still compute (the
         // cost of the simple "one tree over everything" design), but
         // only owned particles' results are kept.
+        #[cfg(feature = "obs")]
+        let mut _walk_span = greem_obs::trace::span("step", "pp.walk_force");
         let walk = GroupWalk::new(&tree, self.cfg.traverse_params());
         let split = self.cfg.split();
         let mut accel = vec![Vec3::ZERO; n_own];
@@ -307,6 +334,8 @@ impl ParallelTreePm {
             }
             stats_all.merge(&stats);
         }
+        #[cfg(feature = "obs")]
+        _walk_span.arg("interactions", stats_all.interactions as f64);
         bd.pp_tree_traversal += t_traverse;
         bd.pp_force_calculation += t_force;
         bd.walk.merge(&stats_all);
@@ -316,6 +345,8 @@ impl ParallelTreePm {
 
     /// Collective PM cycle at the current positions.
     fn recompute_pm(&mut self, ctx: &mut Ctx, world: &Comm, bd: &mut StepBreakdown) {
+        #[cfg(feature = "obs")]
+        let _span = greem_obs::trace::span("step", "pm.solve");
         let dom = self.grid.domain(world.rank());
         let pos: Vec<Vec3> = self.bodies.iter().map(|b| b.pos).collect();
         let mass: Vec<f64> = self.bodies.iter().map(|b| b.mass).collect();

@@ -158,6 +158,45 @@ impl StepBreakdown {
         )
     }
 
+    /// Feed this breakdown into a metrics registry (see the
+    /// [`greem_obs::Observe`] impl). Split out so callers can also invoke
+    /// it directly on a `&StepBreakdown`.
+    #[cfg(feature = "obs")]
+    pub fn observe_into(&self, reg: &mut greem_obs::Registry) {
+        use greem_obs::Observe as _;
+        // PM rows come from the PmPhaseTimes observer
+        // (`tableone_seconds{section=pm,…}`).
+        self.pm.observe(reg);
+        reg.with_label("section", "pp", |reg| {
+            let rows = [
+                ("local_tree", self.pp_local_tree),
+                ("communication", self.pp_communication),
+                ("tree_construction", self.pp_tree_construction),
+                ("tree_traversal", self.pp_tree_traversal),
+                ("force_calculation", self.pp_force_calculation),
+            ];
+            for (phase, secs) in rows {
+                reg.with_label("phase", phase, |reg| {
+                    reg.counter_add("tableone_seconds", secs);
+                });
+            }
+        });
+        reg.with_label("section", "dd", |reg| {
+            let rows = [
+                ("position_update", self.dd_position_update),
+                ("sampling_method", self.dd_sampling_method),
+                ("particle_exchange", self.dd_particle_exchange),
+            ];
+            for (phase, secs) in rows {
+                reg.with_label("phase", phase, |reg| {
+                    reg.counter_add("tableone_seconds", secs);
+                });
+            }
+        });
+        self.walk.observe(reg);
+        reg.gauge_set("flops_rate", self.flops_rate());
+    }
+
     /// Render the Table-I-shaped text block for this breakdown.
     pub fn table(&self, steps: f64) -> String {
         let s = |v: f64| v / steps;
@@ -245,6 +284,13 @@ impl StepBreakdown {
             self.flops_rate()
         ));
         out
+    }
+}
+
+#[cfg(feature = "obs")]
+impl greem_obs::Observe for StepBreakdown {
+    fn observe(&self, reg: &mut greem_obs::Registry) {
+        self.observe_into(reg);
     }
 }
 

@@ -224,6 +224,18 @@ impl PhaseTimer {
     }
 }
 
+#[cfg(feature = "obs")]
+impl greem_obs::Observe for PhaseTimer {
+    /// Feeds `phase_seconds{phase=<name>}` and
+    /// `phase_invocations{phase=<name>}` counters.
+    fn observe(&self, reg: &mut greem_obs::Registry) {
+        reg.with_label("phase", self.name, |reg| {
+            reg.counter_add("phase_seconds", self.seconds());
+            reg.counter_add("phase_invocations", self.invocations as f64);
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -111,10 +111,46 @@ impl Comm {
     // Collectives
     // ------------------------------------------------------------------
 
+    /// Run collective body `f` inside a `comm` tracing span that records
+    /// this rank's traffic delta (bytes/hops/messages) as span args. A
+    /// cheap passthrough while recording is disabled.
+    fn traced<R>(
+        &self,
+        ctx: &mut Ctx,
+        name: &'static str,
+        f: impl FnOnce(&Self, &mut Ctx) -> R,
+    ) -> R {
+        #[cfg(feature = "obs")]
+        if greem_obs::trace::is_enabled() {
+            let before = ctx.comm_stats();
+            let mut span = greem_obs::trace::span("comm", name);
+            let out = f(self, ctx);
+            let after = ctx.comm_stats();
+            span.arg("bytes_sent", (after.bytes_sent - before.bytes_sent) as f64);
+            span.arg(
+                "bytes_received",
+                (after.bytes_received - before.bytes_received) as f64,
+            );
+            span.arg("hops", (after.hops_sent - before.hops_sent) as f64);
+            span.arg(
+                "messages",
+                (after.messages_sent - before.messages_sent) as f64,
+            );
+            return out;
+        }
+        #[cfg(not(feature = "obs"))]
+        let _ = name;
+        f(self, ctx)
+    }
+
     /// Synchronise all members: binomial fan-in to local rank 0, fan-out
     /// back. On return every member's virtual clock is at least the
     /// latest pre-barrier clock plus the tree traversal cost.
     pub fn barrier(&self, ctx: &mut Ctx) {
+        self.traced(ctx, "barrier", Self::barrier_impl);
+    }
+
+    fn barrier_impl(&self, ctx: &mut Ctx) {
         let tag = self.next_tag(CollOp::Barrier);
         let p = self.size();
         if p == 1 {
@@ -160,6 +196,15 @@ impl Comm {
         root: usize,
         data: Option<Vec<T>>,
     ) -> Vec<T> {
+        self.traced(ctx, "bcast", move |c, ctx| c.bcast_impl(ctx, root, data))
+    }
+
+    fn bcast_impl<T: Clone + Send + 'static>(
+        &self,
+        ctx: &mut Ctx,
+        root: usize,
+        data: Option<Vec<T>>,
+    ) -> Vec<T> {
         let tag = self.next_tag(CollOp::Bcast);
         let p = self.size();
         let rel = (self.my_rank + p - root) % p;
@@ -187,6 +232,16 @@ impl Comm {
     /// accumulator. Returns `Some(result)` on the root, `None` elsewhere.
     /// Binomial fan-in, like `MPI_Reduce`.
     pub fn reduce<T, F>(&self, ctx: &mut Ctx, root: usize, local: Vec<T>, op: F) -> Option<Vec<T>>
+    where
+        T: Clone + Send + 'static,
+        F: Fn(&mut T, &T),
+    {
+        self.traced(ctx, "reduce", move |c, ctx| {
+            c.reduce_impl(ctx, root, local, op)
+        })
+    }
+
+    fn reduce_impl<T, F>(&self, ctx: &mut Ctx, root: usize, local: Vec<T>, op: F) -> Option<Vec<T>>
     where
         T: Clone + Send + 'static,
         F: Fn(&mut T, &T),
@@ -221,14 +276,25 @@ impl Comm {
         T: Clone + Send + 'static,
         F: Fn(&mut T, &T),
     {
-        let reduced = self.reduce(ctx, 0, local, op);
-        self.bcast(ctx, 0, reduced)
+        self.traced(ctx, "allreduce", move |c, ctx| {
+            let reduced = c.reduce(ctx, 0, local, op);
+            c.bcast(ctx, 0, reduced)
+        })
     }
 
     /// Gather every member's vector at local rank `root` (linear fan-in,
     /// like small-message `MPI_Gatherv`). Root returns `Some(vec of
     /// per-rank vectors)` in local-rank order.
     pub fn gather<T: Send + 'static>(
+        &self,
+        ctx: &mut Ctx,
+        root: usize,
+        local: Vec<T>,
+    ) -> Option<Vec<Vec<T>>> {
+        self.traced(ctx, "gather", move |c, ctx| c.gather_impl(ctx, root, local))
+    }
+
+    fn gather_impl<T: Send + 'static>(
         &self,
         ctx: &mut Ctx,
         root: usize,
@@ -257,8 +323,10 @@ impl Comm {
         ctx: &mut Ctx,
         local: Vec<T>,
     ) -> Vec<Vec<T>> {
-        let gathered = self.gather(ctx, 0, local);
-        self.bcast(ctx, 0, gathered)
+        self.traced(ctx, "allgather", move |c, ctx| {
+            let gathered = c.gather(ctx, 0, local);
+            c.bcast(ctx, 0, gathered)
+        })
     }
 
     /// Personalised all-to-all with per-destination vectors
@@ -266,6 +334,10 @@ impl Comm {
     /// `out[i]` is what local rank `i` sent here. Pairwise exchange
     /// schedule (round `k`: send to `me+k`, receive from `me−k`).
     pub fn alltoallv<T: Send + 'static>(&self, ctx: &mut Ctx, send: Vec<Vec<T>>) -> Vec<Vec<T>> {
+        self.traced(ctx, "alltoallv", move |c, ctx| c.alltoallv_impl(ctx, send))
+    }
+
+    fn alltoallv_impl<T: Send + 'static>(&self, ctx: &mut Ctx, send: Vec<Vec<T>>) -> Vec<Vec<T>> {
         assert_eq!(
             send.len(),
             self.size(),
@@ -292,6 +364,10 @@ impl Comm {
     /// form one new communicator, ordered by `(key, parent rank)` — the
     /// semantics of `MPI_Comm_split`.
     pub fn split(&self, ctx: &mut Ctx, color: u64, key: u64) -> Comm {
+        self.traced(ctx, "split", move |c, ctx| c.split_impl(ctx, color, key))
+    }
+
+    fn split_impl(&self, ctx: &mut Ctx, color: u64, key: u64) -> Comm {
         let tag = self.next_tag(CollOp::Split);
         let root_global = self.ranks[0];
         // Gather (color, key, my_rank) at local rank 0.

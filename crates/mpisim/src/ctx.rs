@@ -34,6 +34,19 @@ pub struct CommStats {
     pub messages_received: u64,
     /// Total payload bytes received.
     pub bytes_received: u64,
+    /// Total torus hops traversed by sent messages (self-sends count 0).
+    pub hops_sent: u64,
+}
+
+#[cfg(feature = "obs")]
+impl greem_obs::Observe for CommStats {
+    fn observe(&self, reg: &mut greem_obs::Registry) {
+        reg.counter_add("comm_messages_sent", self.messages_sent as f64);
+        reg.counter_add("comm_bytes_sent", self.bytes_sent as f64);
+        reg.counter_add("comm_messages_received", self.messages_received as f64);
+        reg.counter_add("comm_bytes_received", self.bytes_received as f64);
+        reg.counter_add("comm_hops_sent", self.hops_sent as f64);
+    }
 }
 
 /// The execution context of one simulated rank.
@@ -91,13 +104,23 @@ impl Ctx {
     pub fn compute(&mut self, seconds: f64) {
         debug_assert!(seconds >= 0.0);
         self.vtime += seconds;
+        self.obs_sync();
     }
 
     /// Force the virtual clock to at least `t` (used by barriers).
     pub(crate) fn advance_to(&mut self, t: f64) {
         if t > self.vtime {
             self.vtime = t;
+            self.obs_sync();
         }
+    }
+
+    /// Mirror the virtual clock into the tracer's thread-local copy so
+    /// spans recorded on this rank thread carry virtual timestamps.
+    #[inline]
+    pub(crate) fn obs_sync(&self) {
+        #[cfg(feature = "obs")]
+        greem_obs::trace::set_vtime(self.vtime);
     }
 
     /// Communication counters so far.
@@ -122,6 +145,7 @@ impl Ctx {
         if dest == self.rank {
             // Pure memcpy: charge the self-transfer and bypass the NIC.
             self.vtime += self.net.self_time(bytes);
+            self.obs_sync();
             self.pending.push(Message {
                 src: self.rank,
                 comm_id,
@@ -136,7 +160,9 @@ impl Ctx {
         let send_ready = self.vtime.max(self.inject_free);
         self.inject_free = send_ready + self.net.inject_time(bytes);
         self.vtime = send_ready + self.net.send_overhead;
+        self.obs_sync();
         let hops = self.topo.hops(self.rank, dest);
+        self.stats.hops_sent += hops as u64;
         let msg = Message {
             src: self.rank,
             comm_id,

@@ -41,7 +41,7 @@ pub mod topology;
 pub mod world;
 
 pub use comm::Comm;
-pub use ctx::Ctx;
+pub use ctx::{CommStats, Ctx};
 pub use netmodel::NetModel;
 pub use topology::Torus3d;
 pub use world::World;

@@ -1,0 +1,383 @@
+//! Exporters: Chrome-trace/Perfetto JSON, step-report JSONL lines, and the
+//! schema validator used by tests and the CI smoke job.
+
+use std::collections::BTreeMap;
+
+use crate::json::{self, JsonWriter, Value};
+use crate::metrics::Registry;
+use crate::trace::{Event, Phase};
+
+/// Which timestamp to put on the trace timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Clock {
+    /// Wall-clock nanoseconds since the trace epoch.
+    Wall,
+    /// The recording rank's virtual clock (`mpisim` `Ctx::vtime`); events
+    /// without a virtual timestamp fall back to wall clock.
+    Virtual,
+}
+
+fn ts_us(e: &Event, clock: Clock) -> f64 {
+    match clock {
+        Clock::Virtual if e.has_vtime() => e.vtime * 1e6,
+        _ => e.wall_ns as f64 / 1e3,
+    }
+}
+
+struct CompleteSpan {
+    name: &'static str,
+    cat: &'static str,
+    pid: u32,
+    tid: u32,
+    seq: u64,
+    ts: f64,
+    dur: f64,
+    args: Vec<(&'static str, f64)>,
+}
+
+/// Render events as Chrome-trace JSON (`chrome://tracing`, Perfetto).
+///
+/// Each simulated rank becomes one "process" (`pid` = rank) so a
+/// multi-rank `mpisim` run shows one track per rank; with
+/// [`Clock::Virtual`] the tracks line up on simulated time. Begin/End
+/// pairs are folded into complete (`ph: "X"`) events; a Begin left open at
+/// drain time is closed at its thread's last timestamp.
+pub fn chrome_trace(events: &[Event], clock: Clock) -> String {
+    let mut spans: Vec<CompleteSpan> = Vec::new();
+    let mut instants: Vec<&Event> = Vec::new();
+    // Per-(rank, tid) stack of open Begin events, and last seen timestamp.
+    let mut open: BTreeMap<(u32, u32), Vec<&Event>> = BTreeMap::new();
+    let mut last_ts: BTreeMap<(u32, u32), f64> = BTreeMap::new();
+
+    for e in events {
+        let key = (e.rank, e.tid);
+        let t = ts_us(e, clock);
+        let slot = last_ts.entry(key).or_insert(t);
+        *slot = slot.max(t);
+        match e.phase {
+            Phase::Begin => open.entry(key).or_default().push(e),
+            Phase::End => {
+                if let Some(b) = open.get_mut(&key).and_then(Vec::pop) {
+                    let ts = ts_us(b, clock);
+                    let mut args: Vec<_> = b.args.iter().collect();
+                    args.extend(e.args.iter());
+                    spans.push(CompleteSpan {
+                        name: b.name,
+                        cat: b.cat,
+                        pid: e.rank,
+                        tid: e.tid,
+                        seq: b.seq,
+                        ts,
+                        dur: (t - ts).max(0.0),
+                        args,
+                    });
+                }
+            }
+            Phase::Instant => instants.push(e),
+        }
+    }
+    // Close any span still open at drain time at its thread's last ts.
+    for ((rank, tid), stack) in open {
+        let end = last_ts.get(&(rank, tid)).copied().unwrap_or(0.0);
+        for b in stack {
+            let ts = ts_us(b, clock);
+            spans.push(CompleteSpan {
+                name: b.name,
+                cat: b.cat,
+                pid: rank,
+                tid,
+                seq: b.seq,
+                ts,
+                dur: (end - ts).max(0.0),
+                args: b.args.iter().collect(),
+            });
+        }
+    }
+    spans.sort_by(|a, b| {
+        (a.pid, a.tid, a.seq)
+            .partial_cmp(&(b.pid, b.tid, b.seq))
+            .unwrap()
+    });
+
+    let mut w = JsonWriter::new();
+    w.begin_obj(None);
+    w.str_(
+        Some("displayTimeUnit"),
+        if clock == Clock::Virtual { "ns" } else { "ms" },
+    );
+    w.begin_arr(Some("traceEvents"));
+    // Metadata: name each pid track after its simulated rank.
+    let mut pids: Vec<u32> = spans
+        .iter()
+        .map(|s| s.pid)
+        .chain(instants.iter().map(|e| e.rank))
+        .collect();
+    pids.sort_unstable();
+    pids.dedup();
+    for pid in pids {
+        w.begin_obj(None);
+        w.str_(Some("name"), "process_name");
+        w.str_(Some("ph"), "M");
+        w.u64(Some("pid"), pid as u64);
+        w.begin_obj(Some("args"));
+        w.str_(Some("name"), &format!("rank {pid}"));
+        w.end_obj();
+        w.end_obj();
+    }
+    for s in &spans {
+        w.begin_obj(None);
+        w.str_(Some("name"), s.name);
+        w.str_(Some("cat"), s.cat);
+        w.str_(Some("ph"), "X");
+        w.f64(Some("ts"), s.ts);
+        w.f64(Some("dur"), s.dur);
+        w.u64(Some("pid"), s.pid as u64);
+        w.u64(Some("tid"), s.tid as u64);
+        if !s.args.is_empty() {
+            w.begin_obj(Some("args"));
+            for &(k, v) in &s.args {
+                w.f64(Some(k), v);
+            }
+            w.end_obj();
+        }
+        w.end_obj();
+    }
+    for e in instants {
+        w.begin_obj(None);
+        w.str_(Some("name"), e.name);
+        w.str_(Some("cat"), e.cat);
+        w.str_(Some("ph"), "i");
+        w.str_(Some("s"), "t");
+        w.f64(Some("ts"), ts_us(e, clock));
+        w.u64(Some("pid"), e.rank as u64);
+        w.u64(Some("tid"), e.tid as u64);
+        if !e.args.is_empty() {
+            w.begin_obj(Some("args"));
+            for (k, v) in e.args.iter() {
+                w.f64(Some(k), v);
+            }
+            w.end_obj();
+        }
+        w.end_obj();
+    }
+    w.end_arr();
+    w.end_obj();
+    w.finish()
+}
+
+/// What [`validate_chrome_trace`] found in a well-formed trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Distinct pids (one per simulated rank).
+    pub processes: usize,
+    /// Complete (`ph: "X"`) span events.
+    pub spans: usize,
+    /// Spans with category `comm`.
+    pub comm_spans: usize,
+}
+
+/// Schema-validate a Chrome-trace JSON document produced by
+/// [`chrome_trace`]: the `traceEvents` array must exist, every `X` event
+/// must carry name/cat/ts/dur/pid/tid, per-track timestamps must be
+/// nondecreasing, spans must nest strictly within each track, and every
+/// `comm` span must carry `bytes_sent` and `hops` args.
+pub fn validate_chrome_trace(src: &str) -> Result<TraceSummary, String> {
+    let doc = json::parse(src)?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_arr)
+        .ok_or("missing traceEvents array")?;
+
+    // Per (pid, tid): the track's spans as (ts, dur, name).
+    type Track = Vec<(f64, f64, String)>;
+    let mut per_track: BTreeMap<(u64, u64), Track> = BTreeMap::new();
+    let mut spans = 0usize;
+    let mut comm_spans = 0usize;
+    let mut pids: Vec<u64> = Vec::new();
+
+    for (i, e) in events.iter().enumerate() {
+        let ph = e.get("ph").and_then(Value::as_str).unwrap_or("");
+        if ph != "X" {
+            continue;
+        }
+        let num = |k: &str| -> Result<f64, String> {
+            e.get(k)
+                .and_then(Value::as_f64)
+                .ok_or(format!("event {i}: missing numeric '{k}'"))
+        };
+        let name = e
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or(format!("event {i}: missing name"))?
+            .to_string();
+        let cat = e
+            .get("cat")
+            .and_then(Value::as_str)
+            .ok_or(format!("event {i}: missing cat"))?;
+        let (ts, dur) = (num("ts")?, num("dur")?);
+        let (pid, tid) = (num("pid")? as u64, num("tid")? as u64);
+        if dur < 0.0 {
+            return Err(format!("event {i} ({name}): negative dur"));
+        }
+        if cat == "comm" {
+            let args = e.get("args").ok_or(format!("comm span {name}: no args"))?;
+            for k in ["bytes_sent", "hops"] {
+                args.get(k)
+                    .and_then(Value::as_f64)
+                    .ok_or(format!("comm span {name}: missing args.{k}"))?;
+            }
+            comm_spans += 1;
+        }
+        spans += 1;
+        pids.push(pid);
+        per_track
+            .entry((pid, tid))
+            .or_default()
+            .push((ts, dur, name));
+    }
+    pids.sort_unstable();
+    pids.dedup();
+
+    // Per track: nondecreasing start times, strictly nested spans.
+    const EPS: f64 = 1e-6;
+    for ((pid, tid), track) in &per_track {
+        let mut stack: Vec<(f64, String)> = Vec::new(); // (end_ts, name)
+        let mut prev_ts = f64::NEG_INFINITY;
+        for (ts, dur, name) in track {
+            if *ts < prev_ts - EPS {
+                return Err(format!(
+                    "track pid={pid} tid={tid}: span '{name}' starts before its predecessor"
+                ));
+            }
+            prev_ts = *ts;
+            while stack.last().is_some_and(|(end, _)| *end <= *ts + EPS) {
+                stack.pop();
+            }
+            if let Some((end, parent)) = stack.last() {
+                if ts + dur > end + EPS {
+                    return Err(format!(
+                        "track pid={pid} tid={tid}: span '{name}' overflows parent '{parent}'"
+                    ));
+                }
+            }
+            stack.push((ts + dur, name.clone()));
+        }
+    }
+
+    Ok(TraceSummary {
+        processes: pids.len(),
+        spans,
+        comm_spans,
+    })
+}
+
+/// One step-report JSONL line: `{"step":…,"time":…,"metrics":[…]}`.
+pub fn step_report_line(step: u64, sim_time: f64, reg: &Registry) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_obj(None);
+    w.u64(Some("step"), step);
+    w.f64(Some("time"), sim_time);
+    reg.write_json(&mut w, Some("metrics"));
+    w.end_obj();
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{Args, Event, Phase};
+
+    fn ev(seq: u64, phase: Phase, name: &'static str, cat: &'static str, rank: u32) -> Event {
+        Event {
+            seq,
+            phase,
+            name,
+            cat,
+            wall_ns: seq * 1000,
+            vtime: seq as f64 * 1e-3,
+            rank,
+            tid: rank,
+            args: Args::default(),
+        }
+    }
+
+    #[test]
+    fn export_and_validate_nested_trace() {
+        let mut comm_args = Args::default();
+        comm_args.push("bytes_sent", 256.0);
+        comm_args.push("hops", 3.0);
+        let mut e3 = ev(3, Phase::End, "alltoallv", "comm", 0);
+        e3.args = comm_args;
+        let events = vec![
+            ev(0, Phase::Begin, "step", "step", 0),
+            ev(1, Phase::Begin, "alltoallv", "comm", 0),
+            ev(2, Phase::Instant, "tick", "step", 0),
+            e3,
+            ev(4, Phase::End, "step", "step", 0),
+            ev(5, Phase::Begin, "step", "step", 1),
+            ev(6, Phase::End, "step", "step", 1),
+        ];
+        let json = chrome_trace(&events, Clock::Virtual);
+        let summary = validate_chrome_trace(&json).unwrap();
+        assert_eq!(summary.processes, 2);
+        assert_eq!(summary.spans, 3);
+        assert_eq!(summary.comm_spans, 1);
+        // Virtual clock: seq k at vtime k ms → ts in µs.
+        let doc = json::parse(&json).unwrap();
+        let arr = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let step0 = arr
+            .iter()
+            .find(|e| {
+                e.get("ph").and_then(Value::as_str) == Some("X")
+                    && e.get("pid").and_then(Value::as_f64) == Some(0.0)
+                    && e.get("name").and_then(Value::as_str) == Some("step")
+            })
+            .unwrap();
+        assert_eq!(step0.get("ts").unwrap().as_f64().unwrap(), 0.0);
+        assert_eq!(step0.get("dur").unwrap().as_f64().unwrap(), 4000.0);
+    }
+
+    #[test]
+    fn validator_rejects_bad_nesting_and_missing_comm_args() {
+        // Overlapping, non-nested spans on one track.
+        let bad = r#"{"traceEvents":[
+            {"name":"a","cat":"x","ph":"X","ts":0,"dur":10,"pid":0,"tid":0},
+            {"name":"b","cat":"x","ph":"X","ts":5,"dur":10,"pid":0,"tid":0}]}"#;
+        assert!(validate_chrome_trace(bad)
+            .unwrap_err()
+            .contains("overflows"));
+        let no_args = r#"{"traceEvents":[
+            {"name":"bcast","cat":"comm","ph":"X","ts":0,"dur":1,"pid":0,"tid":0}]}"#;
+        assert!(validate_chrome_trace(no_args).is_err());
+    }
+
+    #[test]
+    fn unmatched_begin_is_closed_at_last_ts() {
+        let events = vec![
+            ev(0, Phase::Begin, "orphan", "step", 0),
+            ev(1, Phase::Begin, "inner", "step", 0),
+            ev(2, Phase::End, "inner", "step", 0),
+        ];
+        let json = chrome_trace(&events, Clock::Wall);
+        let summary = validate_chrome_trace(&json).unwrap();
+        assert_eq!(summary.spans, 2);
+    }
+
+    #[test]
+    fn step_report_line_is_single_line_json() {
+        let mut reg = Registry::new();
+        reg.counter_add("interactions", 123.0);
+        let line = step_report_line(7, 0.25, &reg);
+        assert!(!line.contains('\n'));
+        let v = json::parse(&line).unwrap();
+        assert_eq!(v.get("step").unwrap().as_f64().unwrap(), 7.0);
+        assert_eq!(
+            v.get("metrics").unwrap().as_arr().unwrap()[0]
+                .get("value")
+                .unwrap()
+                .as_f64()
+                .unwrap(),
+            123.0
+        );
+    }
+}

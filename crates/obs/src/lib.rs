@@ -1,0 +1,30 @@
+//! `greem_obs`: the unified observability subsystem.
+//!
+//! The paper's whole performance argument is a per-phase cost breakdown
+//! (Table I) plus per-rank communication timelines; this crate is the
+//! measurement substrate that produces both from one instrumentation layer:
+//!
+//! * [`trace`] — a low-overhead span/event tracer. Each thread records into
+//!   a thread-local ring buffer; spans carry a wall-clock timestamp and,
+//!   when the thread is an `mpisim` rank, that rank's *virtual* clock, so a
+//!   simulated multi-rank run yields a real per-rank timeline.
+//! * [`metrics`] — a registry of counters/gauges/histograms with fixed
+//!   label sets. Existing stats structs (`PhaseTimer`, `CommStats`,
+//!   `WalkStats`, `StepBreakdown`, …) feed it through the [`Observe`]
+//!   trait, unifying them under one schema.
+//! * [`export`] — exporters: Chrome-trace/Perfetto JSON (one "process" per
+//!   simulated rank), a step-report JSONL stream, and human text tables.
+//! * [`json`] — a dependency-free JSON writer and a minimal parser used by
+//!   the exporters and by tests/CI that validate emitted files.
+//!
+//! With the `record` feature disabled (and hence with downstream crates'
+//! `obs` features disabled) every tracing entry point compiles to nothing,
+//! keeping the `treepm_step` hot path unperturbed.
+
+pub mod export;
+pub mod json;
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{Observe, Registry};
+pub use trace::{Event, Span};

@@ -1,0 +1,356 @@
+//! Metrics registry: counters, gauges and histograms with fixed label
+//! sets, plus the [`Observe`] trait through which the existing stats
+//! structs (`PhaseTimer`, `CommStats`, `WalkStats`, `StepBreakdown`,
+//! Table I rows, …) feed one unified schema.
+
+use std::collections::BTreeMap;
+
+use crate::json::JsonWriter;
+
+/// Anything that can dump itself into a [`Registry`].
+///
+/// Implementations live next to the stats structs they describe (behind
+/// each crate's `obs` feature) so the schema stays in one place per struct.
+pub trait Observe {
+    fn observe(&self, reg: &mut Registry);
+}
+
+/// Metric kind and current value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotonically accumulating sum (merge: add).
+    Counter(f64),
+    /// Point-in-time value (merge: last write wins).
+    Gauge(f64),
+    /// Bucketed distribution (merge: add).
+    Histogram(Histogram),
+}
+
+/// Fixed-bound histogram; `counts[i]` counts samples `<= bounds[i]`, with
+/// one implicit overflow bucket at the end.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    pub bounds: Vec<f64>,
+    /// `bounds.len() + 1` entries; last is the overflow bucket.
+    pub counts: Vec<u64>,
+    pub sum: f64,
+    pub count: u64,
+}
+
+impl Histogram {
+    pub fn new(bounds: &[f64]) -> Self {
+        Self {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            sum: 0.0,
+            count: 0,
+        }
+    }
+
+    pub fn observe(&mut self, v: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.sum += v;
+        self.count += 1;
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// Default histogram bounds: decades from 1 µs to 100 s (suits both wall
+/// seconds and virtual-clock seconds).
+pub const DEFAULT_BOUNDS: [f64; 9] = [1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0];
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct Entry {
+    pub name: String,
+    /// Sorted `(key, value)` label pairs.
+    pub labels: Vec<(String, String)>,
+    pub value: MetricValue,
+}
+
+/// A set of named metrics, each identified by `name` plus a fixed label
+/// set. Labels are applied through lexical [`Registry::with_label`] scopes
+/// so observers compose (e.g. a per-rank scope around per-phase scopes).
+#[derive(Debug, Default)]
+pub struct Registry {
+    scope: Vec<(String, String)>,
+    entries: BTreeMap<String, Entry>,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn key(&self, name: &str) -> (String, Vec<(String, String)>) {
+        let mut labels = self.scope.clone();
+        labels.sort();
+        let mut key = String::from(name);
+        if !labels.is_empty() {
+            key.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    key.push(',');
+                }
+                key.push_str(k);
+                key.push('=');
+                key.push_str(v);
+            }
+            key.push('}');
+        }
+        (key, labels)
+    }
+
+    /// Run `f` with `(key, value)` appended to the active label scope.
+    pub fn with_label<R>(&mut self, key: &str, value: &str, f: impl FnOnce(&mut Self) -> R) -> R {
+        self.scope.push((key.to_string(), value.to_string()));
+        let out = f(self);
+        self.scope.pop();
+        out
+    }
+
+    /// Add `v` to the counter `name` under the active label scope.
+    pub fn counter_add(&mut self, name: &str, v: f64) {
+        let (key, labels) = self.key(name);
+        let entry = self.entries.entry(key).or_insert_with(|| Entry {
+            name: name.to_string(),
+            labels,
+            value: MetricValue::Counter(0.0),
+        });
+        if let MetricValue::Counter(c) = &mut entry.value {
+            *c += v;
+        }
+    }
+
+    /// Set the gauge `name` under the active label scope.
+    pub fn gauge_set(&mut self, name: &str, v: f64) {
+        let (key, labels) = self.key(name);
+        let entry = self.entries.entry(key).or_insert_with(|| Entry {
+            name: name.to_string(),
+            labels,
+            value: MetricValue::Gauge(0.0),
+        });
+        if let MetricValue::Gauge(g) = &mut entry.value {
+            *g = v;
+        }
+    }
+
+    /// Record `v` into the histogram `name` (created with
+    /// [`DEFAULT_BOUNDS`]) under the active label scope.
+    pub fn hist_observe(&mut self, name: &str, v: f64) {
+        self.hist_observe_with(name, &DEFAULT_BOUNDS, v);
+    }
+
+    /// Record `v` into the histogram `name`, creating it with `bounds` on
+    /// first use (later calls keep the original bounds).
+    pub fn hist_observe_with(&mut self, name: &str, bounds: &[f64], v: f64) {
+        let (key, labels) = self.key(name);
+        let entry = self.entries.entry(key).or_insert_with(|| Entry {
+            name: name.to_string(),
+            labels,
+            value: MetricValue::Histogram(Histogram::new(bounds)),
+        });
+        if let MetricValue::Histogram(h) = &mut entry.value {
+            h.observe(v);
+        }
+    }
+
+    /// Fold another registry in: counters and histograms add, gauges take
+    /// the other side's value. Used to aggregate per-rank registries.
+    pub fn merge(&mut self, other: &Registry) {
+        for (key, e) in &other.entries {
+            match self.entries.get_mut(key) {
+                None => {
+                    self.entries.insert(key.clone(), e.clone());
+                }
+                Some(mine) => match (&mut mine.value, &e.value) {
+                    (MetricValue::Counter(a), MetricValue::Counter(b)) => *a += b,
+                    (MetricValue::Gauge(a), MetricValue::Gauge(b)) => *a = *b,
+                    (MetricValue::Histogram(a), MetricValue::Histogram(b))
+                        if a.bounds == b.bounds =>
+                    {
+                        for (ca, cb) in a.counts.iter_mut().zip(&b.counts) {
+                            *ca += cb;
+                        }
+                        a.sum += b.sum;
+                        a.count += b.count;
+                    }
+                    _ => {} // kind/bounds mismatch: keep ours
+                },
+            }
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries in key (name, then label) order.
+    pub fn entries(&self) -> impl Iterator<Item = &Entry> + '_ {
+        self.entries.values()
+    }
+
+    /// Look up one metric's scalar value (counter or gauge) by full key,
+    /// e.g. `tableone_seconds{phase=fft,section=pm}`.
+    pub fn value(&self, key: &str) -> Option<f64> {
+        match &self.entries.get(key)?.value {
+            MetricValue::Counter(v) | MetricValue::Gauge(v) => Some(*v),
+            MetricValue::Histogram(h) => Some(h.mean()),
+        }
+    }
+
+    /// Compact single-line JSON array of metric objects — one registry dump
+    /// per line makes a valid JSONL stream.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        self.write_json(&mut w, None);
+        w.finish()
+    }
+
+    /// Write the metric array into an enclosing [`JsonWriter`].
+    pub fn write_json(&self, w: &mut JsonWriter, key: Option<&str>) {
+        w.begin_arr(key);
+        for e in self.entries.values() {
+            w.begin_obj(None);
+            w.str_(Some("name"), &e.name);
+            if !e.labels.is_empty() {
+                w.begin_obj(Some("labels"));
+                for (k, v) in &e.labels {
+                    w.str_(Some(k), v);
+                }
+                w.end_obj();
+            }
+            match &e.value {
+                MetricValue::Counter(v) => {
+                    w.str_(Some("type"), "counter");
+                    w.f64(Some("value"), *v);
+                }
+                MetricValue::Gauge(v) => {
+                    w.str_(Some("type"), "gauge");
+                    w.f64(Some("value"), *v);
+                }
+                MetricValue::Histogram(h) => {
+                    w.str_(Some("type"), "histogram");
+                    w.f64(Some("sum"), h.sum);
+                    w.u64(Some("count"), h.count);
+                    w.begin_arr(Some("bounds"));
+                    for &b in &h.bounds {
+                        w.f64(None, b);
+                    }
+                    w.end_arr();
+                    w.begin_arr(Some("counts"));
+                    for &c in &h.counts {
+                        w.u64(None, c);
+                    }
+                    w.end_arr();
+                }
+            }
+            w.end_obj();
+        }
+        w.end_arr();
+    }
+
+    /// Human-readable aligned table.
+    pub fn to_text(&self) -> String {
+        let mut rows: Vec<(String, String, String)> = Vec::new();
+        for (key, e) in &self.entries {
+            let (kind, val) = match &e.value {
+                MetricValue::Counter(v) => ("counter", format!("{v:.6}")),
+                MetricValue::Gauge(v) => ("gauge", format!("{v:.6}")),
+                MetricValue::Histogram(h) => (
+                    "histogram",
+                    format!("count={} mean={:.6}", h.count, h.mean()),
+                ),
+            };
+            rows.push((key.clone(), kind.to_string(), val));
+        }
+        let w0 = rows.iter().map(|r| r.0.len()).max().unwrap_or(6).max(6);
+        let w1 = rows.iter().map(|r| r.1.len()).max().unwrap_or(4).max(4);
+        let mut out = format!("{:<w0$}  {:<w1$}  value\n", "metric", "type");
+        for (k, t, v) in rows {
+            out.push_str(&format!("{k:<w0$}  {t:<w1$}  {v}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_labels_build_distinct_series() {
+        let mut reg = Registry::new();
+        reg.with_label("section", "pm", |r| {
+            r.with_label("phase", "fft", |r| r.counter_add("seconds", 1.5));
+            r.with_label("phase", "assign", |r| r.counter_add("seconds", 0.5));
+        });
+        reg.with_label("section", "pm", |r| {
+            r.with_label("phase", "fft", |r| r.counter_add("seconds", 1.0));
+        });
+        assert_eq!(reg.value("seconds{phase=fft,section=pm}"), Some(2.5));
+        assert_eq!(reg.value("seconds{phase=assign,section=pm}"), Some(0.5));
+        assert_eq!(reg.entries().count(), 2);
+    }
+
+    #[test]
+    fn merge_adds_counters_and_histograms() {
+        let mut a = Registry::new();
+        a.counter_add("c", 1.0);
+        a.gauge_set("g", 1.0);
+        a.hist_observe("h", 0.5);
+        let mut b = Registry::new();
+        b.counter_add("c", 2.0);
+        b.gauge_set("g", 9.0);
+        b.hist_observe("h", 5.0);
+        a.merge(&b);
+        assert_eq!(a.value("c"), Some(3.0));
+        assert_eq!(a.value("g"), Some(9.0));
+        match &a.entries.get("h").unwrap().value {
+            MetricValue::Histogram(h) => {
+                assert_eq!(h.count, 2);
+                assert_eq!(h.sum, 5.5);
+            }
+            _ => panic!("expected histogram"),
+        }
+    }
+
+    #[test]
+    fn json_dump_parses_back() {
+        let mut reg = Registry::new();
+        reg.with_label("rank", "0", |r| r.counter_add("bytes_sent", 4096.0));
+        reg.hist_observe("lat", 2e-4);
+        let s = reg.to_json();
+        assert!(!s.contains('\n'), "JSONL lines must be single-line");
+        let v = crate::json::parse(&s).unwrap();
+        let arr = v.as_arr().unwrap();
+        assert_eq!(arr.len(), 2);
+        let bytes = &arr[0];
+        assert_eq!(bytes.get("name").unwrap().as_str().unwrap(), "bytes_sent");
+        assert_eq!(
+            bytes
+                .get("labels")
+                .unwrap()
+                .get("rank")
+                .unwrap()
+                .as_str()
+                .unwrap(),
+            "0"
+        );
+        assert_eq!(bytes.get("value").unwrap().as_f64().unwrap(), 4096.0);
+        assert_eq!(arr[1].get("type").unwrap().as_str().unwrap(), "histogram");
+        let text = reg.to_text();
+        assert!(text.contains("bytes_sent{rank=0}"));
+    }
+}

@@ -1,0 +1,407 @@
+//! Span/event tracer with per-thread ring buffers and dual clocks.
+//!
+//! Every thread records into its own fixed-capacity ring buffer (newest
+//! events win when full), so recording is lock-free apart from one
+//! registration per thread. Each event carries:
+//!
+//! * a wall-clock timestamp (nanoseconds since a process-wide epoch), and
+//! * the recording rank's *virtual* time when the thread is an `mpisim`
+//!   rank (`NaN` otherwise) — `mpisim` keeps the thread-local copy in sync
+//!   via [`set_vtime`] whenever `Ctx::vtime` advances.
+//!
+//! Recording is off by default behind a global [`enable`] flag; an
+//! instrumented hot path with recording disabled costs one relaxed atomic
+//! load. With the `record` cargo feature disabled the entry points compile
+//! to nothing at all.
+
+/// Maximum number of key/value args one event can carry (span `End` events
+/// reserve one slot for the implicit `wall_ms` duration arg).
+pub const MAX_ARGS: usize = 6;
+
+/// Event kind, mirroring the Chrome-trace phases we emit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    Begin,
+    End,
+    Instant,
+}
+
+/// Fixed-capacity inline arg list; keys are static strings, values `f64`.
+#[derive(Debug, Clone, Copy)]
+pub struct Args {
+    len: u8,
+    kv: [(&'static str, f64); MAX_ARGS],
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            len: 0,
+            kv: [("", 0.0); MAX_ARGS],
+        }
+    }
+}
+
+impl Args {
+    /// Add an arg; silently dropped when the inline capacity is exhausted.
+    pub fn push(&mut self, key: &'static str, value: f64) {
+        if (self.len as usize) < MAX_ARGS {
+            self.kv[self.len as usize] = (key, value);
+            self.len += 1;
+        }
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, f64)> + '_ {
+        self.kv[..self.len as usize].iter().copied()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// One recorded trace event.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// Global sequence number; total order across all threads.
+    pub seq: u64,
+    pub phase: Phase,
+    /// Span/event name (e.g. `"pm.fft"`).
+    pub name: &'static str,
+    /// Category (e.g. `"comm"`, `"pm"`, `"step"`).
+    pub cat: &'static str,
+    /// Nanoseconds since the process-wide trace epoch.
+    pub wall_ns: u64,
+    /// Recording rank's virtual clock in seconds; `NaN` outside `mpisim`.
+    pub vtime: f64,
+    /// Simulated rank (0 outside `mpisim`).
+    pub rank: u32,
+    /// Process-unique recording-thread id.
+    pub tid: u32,
+    pub args: Args,
+}
+
+impl Event {
+    /// True when the event carries a virtual-clock timestamp.
+    pub fn has_vtime(&self) -> bool {
+        !self.vtime.is_nan()
+    }
+}
+
+#[cfg(feature = "record")]
+mod imp {
+    use super::{Args, Event, Phase};
+    use std::cell::{Cell, OnceCell};
+    use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+    use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+    use std::time::Instant;
+
+    /// Per-thread ring buffer capacity (events). Phase-level spans produce
+    /// tens of events per step, so this covers thousands of steps; overflow
+    /// drops the oldest events and is counted.
+    const RING_CAPACITY: usize = 1 << 16;
+
+    static ENABLED: AtomicBool = AtomicBool::new(false);
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    static NEXT_TID: AtomicU32 = AtomicU32::new(0);
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    /// All ring buffers ever registered (threads may exit before drain).
+    static BUFFERS: Mutex<Vec<Arc<Mutex<Ring>>>> = Mutex::new(Vec::new());
+    /// Serializes [`capture`] sections so concurrent tests don't interleave.
+    static CAPTURE: Mutex<()> = Mutex::new(());
+
+    struct Ring {
+        events: Vec<Event>,
+        /// Index of the oldest event once the buffer has wrapped.
+        head: usize,
+        dropped: u64,
+    }
+
+    impl Ring {
+        fn push(&mut self, e: Event) {
+            if self.events.len() < RING_CAPACITY {
+                self.events.push(e);
+            } else {
+                self.events[self.head] = e;
+                self.head = (self.head + 1) % RING_CAPACITY;
+                self.dropped += 1;
+            }
+        }
+    }
+
+    thread_local! {
+        static RANK: Cell<u32> = const { Cell::new(0) };
+        static VTIME: Cell<f64> = const { Cell::new(f64::NAN) };
+        static RING: OnceCell<(u32, Arc<Mutex<Ring>>)> = const { OnceCell::new() };
+    }
+
+    fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+        m.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn epoch() -> Instant {
+        *EPOCH.get_or_init(Instant::now)
+    }
+
+    #[inline]
+    pub fn is_enabled() -> bool {
+        ENABLED.load(Ordering::Relaxed)
+    }
+
+    /// Start recording. The epoch is pinned on first use.
+    pub fn enable() {
+        epoch();
+        ENABLED.store(true, Ordering::SeqCst);
+    }
+
+    pub fn disable() {
+        ENABLED.store(false, Ordering::SeqCst);
+    }
+
+    /// Tag this thread as simulated rank `rank` for subsequent events.
+    pub fn set_rank(rank: usize) {
+        RANK.with(|r| r.set(rank as u32));
+    }
+
+    /// Update this thread's copy of its rank's virtual clock (seconds).
+    #[inline]
+    pub fn set_vtime(vtime: f64) {
+        VTIME.with(|v| v.set(vtime));
+    }
+
+    /// Clear the virtual clock (thread no longer acts as a rank).
+    pub fn clear_vtime() {
+        VTIME.with(|v| v.set(f64::NAN));
+    }
+
+    fn now_ns() -> u64 {
+        epoch().elapsed().as_nanos() as u64
+    }
+
+    /// Record one raw event. Cheap no-op while recording is disabled.
+    pub fn record(phase: Phase, cat: &'static str, name: &'static str, args: Args) {
+        if !is_enabled() {
+            return;
+        }
+        let e = Event {
+            seq: SEQ.fetch_add(1, Ordering::Relaxed),
+            phase,
+            name,
+            cat,
+            wall_ns: now_ns(),
+            vtime: VTIME.with(|v| v.get()),
+            rank: RANK.with(|r| r.get()),
+            tid: 0, // filled in below from the ring registration
+            args,
+        };
+        RING.with(|cell| {
+            let (tid, ring) = cell.get_or_init(|| {
+                let tid = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+                let ring = Arc::new(Mutex::new(Ring {
+                    events: Vec::new(),
+                    head: 0,
+                    dropped: 0,
+                }));
+                lock(&BUFFERS).push(Arc::clone(&ring));
+                (tid, ring)
+            });
+            let mut e = e;
+            e.tid = *tid;
+            lock(ring).push(e);
+        });
+    }
+
+    /// Drain every thread's buffer, returning all events ordered by `seq`.
+    /// Also reports how many events were dropped to ring overflow.
+    pub fn drain_counted() -> (Vec<Event>, u64) {
+        let mut out = Vec::new();
+        let mut dropped = 0;
+        for ring in lock(&BUFFERS).iter() {
+            let mut r = lock(ring);
+            let head = r.head;
+            out.extend_from_slice(&r.events[head..]);
+            out.extend_from_slice(&r.events[..head]);
+            dropped += r.dropped;
+            r.events.clear();
+            r.head = 0;
+            r.dropped = 0;
+        }
+        out.sort_by_key(|e| e.seq);
+        (out, dropped)
+    }
+
+    pub fn drain() -> Vec<Event> {
+        drain_counted().0
+    }
+
+    /// Run `f` with recording enabled and return its result plus every
+    /// event it produced. Captures are serialized by a global lock so
+    /// parallel tests cannot interleave their event streams; events
+    /// recorded outside the capture window are discarded.
+    pub fn capture<R>(f: impl FnOnce() -> R) -> (R, Vec<Event>) {
+        let _guard = lock(&CAPTURE);
+        drain(); // discard stale events from before this window
+        enable();
+        let out = f();
+        disable();
+        (out, drain())
+    }
+}
+
+#[cfg(not(feature = "record"))]
+mod imp {
+    use super::{Args, Event, Phase};
+
+    #[inline(always)]
+    pub fn is_enabled() -> bool {
+        false
+    }
+    #[inline(always)]
+    pub fn enable() {}
+    #[inline(always)]
+    pub fn disable() {}
+    #[inline(always)]
+    pub fn set_rank(_rank: usize) {}
+    #[inline(always)]
+    pub fn set_vtime(_vtime: f64) {}
+    #[inline(always)]
+    pub fn clear_vtime() {}
+    #[inline(always)]
+    pub fn record(_phase: Phase, _cat: &'static str, _name: &'static str, _args: Args) {}
+    pub fn drain_counted() -> (Vec<Event>, u64) {
+        (Vec::new(), 0)
+    }
+    pub fn drain() -> Vec<Event> {
+        Vec::new()
+    }
+    pub fn capture<R>(f: impl FnOnce() -> R) -> (R, Vec<Event>) {
+        (f(), Vec::new())
+    }
+}
+
+pub use imp::{
+    capture, clear_vtime, disable, drain, drain_counted, enable, is_enabled, record, set_rank,
+    set_vtime,
+};
+
+/// RAII span guard: records a `Begin` event on creation and the matching
+/// `End` (with accumulated args plus a `wall_ms` duration arg) on drop.
+/// Inert when recording is disabled at creation time.
+#[must_use = "a span measures the scope it lives in; bind it to a variable"]
+pub struct Span {
+    live: bool,
+    cat: &'static str,
+    name: &'static str,
+    args: Args,
+    #[cfg(feature = "record")]
+    start: std::time::Instant,
+}
+
+/// Open a span of category `cat` named `name` on the current thread.
+#[inline]
+pub fn span(cat: &'static str, name: &'static str) -> Span {
+    let live = is_enabled();
+    if live {
+        record(Phase::Begin, cat, name, Args::default());
+    }
+    Span {
+        live,
+        cat,
+        name,
+        args: Args::default(),
+        #[cfg(feature = "record")]
+        start: std::time::Instant::now(),
+    }
+}
+
+impl Span {
+    /// Attach a key/value arg, emitted with the span's `End` event.
+    #[inline]
+    pub fn arg(&mut self, key: &'static str, value: f64) {
+        if self.live {
+            self.args.push(key, value);
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if self.live {
+            #[cfg(feature = "record")]
+            self.args
+                .push("wall_ms", self.start.elapsed().as_secs_f64() * 1e3);
+            record(Phase::End, self.cat, self.name, self.args);
+        }
+    }
+}
+
+/// Record a point event with args.
+#[inline]
+pub fn instant(cat: &'static str, name: &'static str, args: &[(&'static str, f64)]) {
+    if is_enabled() {
+        let mut a = Args::default();
+        for &(k, v) in args {
+            a.push(k, v);
+        }
+        record(Phase::Instant, cat, name, a);
+    }
+}
+
+#[cfg(all(test, feature = "record"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_collects_nested_spans_in_order() {
+        let ((), events) = capture(|| {
+            let mut outer = span("test", "outer");
+            outer.arg("k", 7.0);
+            {
+                let _inner = span("test", "inner");
+                instant("test", "tick", &[("x", 1.0)]);
+            }
+        });
+        let names: Vec<_> = events.iter().map(|e| (e.phase, e.name)).collect();
+        assert_eq!(
+            names,
+            vec![
+                (Phase::Begin, "outer"),
+                (Phase::Begin, "inner"),
+                (Phase::Instant, "tick"),
+                (Phase::End, "inner"),
+                (Phase::End, "outer"),
+            ]
+        );
+        // End events carry the user arg plus the implicit wall_ms.
+        let end_outer = events.last().unwrap();
+        let args: Vec<_> = end_outer.args.iter().collect();
+        assert_eq!(args[0], ("k", 7.0));
+        assert_eq!(args[1].0, "wall_ms");
+        // Wall timestamps are nondecreasing in sequence order.
+        assert!(events.windows(2).all(|w| w[0].wall_ns <= w[1].wall_ns));
+        // Outside mpisim there is no virtual clock.
+        assert!(!events[0].has_vtime());
+    }
+
+    #[test]
+    fn disabled_recording_produces_nothing() {
+        let _s = span("test", "ignored");
+        drop(_s);
+        let ((), events) = capture(|| {});
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn vtime_tag_follows_thread_local_clock() {
+        let ((), events) = capture(|| {
+            set_rank(3);
+            set_vtime(1.25);
+            instant("test", "v", &[]);
+            clear_vtime();
+            set_rank(0);
+        });
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].rank, 3);
+        assert_eq!(events[0].vtime, 1.25);
+    }
+}

@@ -155,6 +155,39 @@ impl TableOne {
     }
 }
 
+#[cfg(feature = "obs")]
+impl greem_obs::Observe for TableOne {
+    /// Publish the column under the same `tableone_seconds{section,phase}`
+    /// schema the measured [`StepBreakdown`] uses, so modelled and
+    /// measured Table I rows land in one registry side by side.
+    fn observe(&self, reg: &mut greem_obs::Registry) {
+        let rows: [(&str, &str, f64); 13] = [
+            ("pm", "density_assignment", self.pm_density_assignment),
+            ("pm", "communication", self.pm_communication),
+            ("pm", "fft", self.pm_fft),
+            ("pm", "acceleration_on_mesh", self.pm_accel_on_mesh),
+            ("pm", "force_interpolation", self.pm_force_interpolation),
+            ("pp", "local_tree", self.pp_local_tree),
+            ("pp", "communication", self.pp_communication),
+            ("pp", "tree_construction", self.pp_tree_construction),
+            ("pp", "tree_traversal", self.pp_tree_traversal),
+            ("pp", "force_calculation", self.pp_force_calculation),
+            ("dd", "position_update", self.dd_position_update),
+            ("dd", "sampling_method", self.dd_sampling_method),
+            ("dd", "particle_exchange", self.dd_particle_exchange),
+        ];
+        for (section, phase, secs) in rows {
+            reg.with_label("section", section, |reg| {
+                reg.with_label("phase", phase, |reg| {
+                    reg.counter_add("tableone_seconds", secs);
+                });
+            });
+        }
+        reg.gauge_set("flops_rate", self.performance());
+        reg.gauge_set("efficiency", self.efficiency());
+    }
+}
+
 /// The published Table I column for `p` ∈ {24576, 82944}.
 pub fn paper_table(p: usize) -> TableOne {
     match p {

@@ -83,6 +83,29 @@ impl PmPhaseTimes {
     }
 }
 
+#[cfg(feature = "obs")]
+impl greem_obs::Observe for PmPhaseTimes {
+    /// Feeds `tableone_seconds{section=pm,phase=…}` counters, matching the
+    /// Table I row names.
+    fn observe(&self, reg: &mut greem_obs::Registry) {
+        reg.with_label("section", "pm", |reg| {
+            let rows = [
+                ("density_assignment", self.density_assignment),
+                ("communication", self.communication_sim),
+                ("communication_wall", self.communication_wall),
+                ("fft", self.fft),
+                ("acceleration_on_mesh", self.acceleration_on_mesh),
+                ("force_interpolation", self.force_interpolation),
+            ];
+            for (phase, secs) in rows {
+                reg.with_label("phase", phase, |reg| {
+                    reg.counter_add("tableone_seconds", secs);
+                });
+            }
+        });
+    }
+}
+
 /// The per-rank parallel PM solver. Construction is collective (it
 /// splits the FFT and relay communicators); [`ParallelPm::solve`] is
 /// called collectively once per long-range step.
@@ -147,6 +170,8 @@ impl ParallelPm {
 
         // Step 1: density assignment on the local (ghosted) mesh.
         let t0 = Instant::now();
+        #[cfg(feature = "obs")]
+        let span = greem_obs::trace::span("pm", "pm.density_assignment");
         let assign_box = CellBox::covering_domain(dlo, dhi, n);
         let mut rho = LocalMesh::zeros(assign_box);
         let vol_inv = (n * n * n) as f64;
@@ -163,19 +188,27 @@ impl ParallelPm {
             }
         }
         times.density_assignment = t0.elapsed().as_secs_f64();
+        #[cfg(feature = "obs")]
+        drop(span);
 
         // Step 2: conversion to slabs (direct or relay).
         let t0 = Instant::now();
         let v0 = ctx.vtime();
+        #[cfg(feature = "obs")]
+        let span = greem_obs::trace::span("pm", "pm.convert_to_slabs");
         let slab = match &self.relay {
             Some(comms) => relay_density_to_slabs(ctx, comms, &rho, n),
             None => local_density_to_slabs(ctx, world, &rho, n, self.cfg.nf),
         };
+        #[cfg(feature = "obs")]
+        drop(span);
         times.communication_wall += t0.elapsed().as_secs_f64();
         times.communication_sim += ctx.vtime() - v0;
 
         // Step 3: slab FFT + Green's function (FFT ranks only).
         let t0 = Instant::now();
+        #[cfg(feature = "obs")]
+        let span = greem_obs::trace::span("pm", "pm.fft");
         let pot_slab = match (&self.fft, slab) {
             (Some(fft), Some(slab)) => {
                 let (_, nxl) = fft.my_planes();
@@ -198,22 +231,30 @@ impl ParallelPm {
             _ => None,
         };
         times.fft = t0.elapsed().as_secs_f64();
+        #[cfg(feature = "obs")]
+        drop(span);
 
         // Step 4: conversion back to the local ghosted potential mesh.
         // Ghosts: TSC spill (1) + 4-point difference reach (2) = 3.
         let t0 = Instant::now();
         let v0 = ctx.vtime();
+        #[cfg(feature = "obs")]
+        let span = greem_obs::trace::span("pm", "pm.convert_to_local");
         let want = assign_box.grow(2);
         let phi = match &self.relay {
             Some(comms) => relay_slabs_to_local(ctx, comms, pot_slab, n, want),
             None => slabs_to_local_potential(ctx, world, pot_slab.as_deref(), n, self.cfg.nf, want),
         };
+        #[cfg(feature = "obs")]
+        drop(span);
         times.communication_wall += t0.elapsed().as_secs_f64();
         times.communication_sim += ctx.vtime() - v0;
 
         // Step 5a: acceleration on the mesh (4-point differences over
         // the assignment box, using the grown potential).
         let t0 = Instant::now();
+        #[cfg(feature = "obs")]
+        let span = greem_obs::trace::span("pm", "pm.acceleration_on_mesh");
         let inv12h = n as f64 / 12.0;
         let mut acc_mesh = [
             LocalMesh::zeros(assign_box),
@@ -242,9 +283,13 @@ impl ParallelPm {
             }
         }
         times.acceleration_on_mesh = t0.elapsed().as_secs_f64();
+        #[cfg(feature = "obs")]
+        drop(span);
 
         // Step 5b: TSC force interpolation at the particles.
         let t0 = Instant::now();
+        #[cfg(feature = "obs")]
+        let span = greem_obs::trace::span("pm", "pm.force_interpolation");
         let accel: Vec<Vec3> = pos
             .iter()
             .map(|p| {
@@ -266,6 +311,8 @@ impl ParallelPm {
             })
             .collect();
         times.force_interpolation = t0.elapsed().as_secs_f64();
+        #[cfg(feature = "obs")]
+        drop(span);
         (accel, times)
     }
 }

@@ -117,20 +117,30 @@ pub fn relay_density_to_slabs(
     local: &LocalMesh,
     n: usize,
 ) -> Option<Vec<f64>> {
+    #[cfg(feature = "obs")]
+    let _span = greem_obs::trace::span("pm", "relay.density_to_slabs");
     let nf = comms.cfg.nf;
     // Step 1: group-local Alltoallv; destinations are the group's first
     // nf members, indexed exactly like the slab owners.
     let gs = comms.small.size();
     let mut send: Vec<Vec<f64>> = (0..gs).map(|_| Vec::new()).collect();
-    pack_density(local, n, nf, &mut send);
+    {
+        #[cfg(feature = "obs")]
+        let _span = greem_obs::trace::span("pm", "relay.pack_density");
+        pack_density(local, n, nf, &mut send);
+    }
     let recv = comms.small.alltoallv(ctx, send);
     if !comms.holds_partial_slab() {
         return None;
     }
     let (x0, count) = slab_planes(n, nf, comms.in_rank);
     let mut partial = vec![0.0; count * n * n];
-    for msg in &recv {
-        unpack_density_into_slab(msg, &mut partial, n, x0);
+    {
+        #[cfg(feature = "obs")]
+        let _span = greem_obs::trace::span("pm", "relay.unpack_density");
+        for msg in &recv {
+            unpack_density_into_slab(msg, &mut partial, n, x0);
+        }
     }
     // Step 2: Reduce the partial slabs across groups onto the root
     // group's member (the FFT rank).
@@ -149,6 +159,8 @@ pub fn relay_slabs_to_local(
     n: usize,
     want: CellBox,
 ) -> LocalMesh {
+    #[cfg(feature = "obs")]
+    let _span = greem_obs::trace::span("pm", "relay.slabs_to_local");
     let nf = comms.cfg.nf;
     assert_eq!(slab.is_some(), comms.is_fft_rank());
     // Step 4: Bcast the complete slab from the FFT rank to its
@@ -164,13 +176,19 @@ pub fn relay_slabs_to_local(
     let wants: Vec<CellBox> = wants_flat.iter().map(|v| CellBox::unpack(v)).collect();
     let mut send: Vec<Vec<f64>> = (0..gs).map(|_| Vec::new()).collect();
     if let Some(slab_full) = &slab_full {
+        #[cfg(feature = "obs")]
+        let _span = greem_obs::trace::span("pm", "relay.pack_potential");
         let (x0, count) = slab_planes(n, nf, comms.in_rank);
         pack_potential(slab_full, n, x0, count, &wants, &mut send);
     }
     let recv = comms.small.alltoallv(ctx, send);
     let mut local = LocalMesh::zeros(want);
-    for msg in &recv {
-        unpack_potential_into_local(msg, &mut local);
+    {
+        #[cfg(feature = "obs")]
+        let _span = greem_obs::trace::span("pm", "relay.unpack_potential");
+        for msg in &recv {
+            unpack_potential_into_local(msg, &mut local);
+        }
     }
     local
 }

@@ -121,6 +121,22 @@ impl WalkStats {
     }
 }
 
+#[cfg(feature = "obs")]
+impl greem_obs::Observe for WalkStats {
+    /// Feeds `walk_*` counters (raw sums, mergeable across ranks) plus the
+    /// derived ⟨Ni⟩/⟨Nj⟩ gauges the paper reports.
+    fn observe(&self, reg: &mut greem_obs::Registry) {
+        reg.counter_add("walk_groups", self.n_groups as f64);
+        reg.counter_add("walk_sum_ni", self.sum_ni as f64);
+        reg.counter_add("walk_sum_nj", self.sum_nj as f64);
+        reg.counter_add("walk_interactions", self.interactions as f64);
+        reg.counter_add("walk_particle_entries", self.particle_entries as f64);
+        reg.counter_add("walk_node_entries", self.node_entries as f64);
+        reg.gauge_set("walk_mean_ni", self.mean_ni());
+        reg.gauge_set("walk_mean_nj", self.mean_nj());
+    }
+}
+
 /// A group walk over an octree: finds the particle groups and builds each
 /// group's shared interaction list.
 pub struct GroupWalk<'t> {

@@ -1,10 +1,14 @@
-//! Criterion bench for the §II-A kernel claims: the optimised
-//! (blocked, approximate-rsqrt, branchless-cutoff) force loop vs the
-//! scalar reference, plus the no-cutoff Newtonian loop to isolate the
-//! cutoff polynomial's cost.
+//! Criterion bench for the §II-A kernel claims: every PP kernel variant
+//! the host can run (explicit AVX2, portable blocked, scalar reference)
+//! side by side, plus the dispatched entry point (measures the dispatch
+//! overhead — one cached enum match) and the no-cutoff Newtonian loop
+//! to isolate the cutoff polynomial's cost.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use greem_kernels::{newton_accel_blocked, pp_accel_phantom, pp_accel_scalar, SourceList, Targets};
+use greem_kernels::{
+    available_variants, newton_accel_blocked, pp_accel_dispatch, pp_accel_variant, SourceList,
+    Targets,
+};
 use greem_math::{ForceSplit, Vec3};
 use std::hint::black_box;
 
@@ -27,18 +31,20 @@ fn bench_kernels(c: &mut Criterion) {
         let sources: SourceList = pos.iter().map(|&p| (p, 1.0 / n as f64)).collect();
         let split = ForceSplit::new(4.0, 0.0); // all pairs inside cutoff
         group.throughput(Throughput::Elements((n * n) as u64));
-        group.bench_with_input(BenchmarkId::new("phantom", n), &n, |b, _| {
-            let mut t = Targets::from_positions(&pos);
-            b.iter(|| {
-                t.reset_accel();
-                black_box(pp_accel_phantom(&mut t, &sources, &split))
+        for variant in available_variants() {
+            group.bench_with_input(BenchmarkId::new(variant.name(), n), &n, |b, _| {
+                let mut t = Targets::from_positions(&pos);
+                b.iter(|| {
+                    t.reset_accel();
+                    black_box(pp_accel_variant(variant, &mut t, &sources, &split))
+                });
             });
-        });
-        group.bench_with_input(BenchmarkId::new("scalar_ref", n), &n, |b, _| {
+        }
+        group.bench_with_input(BenchmarkId::new("dispatched", n), &n, |b, _| {
             let mut t = Targets::from_positions(&pos);
             b.iter(|| {
                 t.reset_accel();
-                black_box(pp_accel_scalar(&mut t, &sources, &split))
+                black_box(pp_accel_dispatch(&mut t, &sources, &split))
             });
         });
         group.bench_with_input(BenchmarkId::new("newton_no_cutoff", n), &n, |b, _| {

@@ -204,6 +204,10 @@ fn run_bench_summary(args: &HarnessArgs) {
     w.u64(Some("n_mesh"), run.n_mesh as u64);
     w.u64(Some("ranks"), run.ranks as u64);
     w.u64(Some("steps"), run.steps as u64);
+    w.str_(
+        Some("pp_kernel_variant"),
+        greem_kernels::selected_variant().name(),
+    );
     w.f64(Some("wall_s"), wall);
     w.f64(Some("steps_per_sec"), steps / wall);
     w.u64(

@@ -4,11 +4,13 @@
 //! theoretical bound (75 % of peak, set by the 17-FMA/17-non-FMA mix);
 //! 11.65 Gflops measured (97 % of the bound) on an O(N²) kernel
 //! benchmark. On a host CPU the absolute numbers differ, so the
-//! reproducible quantities are the interaction rate, the paper-
-//! accounting flop rate (51 × rate), and the speedup of the blocked
-//! approximate-rsqrt kernel over the scalar reference.
+//! reproducible quantities are, per kernel variant (explicit AVX2,
+//! portable blocked, scalar reference): the interaction rate, the
+//! paper-accounting flop rate (51 × rate), and the speedup over the
+//! scalar reference. The report also names the variant the runtime
+//! dispatcher selects — the kernel the tree walk actually runs.
 
-use greem_kernels::{kernel_benchmark, KernelBenchReport};
+use greem_kernels::{kernel_benchmark, selected_variant, KernelBenchReport};
 use greem_perfmodel::KMachine;
 
 /// Run the O(N²) benchmark at a few sizes.
@@ -27,26 +29,33 @@ pub fn report() -> String {
         100.0 * k.kernel_flops_per_core / k.kernel_bound_per_core(),
         k.kernel_flops_per_core / 51.0
     ));
-    s.push_str("this host (single thread):\n");
-    s.push_str("     N   phantom int/s   51-flop Gflops   scalar int/s   speedup\n");
+    s.push_str(&format!(
+        "this host (single thread; dispatch selects '{}'):\n",
+        selected_variant().name()
+    ));
+    s.push_str("     N   variant          int/s   51-flop Gflops   vs scalar\n");
     for r in sweep(&[256, 512, 1024], 8) {
-        s.push_str(&format!(
-            "{:>6} {:>15.3e} {:>16.2} {:>14.3e} {:>9.2}x\n",
-            r.n,
-            r.phantom_interactions_per_sec,
-            r.phantom_flops / 1e9,
-            r.scalar_interactions_per_sec,
-            r.speedup
-        ));
+        for v in &r.variants {
+            s.push_str(&format!(
+                "{:>6}   {:<8} {:>12.3e} {:>16.2} {:>10.2}x\n",
+                r.n,
+                v.variant.name(),
+                v.interactions_per_sec,
+                v.flops / 1e9,
+                v.speedup_vs_scalar
+            ));
+        }
     }
     s.push_str(
-        "\n(the blocked approximate-rsqrt pipeline must clearly outrun the\n\
-         scalar exact-sqrt reference; the 51-flop accounting matches the paper's.)\n",
+        "\n(each optimised kernel must clearly outrun the scalar exact-sqrt\n\
+         reference, and the explicit-SIMD variant the portable one; the\n\
+         51-flop accounting matches the paper's.)\n",
     );
     s
 }
 
-/// Machine-readable summary: the kernel benchmark rows.
+/// Machine-readable summary: per-size, per-variant benchmark rows plus
+/// the dispatcher's selection.
 pub fn summary_json(small: bool) -> String {
     let (sizes, iters): (&[usize], usize) = if small {
         (&[128, 256], 2)
@@ -55,20 +64,21 @@ pub fn summary_json(small: bool) -> String {
     };
     let rows = sweep(sizes, iters);
     let mut w = super::summary_writer("kernel", small);
+    w.str_(Some("dispatch"), selected_variant().name());
     w.begin_arr(Some("rows"));
     for r in &rows {
         w.begin_obj(None);
         w.u64(Some("n"), r.n as u64);
-        w.f64(
-            Some("phantom_interactions_per_sec"),
-            r.phantom_interactions_per_sec,
-        );
-        w.f64(Some("phantom_flops"), r.phantom_flops);
-        w.f64(
-            Some("scalar_interactions_per_sec"),
-            r.scalar_interactions_per_sec,
-        );
-        w.f64(Some("speedup"), r.speedup);
+        w.begin_arr(Some("variants"));
+        for v in &r.variants {
+            w.begin_obj(None);
+            w.str_(Some("variant"), v.variant.name());
+            w.f64(Some("interactions_per_sec"), v.interactions_per_sec);
+            w.f64(Some("flops"), v.flops);
+            w.f64(Some("speedup_vs_scalar"), v.speedup_vs_scalar);
+            w.end_obj();
+        }
+        w.end_arr();
         w.end_obj();
     }
     w.end_arr();
@@ -79,12 +89,26 @@ pub fn summary_json(small: bool) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use greem_kernels::KernelVariant;
 
     #[test]
-    fn sweep_reports_positive_rates() {
+    fn sweep_reports_positive_rates_for_every_variant() {
         let r = sweep(&[64], 2);
         assert_eq!(r.len(), 1);
-        assert!(r[0].phantom_interactions_per_sec > 0.0);
-        assert!(r[0].phantom_flops > r[0].phantom_interactions_per_sec);
+        assert!(!r[0].variants.is_empty());
+        for v in &r[0].variants {
+            assert!(v.interactions_per_sec > 0.0, "{:?}", v.variant);
+            assert!(v.flops > v.interactions_per_sec);
+        }
+        assert!(r[0].rate_of(KernelVariant::Portable).is_some());
+        assert!(r[0].rate_of(KernelVariant::Scalar).is_some());
+    }
+
+    #[test]
+    fn summary_json_names_the_dispatched_variant() {
+        let s = summary_json(true);
+        assert!(s.contains("\"dispatch\""));
+        assert!(s.contains(&format!("\"{}\"", selected_variant().name())));
+        assert!(s.contains("\"variants\""));
     }
 }

@@ -9,7 +9,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-use greem_kernels::{pp_accel_phantom, SourceList, Targets};
+use greem_kernels::{pp_accel_dispatch, SourceList, Targets};
 use greem_math::{Aabb, Vec3};
 use greem_pm::{PmResult, PmSolver};
 use greem_tree::{GroupWalk, Octree, SourceEntry, WalkStats};
@@ -153,7 +153,7 @@ impl TreePm {
                 for s in &scr.list {
                     scr.sources.push(s.pos, s.mass);
                 }
-                pp_accel_phantom(&mut scr.targets, &scr.sources, &split);
+                pp_accel_dispatch(&mut scr.targets, &scr.sources, &split);
                 force_ns.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
 
                 for (i, &orig) in tree.orig_index()[lo..hi].iter().enumerate() {

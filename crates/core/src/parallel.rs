@@ -17,7 +17,7 @@
 use std::time::Instant;
 
 use greem_domain::{exchange, BalancerParams, DomainGrid, SamplingBalancer};
-use greem_kernels::{pp_accel_phantom, SourceList, Targets};
+use greem_kernels::{pp_accel_dispatch, SourceList, Targets};
 use greem_math::{wrap01, Aabb, Vec3};
 use greem_pm::{ParallelPm, ParallelPmConfig};
 use greem_tree::{GroupWalk, Octree, WalkStats};
@@ -325,7 +325,7 @@ impl ParallelTreePm {
             for s in &list {
                 sources.push(s.pos, s.mass);
             }
-            pp_accel_phantom(&mut targets, &sources, &split);
+            pp_accel_dispatch(&mut targets, &sources, &split);
             t_force += t1.elapsed().as_secs_f64();
             for (k, &oi) in tree.orig_index()[lo..hi].iter().enumerate() {
                 if (oi as usize) < n_own {

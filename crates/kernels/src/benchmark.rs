@@ -1,4 +1,4 @@
-//! The O(N²) kernel benchmark of §II-A.
+//! The O(N²) kernel benchmark of §II-A, per kernel variant.
 //!
 //! The paper measures the force loop on "a simple O(N²) kernel
 //! benchmark": all-pairs forces on N particles, reporting the flop rate
@@ -9,35 +9,58 @@
 //! 100 %).
 //!
 //! On a host CPU neither the absolute flop rate nor the exact peak
-//! fraction transfers, so the report carries three reproducible numbers:
-//! interactions/s for the optimised kernel, the same for the scalar
-//! reference (the speedup shows the blocking/rsqrt pipeline is doing its
-//! job), and the paper-accounting flop rate `51 × interactions/s`.
+//! fraction transfers, so the report carries the reproducible numbers
+//! for *every* kernel variant the host can run (scalar reference,
+//! portable blocked, explicit AVX2): interactions/s, the
+//! paper-accounting flop rate `51 × interactions/s`, and the speedup
+//! over the scalar reference — the paper's efficiency framing applied
+//! variant by variant. It also records which variant the runtime
+//! dispatcher picked, so `harness kernel`/`bench-summary` outputs say
+//! what actually ran on the hot path.
 
 use std::time::Instant;
 
 use greem_math::{ForceSplit, Vec3, FLOPS_PER_INTERACTION};
 
-use crate::phantom::pp_accel_phantom;
-use crate::scalar::pp_accel_scalar;
+use crate::dispatch::{available_variants, pp_accel_variant, selected_variant, KernelVariant};
 use crate::sources::{SourceList, Targets};
 
-/// Results of the O(N²) kernel benchmark.
+/// One kernel variant's measured rate on the O(N²) benchmark.
 #[derive(Debug, Clone, Copy)]
+pub struct VariantBench {
+    /// Which kernel ran.
+    pub variant: KernelVariant,
+    /// Pairwise interactions per second.
+    pub interactions_per_sec: f64,
+    /// Paper-accounting flop rate: 51 flops × interactions/s.
+    pub flops: f64,
+    /// Speedup over the scalar reference kernel.
+    pub speedup_vs_scalar: f64,
+}
+
+/// Results of the O(N²) kernel benchmark across all runnable variants.
+#[derive(Debug, Clone)]
 pub struct KernelBenchReport {
     /// Particle count (N targets × N sources per pass).
     pub n: usize,
     /// Passes timed.
     pub iters: usize,
-    /// Optimised kernel rate, pairwise interactions per second.
-    pub phantom_interactions_per_sec: f64,
-    /// Reference scalar kernel rate, interactions per second.
-    pub scalar_interactions_per_sec: f64,
-    /// Paper-accounting flop rate of the optimised kernel:
-    /// 51 flops × interactions/s.
-    pub phantom_flops: f64,
-    /// Speedup of the optimised kernel over the reference.
-    pub speedup: f64,
+    /// The variant the runtime dispatcher selects on this host (what
+    /// the tree walk's hot path actually runs).
+    pub dispatch: KernelVariant,
+    /// Per-variant rates, in [`available_variants`] order (fastest
+    /// expected first, scalar reference last).
+    pub variants: Vec<VariantBench>,
+}
+
+impl KernelBenchReport {
+    /// The measured rate of one variant, if it ran.
+    pub fn rate_of(&self, variant: KernelVariant) -> Option<f64> {
+        self.variants
+            .iter()
+            .find(|v| v.variant == variant)
+            .map(|v| v.interactions_per_sec)
+    }
 }
 
 /// Deterministic quasi-uniform positions in `[0, scale)³`.
@@ -54,8 +77,28 @@ fn bench_positions(n: usize, scale: f64, seed: u64) -> Vec<Vec3> {
         .collect()
 }
 
-/// Run the O(N²) benchmark: `iters` all-pairs passes of each kernel over
-/// `n` particles, every pair inside the cutoff (the hot path).
+/// Time `iters` all-pairs passes of one variant; returns interactions/s.
+fn time_variant(
+    variant: KernelVariant,
+    targets: &mut Targets,
+    sources: &SourceList,
+    split: &ForceSplit,
+    iters: usize,
+) -> f64 {
+    // Warm up (page in buffers, settle frequency scaling a little).
+    pp_accel_variant(variant, targets, sources, split);
+    targets.reset_accel();
+    let t0 = Instant::now();
+    let mut count = 0u64;
+    for _ in 0..iters {
+        count += pp_accel_variant(variant, targets, sources, split);
+    }
+    count as f64 / t0.elapsed().as_secs_f64().max(1e-12)
+}
+
+/// Run the O(N²) benchmark: `iters` all-pairs passes of every runnable
+/// kernel variant over `n` particles, every pair inside the cutoff (the
+/// hot path).
 pub fn kernel_benchmark(n: usize, iters: usize) -> KernelBenchReport {
     assert!(n > 0 && iters > 0);
     // Keep all pairs within r_cut so the whole polynomial pipeline runs.
@@ -64,34 +107,29 @@ pub fn kernel_benchmark(n: usize, iters: usize) -> KernelBenchReport {
     let sources: SourceList = pos.iter().map(|&p| (p, 1.0 / n as f64)).collect();
     let mut targets = Targets::from_positions(&pos);
 
-    // Warm up (page in buffers, settle frequency scaling a little).
-    pp_accel_phantom(&mut targets, &sources, &split);
-    targets.reset_accel();
-
-    let t0 = Instant::now();
-    let mut count = 0u64;
-    for _ in 0..iters {
-        count += pp_accel_phantom(&mut targets, &sources, &split);
-    }
-    let dt_phantom = t0.elapsed().as_secs_f64();
-
-    targets.reset_accel();
-    let t0 = Instant::now();
-    let mut count_ref = 0u64;
-    for _ in 0..iters {
-        count_ref += pp_accel_scalar(&mut targets, &sources, &split);
-    }
-    let dt_scalar = t0.elapsed().as_secs_f64();
-
-    let phantom_rate = count as f64 / dt_phantom.max(1e-12);
-    let scalar_rate = count_ref as f64 / dt_scalar.max(1e-12);
+    let order = available_variants();
+    let rates: Vec<(KernelVariant, f64)> = order
+        .iter()
+        .map(|&v| (v, time_variant(v, &mut targets, &sources, &split, iters)))
+        .collect();
+    let scalar_rate = rates
+        .iter()
+        .find(|(v, _)| *v == KernelVariant::Scalar)
+        .map(|&(_, r)| r)
+        .unwrap_or(1e-12);
     KernelBenchReport {
         n,
         iters,
-        phantom_interactions_per_sec: phantom_rate,
-        scalar_interactions_per_sec: scalar_rate,
-        phantom_flops: phantom_rate * FLOPS_PER_INTERACTION,
-        speedup: phantom_rate / scalar_rate.max(1e-12),
+        dispatch: selected_variant(),
+        variants: rates
+            .into_iter()
+            .map(|(variant, rate)| VariantBench {
+                variant,
+                interactions_per_sec: rate,
+                flops: rate * FLOPS_PER_INTERACTION,
+                speedup_vs_scalar: rate / scalar_rate.max(1e-12),
+            })
+            .collect(),
     }
 }
 
@@ -100,15 +138,20 @@ mod tests {
     use super::*;
 
     #[test]
-    fn benchmark_runs_and_reports() {
+    fn benchmark_runs_and_reports_every_variant() {
         let r = kernel_benchmark(64, 2);
         assert_eq!(r.n, 64);
-        assert!(r.phantom_interactions_per_sec > 0.0);
-        assert!(r.scalar_interactions_per_sec > 0.0);
-        assert!(
-            (r.phantom_flops - r.phantom_interactions_per_sec * FLOPS_PER_INTERACTION).abs()
-                < 1e-6 * r.phantom_flops
-        );
-        assert!(r.speedup > 0.0);
+        assert_eq!(r.variants.len(), available_variants().len());
+        for v in &r.variants {
+            assert!(v.interactions_per_sec > 0.0, "{:?}", v.variant);
+            assert!(
+                (v.flops - v.interactions_per_sec * FLOPS_PER_INTERACTION).abs() < 1e-6 * v.flops
+            );
+            assert!(v.speedup_vs_scalar > 0.0);
+        }
+        assert_eq!(r.variants.last().unwrap().variant, KernelVariant::Scalar);
+        assert!(r.rate_of(KernelVariant::Scalar).is_some());
+        assert!(r.rate_of(KernelVariant::Portable).is_some());
+        assert!(r.dispatch.is_available());
     }
 }

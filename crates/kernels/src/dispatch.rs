@@ -1,0 +1,246 @@
+//! One-time runtime CPU-feature dispatch for the PP force kernel.
+//!
+//! The paper hand-picks its kernel for the machine (Phantom-GRAPE for
+//! HPC-ACE); a portable reproduction must pick at run time. The first
+//! call to [`selected_variant`] (or [`pp_accel_dispatch`]) resolves the
+//! choice once and caches it:
+//!
+//! 1. the `GREEM_PP_KERNEL` environment variable, if set, forces a
+//!    variant: `scalar`, `portable`, or `avx2` (aliases `simd`,
+//!    `native`); `auto` means "as if unset". Forcing a variant the
+//!    host cannot run falls back to the portable kernel with a warning
+//!    on stderr;
+//! 2. the `portable-only` cargo feature compiles the intrinsics module
+//!    out entirely — the dispatcher then never selects it (a
+//!    compile-time guarantee for the CI fallback leg);
+//! 3. otherwise, the best kernel the CPU supports: AVX2+FMA when
+//!    detected on `x86_64`, else the portable blocked kernel.
+//!
+//! Benchmarks and tests that want a *specific* kernel regardless of the
+//! cached choice call [`pp_accel_variant`] directly; the dispatch tests
+//! assert that the dispatched path is bitwise identical to the direct
+//! call of whichever variant was selected.
+
+use std::sync::OnceLock;
+
+use greem_math::ForceSplit;
+
+use crate::sources::{SourceList, Targets};
+use crate::{pp_accel_phantom, pp_accel_scalar, InteractionCount};
+
+/// The PP kernel implementations the dispatcher can choose from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelVariant {
+    /// One pair at a time, exact square roots ([`pp_accel_scalar`]).
+    Scalar,
+    /// Portable blocked kernel with the approximate-rsqrt pipeline
+    /// ([`pp_accel_phantom`]) — the guaranteed fallback.
+    Portable,
+    /// Explicit AVX2+FMA intrinsics kernel (`x86_64` only).
+    Avx2,
+}
+
+impl KernelVariant {
+    /// Stable lower-case name used in reports, JSON and env forcing.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelVariant::Scalar => "scalar",
+            KernelVariant::Portable => "portable",
+            KernelVariant::Avx2 => "avx2",
+        }
+    }
+
+    /// Can this variant run on the current host/build?
+    pub fn is_available(self) -> bool {
+        match self {
+            KernelVariant::Scalar | KernelVariant::Portable => true,
+            KernelVariant::Avx2 => avx2_available(),
+        }
+    }
+}
+
+#[cfg(all(target_arch = "x86_64", not(feature = "portable-only")))]
+fn avx2_available() -> bool {
+    std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+}
+
+#[cfg(not(all(target_arch = "x86_64", not(feature = "portable-only"))))]
+fn avx2_available() -> bool {
+    false
+}
+
+/// Every variant the current host/build can actually run, fastest
+/// first. Benchmarks iterate this to report side-by-side rates.
+pub fn available_variants() -> Vec<KernelVariant> {
+    let mut v = Vec::new();
+    if KernelVariant::Avx2.is_available() {
+        v.push(KernelVariant::Avx2);
+    }
+    v.push(KernelVariant::Portable);
+    v.push(KernelVariant::Scalar);
+    v
+}
+
+/// Run one specific kernel variant directly (no dispatch cache).
+///
+/// # Panics
+///
+/// Panics if `variant` is not available on this host/build (check
+/// [`KernelVariant::is_available`] first).
+pub fn pp_accel_variant(
+    variant: KernelVariant,
+    targets: &mut Targets,
+    sources: &SourceList,
+    split: &ForceSplit,
+) -> InteractionCount {
+    match variant {
+        KernelVariant::Scalar => pp_accel_scalar(targets, sources, split),
+        KernelVariant::Portable => pp_accel_phantom(targets, sources, split),
+        KernelVariant::Avx2 => {
+            #[cfg(all(target_arch = "x86_64", not(feature = "portable-only")))]
+            {
+                assert!(
+                    avx2_available(),
+                    "avx2 kernel requested on a host without AVX2+FMA"
+                );
+                // SAFETY: avx2 and fma support was just verified above,
+                // which is the only precondition of `pp_accel_avx2`.
+                unsafe { crate::x86::pp_accel_avx2(targets, sources, split) }
+            }
+            #[cfg(not(all(target_arch = "x86_64", not(feature = "portable-only"))))]
+            {
+                panic!("avx2 kernel is not compiled into this build");
+            }
+        }
+    }
+}
+
+/// Pure selection logic, separated from the process environment so
+/// tests can drive it with explicit inputs. `forced` is the value of
+/// `GREEM_PP_KERNEL` (if any).
+fn select(forced: Option<&str>) -> KernelVariant {
+    let auto = if avx2_available() {
+        KernelVariant::Avx2
+    } else {
+        KernelVariant::Portable
+    };
+    let Some(forced) = forced else { return auto };
+    let requested = match forced.to_ascii_lowercase().as_str() {
+        "" | "auto" => return auto,
+        "scalar" => KernelVariant::Scalar,
+        "portable" => KernelVariant::Portable,
+        "avx2" | "simd" | "native" => KernelVariant::Avx2,
+        other => {
+            eprintln!(
+                "greem-kernels: unknown GREEM_PP_KERNEL='{other}' \
+                 (want auto|scalar|portable|avx2); using '{}'",
+                auto.name()
+            );
+            return auto;
+        }
+    };
+    if requested.is_available() {
+        requested
+    } else {
+        eprintln!(
+            "greem-kernels: GREEM_PP_KERNEL='{forced}' is unavailable on this \
+             host/build; falling back to 'portable'"
+        );
+        KernelVariant::Portable
+    }
+}
+
+/// The variant the dispatcher chose for this process (resolved once,
+/// on first use; see the module docs for the selection order).
+pub fn selected_variant() -> KernelVariant {
+    static SELECTED: OnceLock<KernelVariant> = OnceLock::new();
+    *SELECTED.get_or_init(|| select(std::env::var("GREEM_PP_KERNEL").ok().as_deref()))
+}
+
+/// The dispatched PP kernel: semantics of [`pp_accel_scalar`] to ≤ 2⁻²⁴
+/// relative accuracy, implementation chosen once per process. This is
+/// what the tree walk calls on its hot path.
+pub fn pp_accel_dispatch(
+    targets: &mut Targets,
+    sources: &SourceList,
+    split: &ForceSplit,
+) -> InteractionCount {
+    pp_accel_variant(selected_variant(), targets, sources, split)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use greem_math::testutil::rand_positions_scaled;
+
+    #[test]
+    fn names_roundtrip_through_forcing() {
+        for v in [
+            KernelVariant::Scalar,
+            KernelVariant::Portable,
+            KernelVariant::Avx2,
+        ] {
+            let picked = select(Some(v.name()));
+            if v.is_available() {
+                assert_eq!(picked, v, "forcing '{}' must stick", v.name());
+            } else {
+                assert_eq!(picked, KernelVariant::Portable);
+            }
+        }
+    }
+
+    #[test]
+    fn auto_and_unknown_pick_the_native_best() {
+        let auto = select(None);
+        assert_eq!(select(Some("auto")), auto);
+        assert_eq!(select(Some("")), auto);
+        assert_eq!(select(Some("hpc-ace")), auto);
+        assert!(auto.is_available());
+        if KernelVariant::Avx2.is_available() {
+            assert_eq!(auto, KernelVariant::Avx2);
+        } else {
+            assert_eq!(auto, KernelVariant::Portable);
+        }
+    }
+
+    #[test]
+    fn portable_and_scalar_are_always_available() {
+        let avail = available_variants();
+        assert!(avail.contains(&KernelVariant::Portable));
+        assert!(avail.contains(&KernelVariant::Scalar));
+        assert!(avail.iter().all(|v| v.is_available()));
+        #[cfg(feature = "portable-only")]
+        assert!(!avail.contains(&KernelVariant::Avx2));
+    }
+
+    #[test]
+    fn dispatch_is_bitwise_identical_to_the_selected_direct_call() {
+        let split = ForceSplit::new(0.3, 1e-4);
+        let tp = rand_positions_scaled(37, 5, 0.6);
+        let sp = rand_positions_scaled(53, 6, 0.6);
+        let sources: SourceList = sp.iter().map(|&p| (p, 0.7)).collect();
+        let mut via_dispatch = Targets::from_positions(&tp);
+        let mut direct = Targets::from_positions(&tp);
+        pp_accel_dispatch(&mut via_dispatch, &sources, &split);
+        pp_accel_variant(selected_variant(), &mut direct, &sources, &split);
+        assert_eq!(via_dispatch.ax, direct.ax);
+        assert_eq!(via_dispatch.ay, direct.ay);
+        assert_eq!(via_dispatch.az, direct.az);
+    }
+
+    #[test]
+    fn forced_portable_is_bitwise_the_portable_kernel() {
+        let split = ForceSplit::new(0.25, 0.0);
+        let tp = rand_positions_scaled(19, 8, 0.5);
+        let sp = rand_positions_scaled(23, 9, 0.5);
+        let sources: SourceList = sp.iter().map(|&p| (p, 1.1)).collect();
+        assert_eq!(select(Some("portable")), KernelVariant::Portable);
+        let mut via_variant = Targets::from_positions(&tp);
+        let mut direct = Targets::from_positions(&tp);
+        pp_accel_variant(KernelVariant::Portable, &mut via_variant, &sources, &split);
+        pp_accel_phantom(&mut direct, &sources, &split);
+        assert_eq!(via_variant.ax, direct.ax);
+        assert_eq!(via_variant.ay, direct.ay);
+        assert_eq!(via_variant.az, direct.az);
+    }
+}

@@ -11,27 +11,45 @@
 //! third-order step, 51 flops per interaction, and 11.65 of a 12 Gflops
 //! theoretical bound (97 %) on an O(N²) kernel benchmark.
 //!
-//! This crate rebuilds that layer portably:
+//! This crate rebuilds that layer as a kernel *family* behind one-time
+//! runtime dispatch (see DESIGN.md §11):
 //!
 //! * [`SourceList`] — structure-of-arrays interaction lists (the "j"
 //!   particles: tree nodes' centres of mass and nearby particles),
 //! * [`scalar`] — the obviously-correct reference kernel built directly
 //!   on [`greem_math::ForceSplit`],
-//! * [`phantom`] — the blocked 4×4 kernel with the approximate-rsqrt
-//!   pipeline, written so LLVM's auto-vectoriser sees straight-line
-//!   FMA-friendly lanes,
+//! * [`phantom`] — the portable blocked 4×4 kernel with the
+//!   approximate-rsqrt pipeline, written fully branchless so LLVM's
+//!   auto-vectoriser sees straight-line FMA-friendly lanes; the
+//!   guaranteed fallback on every host,
+//! * [`x86`] — the explicit AVX2+FMA intrinsics kernel: a hardware
+//!   `vrsqrtps` seed standing in for the paper's `frsqrta`, vector
+//!   compare/AND cutoff masks, and a 4×W register block with the
+//!   j-loop unrolled ×2 (the paper's 16-interactions-per-iteration
+//!   shape),
+//! * [`dispatch`] — CPU-feature detection resolved once per process
+//!   ([`pp_accel_dispatch`]); force a variant with the
+//!   `GREEM_PP_KERNEL` env var (`scalar`/`portable`/`avx2`) or compile
+//!   the intrinsics out with the `portable-only` cargo feature,
 //! * [`newton`] — the same structure without the cutoff (pure tree /
 //!   direct-summation baselines),
 //! * [`benchmark`] — the O(N²) kernel benchmark of §II-A, reporting
-//!   interactions/s and the paper's 51-flops/interaction flop rate.
+//!   every available variant's interactions/s and the paper's
+//!   51-flops/interaction flop rate side by side.
 
 pub mod benchmark;
+pub mod dispatch;
 pub mod newton;
 pub mod phantom;
 pub mod scalar;
 pub mod sources;
+pub mod testutil;
+pub mod x86;
 
-pub use benchmark::{kernel_benchmark, KernelBenchReport};
+pub use benchmark::{kernel_benchmark, KernelBenchReport, VariantBench};
+pub use dispatch::{
+    available_variants, pp_accel_dispatch, pp_accel_variant, selected_variant, KernelVariant,
+};
 pub use newton::{newton_accel_blocked, newton_accel_scalar};
 pub use phantom::pp_accel_phantom;
 pub use scalar::pp_accel_scalar;

@@ -45,16 +45,19 @@ pub fn pp_accel_phantom(
     let mut i0 = 0;
     while i0 < nt {
         let lanes = LANES.min(nt - i0);
-        // Load the target block into lanes (padding replays lane 0; its
-        // results are discarded).
+        // Load the target block into lanes; padding lanes replay the
+        // last valid target (results discarded), filled in a separate
+        // loop so the live-lane loop carries no index clamping.
         let mut xi_ = [0.0f64; LANES];
         let mut yi_ = [0.0f64; LANES];
         let mut zi_ = [0.0f64; LANES];
-        for l in 0..LANES {
-            let i = i0 + l.min(lanes - 1);
-            xi_[l] = targets.x[i];
-            yi_[l] = targets.y[i];
-            zi_[l] = targets.z[i];
+        xi_[..lanes].copy_from_slice(&targets.x[i0..i0 + lanes]);
+        yi_[..lanes].copy_from_slice(&targets.y[i0..i0 + lanes]);
+        zi_[..lanes].copy_from_slice(&targets.z[i0..i0 + lanes]);
+        for l in lanes..LANES {
+            xi_[l] = xi_[lanes - 1];
+            yi_[l] = yi_[lanes - 1];
+            zi_[l] = zi_[lanes - 1];
         }
         let mut ax = [0.0f64; LANES];
         let mut ay = [0.0f64; LANES];
@@ -72,8 +75,12 @@ pub fn pp_accel_phantom(
                 let r2 = dx * dx + dy * dy + dz * dz + eps2;
                 // Guard the r²==0 self pair: rsqrt(0) would be inf and
                 // inf·0 = NaN under the mask, so substitute a dummy
-                // radius that the mask discards (a select, not a branch).
-                let r2s = if r2 > 0.0 { r2 } else { 1.0 };
+                // radius that the mask discards. The 0/1 compare result
+                // is used arithmetically (add/multiply), so the lane is
+                // pure straight-line FP — no selects for the
+                // auto-vectoriser to get clever about.
+                let nonzero = (r2 > 0.0) as u64 as f64;
+                let r2s = r2 + (1.0 - nonzero);
                 let y0 = rsqrt_seed(r2s);
                 let yinv = rsqrt_refine(r2s, y0); // ≈ 1/√r²
                 let r = r2s * yinv; // ≈ √r²
@@ -88,7 +95,7 @@ pub fn pp_accel_phantom(
                 let g = poly - z6 * (3.0 / 35.0 + xi * (18.0 / 35.0 + xi * 0.2));
                 // Cutoff mask (branchless): 1 inside ξ<2, 0 outside; also
                 // kill the r²==eps²==0 self-pair where yinv is garbage.
-                let mask = if xi < 2.0 && r2 > 0.0 { 1.0 } else { 0.0 };
+                let mask = ((xi < 2.0) as u64 as f64) * nonzero;
                 let f = sm * g * (yinv * yinv * yinv) * mask;
                 ax[l] += f * dx;
                 ay[l] += f * dy;

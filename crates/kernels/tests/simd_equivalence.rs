@@ -1,0 +1,184 @@
+//! Randomized SIMD ↔ scalar equivalence suite for the PP kernel family.
+//!
+//! Every optimised kernel variant the host can run is checked against
+//! the exact-sqrt scalar reference over:
+//!
+//! * every i-block remainder size 1..=2·BLOCK+1 (the AVX2 kernel blocks
+//!   targets by 4×W = 16, the portable kernel by 4 — this sweep covers
+//!   both, including the all-padding corner), and odd/even source
+//!   counts for the ×2-unrolled j-loop remainder;
+//! * zero and nonzero softening;
+//! * source shells straddling the ξ = 1 (branch term switches on) and
+//!   ξ = 2 (cutoff) seams of eq. (3);
+//! * self-pairs (targets that are also sources).
+//!
+//! Tolerances are per-interaction — measured against the Newtonian
+//! magnitude sum `Σ m/(r²+ε²)` of the in-cutoff sources (see
+//! `greem_kernels::testutil::interaction_scale`): ≤ 2⁻²⁴ for the AVX2
+//! kernel (12-bit `vrsqrtps` seed + one third-order step lands near
+//! 2⁻³⁰), looser 2⁻²² for the portable kernel whose software seed is
+//! only ~9-bit. A separate pair of tests pins the dispatcher: the
+//! dispatched path and a forced-portable path must be *bitwise*
+//! identical to their direct calls.
+
+use greem_kernels::testutil::interaction_scale;
+use greem_kernels::{
+    available_variants, pp_accel_dispatch, pp_accel_phantom, pp_accel_scalar, pp_accel_variant,
+    selected_variant, KernelVariant, SourceList, Targets,
+};
+use greem_math::testutil::TestLcg;
+use greem_math::{ForceSplit, Vec3};
+
+/// The AVX2 kernel's 4×W target block (the largest block in the family).
+const BLOCK: usize = 16;
+
+fn tolerance(variant: KernelVariant) -> f64 {
+    match variant {
+        KernelVariant::Avx2 => 2.0f64.powi(-24),
+        KernelVariant::Portable => 2.0f64.powi(-22),
+        KernelVariant::Scalar => 0.0,
+    }
+}
+
+/// Assert every optimised variant matches the scalar reference on one
+/// (targets, sources) case, per-interaction-relative.
+fn check_case(label: &str, targets_pos: &[Vec3], sources: &SourceList, split: &ForceSplit) {
+    let mut t_ref = Targets::from_positions(targets_pos);
+    pp_accel_scalar(&mut t_ref, sources, split);
+    for variant in available_variants() {
+        if variant == KernelVariant::Scalar {
+            continue;
+        }
+        let mut t = Targets::from_positions(targets_pos);
+        let n = pp_accel_variant(variant, &mut t, sources, split);
+        assert_eq!(n, (targets_pos.len() * sources.len()) as u64);
+        let tol = tolerance(variant);
+        for (i, &tp) in targets_pos.iter().enumerate() {
+            let a = t_ref.accel(i);
+            let b = t.accel(i);
+            let scale = interaction_scale(split, tp, sources);
+            assert!(
+                (a - b).norm() <= tol * scale.max(1e-30),
+                "{label}: variant {} target {i}: {a:?} vs {b:?} \
+                 (err {:e}, budget {:e})",
+                variant.name(),
+                (a - b).norm(),
+                tol * scale.max(1e-30)
+            );
+        }
+    }
+}
+
+#[test]
+fn random_clouds_across_remainder_sizes_and_softening() {
+    let r_cut = 0.3;
+    for eps in [0.0, 1e-3] {
+        let split = ForceSplit::new(r_cut, eps);
+        let mut rng = TestLcg::new(2024);
+        for nt in 1..=2 * BLOCK + 1 {
+            // Odd and even ns exercise the ×2-unrolled j-remainder.
+            for ns in [1, 2, 7, 8, 33] {
+                let tp: Vec<Vec3> = (0..nt).map(|_| rng.next_vec3() * (2.0 * r_cut)).collect();
+                let sp: Vec<Vec3> = (0..ns).map(|_| rng.next_vec3() * (2.0 * r_cut)).collect();
+                let sources: SourceList = sp.iter().map(|&p| (p, 0.5 + rng.next_f64())).collect();
+                check_case(
+                    &format!("cloud nt={nt} ns={ns} eps={eps}"),
+                    &tp,
+                    &sources,
+                    &split,
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn shells_straddling_both_cutoff_seams() {
+    // Sources placed on exact shells around each target: ξ = 2r/r_cut
+    // crosses 1 where the ζ⁶ branch term switches on and 2 where the
+    // force cuts off. Radii sit tight on both seams from both sides.
+    let r_cut = 0.25;
+    let seam_factors = [
+        0.45, 0.495, 0.5, 0.505, 0.55, // around ξ = 1 (r = r_cut/2)
+        0.9, 0.99, 0.999, 1.0, 1.001, 1.1, // around ξ = 2 (r = r_cut)
+    ];
+    for eps in [0.0, 5e-4] {
+        let split = ForceSplit::new(r_cut, eps);
+        let mut rng = TestLcg::new(777);
+        for nt in [1, 3, 16, 17] {
+            let tp: Vec<Vec3> = (0..nt).map(|_| rng.next_vec3()).collect();
+            let mut sources = SourceList::default();
+            for &t in &tp {
+                for &f in &seam_factors {
+                    // A random direction (offset from the cube centre,
+                    // normalised by hand; Vec3 has no unit() helper).
+                    let off = rng.next_vec3() - Vec3::splat(0.5);
+                    let d = off * (1.0 / off.norm().max(1e-9));
+                    sources.push(t + d * (f * r_cut), 0.25 + rng.next_f64());
+                }
+            }
+            check_case(&format!("shells nt={nt} eps={eps}"), &tp, &sources, &split);
+        }
+    }
+}
+
+#[test]
+fn self_pairs_contribute_nothing_in_any_variant() {
+    let split = ForceSplit::new(0.4, 0.0);
+    let mut rng = TestLcg::new(99);
+    let tp: Vec<Vec3> = (0..BLOCK + 3).map(|_| rng.next_vec3() * 0.5).collect();
+    // Every target is also a source (the walk's own-group case), plus a
+    // few neighbours so the non-self part is nonzero.
+    let mut sources: SourceList = tp.iter().map(|&p| (p, 1.0)).collect();
+    for _ in 0..5 {
+        sources.push(rng.next_vec3() * 0.5, 2.0);
+    }
+    check_case("self-pairs", &tp, &sources, &split);
+
+    // And the pure self-pair must be exactly zero, not just small.
+    for variant in available_variants() {
+        let p = Vec3::splat(0.2);
+        let mut t = Targets::from_positions(&[p]);
+        let s: SourceList = [(p, 3.0)].into_iter().collect();
+        pp_accel_variant(variant, &mut t, &s, &split);
+        assert_eq!(
+            t.accel(0),
+            Vec3::ZERO,
+            "variant {} self-pair",
+            variant.name()
+        );
+    }
+}
+
+#[test]
+fn dispatched_path_is_bitwise_its_direct_call() {
+    let split = ForceSplit::new(0.3, 1e-4);
+    let mut rng = TestLcg::new(4242);
+    let tp: Vec<Vec3> = (0..41).map(|_| rng.next_vec3() * 0.6).collect();
+    let sources: SourceList = (0..57)
+        .map(|_| (rng.next_vec3() * 0.6, 0.5 + rng.next_f64()))
+        .collect();
+    let mut dispatched = Targets::from_positions(&tp);
+    let mut direct = Targets::from_positions(&tp);
+    pp_accel_dispatch(&mut dispatched, &sources, &split);
+    pp_accel_variant(selected_variant(), &mut direct, &sources, &split);
+    assert_eq!(dispatched.ax, direct.ax);
+    assert_eq!(dispatched.ay, direct.ay);
+    assert_eq!(dispatched.az, direct.az);
+    assert!(selected_variant().is_available());
+}
+
+#[test]
+fn forced_portable_path_is_bitwise_the_portable_kernel() {
+    let split = ForceSplit::new(0.2, 0.0);
+    let mut rng = TestLcg::new(31337);
+    let tp: Vec<Vec3> = (0..23).map(|_| rng.next_vec3() * 0.4).collect();
+    let sources: SourceList = (0..29).map(|_| (rng.next_vec3() * 0.4, 1.0)).collect();
+    let mut forced = Targets::from_positions(&tp);
+    let mut direct = Targets::from_positions(&tp);
+    pp_accel_variant(KernelVariant::Portable, &mut forced, &sources, &split);
+    pp_accel_phantom(&mut direct, &sources, &split);
+    assert_eq!(forced.ax, direct.ax);
+    assert_eq!(forced.ay, direct.ay);
+    assert_eq!(forced.az, direct.az);
+}

@@ -6,9 +6,10 @@
 //!
 //! Commands: the experiments `table1`, `fig1`, `fig2`, `fig3`, `fig4`,
 //! `fig5`, `fig6`, `kernel`, `multipole`, `ni_sweep`, `accuracy`,
-//! `tree_vs_treepm`, `scaling`, `all`; plus `trace` (capture the fig. 5
-//! relay schedule as per-rank virtual-time Chrome-trace JSON) and
-//! `bench-summary` (emit the `BENCH_treepm.json` step-rate summary).
+//! `tree_vs_treepm`, `scaling`, `chaos`, `all`; plus `trace` (capture
+//! the fig. 5 relay schedule as per-rank virtual-time Chrome-trace
+//! JSON) and `bench-summary` (emit the `BENCH_treepm.json` step-rate
+//! summary, including a `recovery` section from a small chaos run).
 //!
 //! `--small` shrinks every workload (a smoke mode for slow machines /
 //! debug builds). `--json` replaces any experiment's text report with a
@@ -77,7 +78,7 @@ impl HarnessArgs {
     }
 }
 
-const EXPERIMENTS: [&str; 13] = [
+const EXPERIMENTS: [&str; 14] = [
     "table1",
     "fig1",
     "fig2",
@@ -91,6 +92,7 @@ const EXPERIMENTS: [&str; 13] = [
     "tree_vs_treepm",
     "multipole",
     "scaling",
+    "chaos",
 ];
 
 fn text_report(name: &str, small: bool) -> Option<String> {
@@ -136,6 +138,7 @@ fn text_report(name: &str, small: bool) -> Option<String> {
         "accuracy" => accuracy::report(if small { 200 } else { 600 }),
         "tree_vs_treepm" => tree_vs_treepm::report(if small { 500 } else { 2000 }),
         "scaling" => scaling::report(if small { 1000 } else { 6000 }),
+        "chaos" => chaos::report(if small { 400 } else { 2000 }),
         _ => return None,
     };
     Some(report)
@@ -156,6 +159,7 @@ fn json_summary(name: &str, small: bool) -> Option<String> {
         "accuracy" => accuracy::summary_json(small),
         "tree_vs_treepm" => tree_vs_treepm::summary_json(small),
         "scaling" => scaling::summary_json(small),
+        "chaos" => chaos::summary_json(small),
         _ => return None,
     })
 }
@@ -223,6 +227,27 @@ fn run_bench_summary(args: &HarnessArgs) {
     w.f64(Some("pp_force_calculation"), ms(bd.pp_force_calculation));
     w.f64(Some("pp_communication"), ms(bd.pp_communication));
     w.f64(Some("dd_total"), ms(bd.dd_total()));
+    w.end_obj();
+    // Recovery cost of a crash mid-run under the resilient driver
+    // (sharded checkpoints + rollback), on a small chaos workload.
+    let pos = greem_bench::workloads::clustered(if args.small { 300 } else { 800 }, 3, 0.35, 123);
+    let bodies = greem_bench::workloads::bodies_at_rest(&pos);
+    let chaos_steps = 6;
+    let o = chaos::run_scenario(
+        "crash",
+        &bodies,
+        chaos_steps,
+        greem_resil::FaultPlan::new(7).crash(2, chaos_steps as u64 / 2),
+        true,
+    );
+    w.begin_obj(Some("recovery"));
+    w.u64(Some("crashes_detected"), o.stats.crashes_detected);
+    w.u64(Some("rollbacks"), o.stats.rollbacks);
+    w.u64(Some("checkpoints_written"), o.stats.checkpoints_written);
+    w.u64(Some("checkpoint_bytes"), o.stats.checkpoint_bytes);
+    w.u64(Some("recovered_bytes"), o.stats.recovered_bytes);
+    w.f64(Some("lost_vtime_s"), o.stats.lost_vtime);
+    w.bool_(Some("bitwise_match"), o.final_matches_clean == Some(true));
     w.end_obj();
     w.end_obj();
     args.deliver(&w.finish());

@@ -1,0 +1,257 @@
+//! **Resilience** — chaos experiment: drive the fault-tolerant step
+//! driver (`greem-resil`) through crash / straggler / flaky-network
+//! scenarios on the simulated machine and report what recovery cost.
+//!
+//! Each scenario runs the real multi-rank TreePM driver under a seeded
+//! [`FaultPlan`]; the crash scenario additionally proves end-to-end
+//! correctness by comparing the recovered final state bitwise against
+//! an uninterrupted run of the same seed (possible because balancer
+//! feedback uses the modelled PP cost, not wall clock).
+
+use greem::{Body, ParallelTreePm, SimulationMode, TreePmConfig};
+use greem_resil::{aggregate, FaultPlan, RecoveryStats, ResilConfig, ResilientSim};
+use mpisim::{NetModel, World};
+
+use crate::workloads;
+
+/// One scenario's outcome.
+#[derive(Debug, Clone)]
+pub struct ChaosOutcome {
+    pub scenario: &'static str,
+    pub steps: usize,
+    /// World-aggregated recovery counters.
+    pub stats: RecoveryStats,
+    /// Max final virtual time across ranks (seconds).
+    pub vtime: f64,
+    /// `Some(true)` when the scenario also ran an uninterrupted
+    /// reference and the recovered state matched it bitwise.
+    pub final_matches_clean: Option<bool>,
+}
+
+const RANKS: usize = 4;
+const DIV: [usize; 3] = [2, 2, 1];
+
+fn cfg() -> TreePmConfig {
+    TreePmConfig {
+        modeled_pp_cost: Some(5e-9),
+        ..TreePmConfig::standard(16)
+    }
+}
+
+fn chaos_dir(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("greem_chaos_{tag}_{}", std::process::id()))
+}
+
+/// Uninterrupted reference trajectory (no faults, plain step loop).
+fn clean_run(bodies: &[Body], steps: usize) -> Vec<Body> {
+    let bodies = bodies.to_vec();
+    let cfg = cfg();
+    let out = World::new(RANKS)
+        .with_net(NetModel::free())
+        .run(move |ctx, world| {
+            let root = (world.rank() == 0).then(|| bodies.clone());
+            let mut sim =
+                ParallelTreePm::new(ctx, world, cfg, DIV, 2, None, root, SimulationMode::Static);
+            for _ in 0..steps {
+                sim.step(ctx, world, 1e-3);
+            }
+            sim.gather_bodies(ctx, world)
+        });
+    out[0].clone().expect("root gathers")
+}
+
+/// Run one fault scenario through the resilient driver.
+pub fn run_scenario(
+    scenario: &'static str,
+    bodies: &[Body],
+    steps: usize,
+    plan: FaultPlan,
+    check_bitwise: bool,
+) -> ChaosOutcome {
+    let reference = check_bitwise.then(|| clean_run(bodies, steps));
+    let dir = chaos_dir(scenario);
+    std::fs::remove_dir_all(&dir).ok();
+    let dts = vec![1e-3; steps];
+    let cfg = cfg();
+    let out = {
+        let bodies = bodies.to_vec();
+        let dir = dir.clone();
+        World::new(RANKS)
+            .with_net(NetModel::free())
+            .with_faults(plan)
+            .run(move |ctx, world| {
+                let root = (world.rank() == 0).then(|| bodies.clone());
+                let sim = ParallelTreePm::new(
+                    ctx,
+                    world,
+                    cfg,
+                    DIV,
+                    2,
+                    None,
+                    root,
+                    SimulationMode::Static,
+                );
+                let mut rc = ResilConfig::new(&dir);
+                rc.every = 3;
+                let mut resil =
+                    ResilientSim::new(ctx, world, sim, rc).expect("checkpoint dir writable");
+                let stats = resil.run(ctx, world, &dts).expect("recovery converges");
+                let gathered = resil.sim().gather_bodies(ctx, world);
+                (stats, ctx.vtime(), gathered)
+            })
+    };
+    std::fs::remove_dir_all(&dir).ok();
+    let per_rank: Vec<RecoveryStats> = out.iter().map(|(s, _, _)| *s).collect();
+    let vtime = out.iter().map(|&(_, v, _)| v).fold(0.0, f64::max);
+    let final_matches_clean =
+        reference.map(|want| out[0].2.as_deref().expect("root gathers") == &want[..]);
+    ChaosOutcome {
+        scenario,
+        steps,
+        stats: aggregate(&per_rank),
+        vtime,
+        final_matches_clean,
+    }
+}
+
+/// The scenario suite at a given particle count.
+pub fn run_suite(n: usize, steps: usize) -> Vec<ChaosOutcome> {
+    let pos = workloads::clustered(n, 3, 0.35, 123);
+    let bodies = workloads::bodies_at_rest(&pos);
+    let mid = (steps / 2) as u64;
+    vec![
+        run_scenario(
+            "crash",
+            &bodies,
+            steps,
+            FaultPlan::new(7).crash(2, mid),
+            true,
+        ),
+        run_scenario(
+            "straggler",
+            &bodies,
+            steps,
+            FaultPlan::new(7).straggler(1, 4.0),
+            false,
+        ),
+        run_scenario(
+            "flaky-net",
+            &bodies,
+            steps,
+            FaultPlan::new(7)
+                .drop_messages(0.05)
+                .delay_messages(0.1, 2e-5),
+            false,
+        ),
+        run_scenario(
+            "chaos",
+            &bodies,
+            steps,
+            FaultPlan::new(7)
+                .crash(2, mid)
+                .straggler(1, 2.0)
+                .drop_messages(0.02)
+                .delay_messages(0.05, 2e-5),
+            false,
+        ),
+    ]
+}
+
+/// Publish a scenario's counters into a metrics registry (the same
+/// `resil_*` names the driver publishes at runtime).
+#[cfg(feature = "obs")]
+pub fn publish(outcome: &ChaosOutcome, reg: &mut greem_obs::Registry) {
+    use greem_obs::Observe;
+    reg.with_label("scenario", outcome.scenario, |reg| {
+        outcome.stats.observe(reg);
+    });
+}
+
+/// The report.
+pub fn report(n: usize) -> String {
+    let steps = 8;
+    let outcomes = run_suite(n, steps);
+    let mut s = String::from(
+        "=== chaos: fault injection + rollback recovery ==================\n\n\
+         4 ranks on the simulated torus; sharded GREEMSN2 checkpoints\n\
+         every 3 steps; seeded FaultPlan per scenario.\n\n\
+         scenario    crashes  rollbacks  ckpts  lost vt(s)  dropped  delayed  bitwise\n",
+    );
+    for o in &outcomes {
+        s.push_str(&format!(
+            "{:<11} {:>7} {:>10} {:>6} {:>11.4} {:>8} {:>8}  {}\n",
+            o.scenario,
+            o.stats.crashes_detected,
+            o.stats.rollbacks,
+            o.stats.checkpoints_written,
+            o.stats.lost_vtime,
+            o.stats.dropped_messages,
+            o.stats.delayed_messages,
+            match o.final_matches_clean {
+                Some(true) => "MATCH",
+                Some(false) => "DIVERGED",
+                None => "-",
+            },
+        ));
+    }
+    s.push_str(
+        "\n(crash scenario replays against an uninterrupted run: MATCH means\n\
+         the recovered final particle state is bitwise identical.)\n",
+    );
+    s
+}
+
+/// Machine-readable summary (`--json`).
+pub fn summary_json(small: bool) -> String {
+    let n = if small { 400 } else { 2000 };
+    let steps = if small { 6 } else { 10 };
+    let outcomes = run_suite(n, steps);
+    let mut w = super::summary_writer("chaos", small);
+    w.u64(Some("n"), n as u64);
+    w.u64(Some("ranks"), RANKS as u64);
+    w.u64(Some("steps"), steps as u64);
+    w.begin_arr(Some("scenarios"));
+    for o in &outcomes {
+        w.begin_obj(None);
+        w.str_(Some("scenario"), o.scenario);
+        w.u64(Some("crashes_detected"), o.stats.crashes_detected);
+        w.u64(Some("rollbacks"), o.stats.rollbacks);
+        w.u64(Some("checkpoints_written"), o.stats.checkpoints_written);
+        w.u64(Some("checkpoint_bytes"), o.stats.checkpoint_bytes);
+        w.u64(Some("recovered_bytes"), o.stats.recovered_bytes);
+        w.f64(Some("lost_vtime_s"), o.stats.lost_vtime);
+        w.u64(Some("messages_dropped"), o.stats.dropped_messages);
+        w.u64(Some("messages_retried"), o.stats.retried_messages);
+        w.u64(Some("messages_delayed"), o.stats.delayed_messages);
+        w.f64(Some("vtime_s"), o.vtime);
+        if let Some(m) = o.final_matches_clean {
+            w.bool_(Some("bitwise_match"), m);
+        }
+        w.end_obj();
+    }
+    w.end_arr();
+    #[cfg(feature = "obs")]
+    {
+        let mut reg = greem_obs::Registry::new();
+        for o in &outcomes {
+            publish(o, &mut reg);
+        }
+        reg.write_json(&mut w, Some("metrics"));
+    }
+    w.end_obj();
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crash_scenario_recovers_bitwise() {
+        let pos = workloads::clustered(300, 3, 0.35, 9);
+        let bodies = workloads::bodies_at_rest(&pos);
+        let o = run_scenario("crash", &bodies, 6, FaultPlan::new(3).crash(1, 3), true);
+        assert_eq!(o.stats.rollbacks, 1);
+        assert_eq!(o.final_matches_clean, Some(true));
+    }
+}

@@ -5,6 +5,7 @@
 //! object per experiment with an `"experiment"` tag).
 
 pub mod accuracy;
+pub mod chaos;
 pub mod fig1;
 pub mod fig2;
 pub mod fig3;

@@ -31,6 +31,15 @@ pub struct TreePmConfig {
     /// monopole-only; the pseudo-particle quadrupole is this library's
     /// accuracy extension (see `greem_tree::multipole`).
     pub multipole: Multipole,
+    /// When set, the parallel driver feeds the sampling balancer a
+    /// *modelled* PP cost — this many virtual seconds per tree-walk
+    /// interaction, charged to the rank's `mpisim` clock — instead of
+    /// wall-clock kernel timings. Modelled cost is deterministic (so
+    /// multi-step parallel runs become bit-reproducible, a prerequisite
+    /// for checkpoint/rollback proofs) and it responds to injected
+    /// straggler slowdowns, closing the paper's feedback loop under
+    /// fault injection. `None` keeps the measured-time behaviour.
+    pub modeled_pp_cost: Option<f64>,
 }
 
 impl TreePmConfig {
@@ -46,6 +55,7 @@ impl TreePmConfig {
             leaf_capacity: 8,
             deconvolve: true,
             multipole: Multipole::Monopole,
+            modeled_pp_cost: None,
         }
     }
 

@@ -39,8 +39,8 @@ pub use config::TreePmConfig;
 pub use diagnostics::{projected_density, Snapshot};
 pub use forces::{ForceResult, TreePm};
 pub use halos::{find_halos, friends_of_friends, Halo};
-pub use io::{read_snapshot, write_snapshot, SnapshotHeader};
-pub use parallel::{ParallelStepStats, ParallelTreePm};
+pub use io::{read_snapshot, write_snapshot, SnapshotError, SnapshotHeader};
+pub use parallel::{ParallelStepStats, ParallelTreePm, RankState};
 pub use particle::Body;
 pub use simulation::{Simulation, SimulationMode};
 pub use stats::StepBreakdown;

@@ -16,7 +16,7 @@
 
 use std::time::Instant;
 
-use greem_domain::{exchange, BalancerParams, DomainGrid, SamplingBalancer};
+use greem_domain::{exchange, BalancerParams, BalancerState, DomainGrid, SamplingBalancer};
 use greem_kernels::{pp_accel_dispatch, SourceList, Targets};
 use greem_math::{wrap01, Aabb, Vec3};
 use greem_pm::{ParallelPm, ParallelPmConfig};
@@ -53,6 +53,25 @@ pub struct ParallelTreePm {
     /// the sampling method.
     last_cost: f64,
     n_ghosts: usize,
+    /// Completed steps (checkpointed; indexes fault schedules).
+    steps: u64,
+}
+
+/// Everything one rank must persist to resume a parallel run exactly:
+/// step counter, integration mode, balancer feedback state, and the
+/// owned bodies *in their in-memory order* — the Morton sort breaks key
+/// ties by input slot, so bit-identical resume needs the original
+/// ordering, not just the same set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankState {
+    /// Steps completed when the state was captured.
+    pub step: u64,
+    /// Integration mode (scale factor included for cosmological runs).
+    pub mode: SimulationMode,
+    /// The sampling balancer's history window and step counter.
+    pub balancer: BalancerState,
+    /// This rank's owned bodies, in order.
+    pub bodies: Vec<Body>,
 }
 
 impl ParallelTreePm {
@@ -112,6 +131,7 @@ impl ParallelTreePm {
             pm_accel: Vec::new(),
             last_cost: 1.0,
             n_ghosts: 0,
+            steps: 0,
         };
         // Initial forces so the first kick is consistent.
         let mut scratch = StepBreakdown::default();
@@ -133,6 +153,44 @@ impl ParallelTreePm {
     /// Current integration mode (scale factor for cosmological runs).
     pub fn mode(&self) -> SimulationMode {
         self.mode
+    }
+
+    /// Completed steps.
+    pub fn steps_taken(&self) -> u64 {
+        self.steps
+    }
+
+    /// Capture this rank's resumable state (see [`RankState`]).
+    pub fn rank_state(&self) -> RankState {
+        RankState {
+            step: self.steps,
+            mode: self.mode,
+            balancer: self.balancer.state(),
+            bodies: self.bodies.clone(),
+        }
+    }
+
+    /// Collectively restore a state captured by
+    /// [`ParallelTreePm::rank_state`]: every rank supplies its own
+    /// shard. The domain exchange re-enforces ownership (after a crash
+    /// the in-memory bodies are garbage; the checkpointed ones already
+    /// sit in their owner's shard, so the exchange is a cheap identity
+    /// re-route) and both force fields are recomputed so the next kick
+    /// sees exactly what the original run saw.
+    pub fn restore_rank_state(&mut self, ctx: &mut Ctx, world: &Comm, st: RankState) {
+        #[cfg(feature = "obs")]
+        let _span = greem_obs::trace::span("resil", "treepm.restore");
+        self.steps = st.step;
+        self.mode = st.mode;
+        self.balancer.restore(st.balancer);
+        self.grid = self.balancer.current();
+        let grid = self.grid.clone();
+        self.bodies = exchange(ctx, world, st.bodies, move |b: &Body| {
+            grid.rank_of_point(wrap01(b.pos))
+        });
+        let mut scratch = StepBreakdown::default();
+        self.recompute_pp(ctx, world, &mut scratch);
+        self.recompute_pm(ctx, world, &mut scratch);
     }
 
     /// Gather the full snapshot on world rank 0 (diagnostics).
@@ -186,6 +244,7 @@ impl ParallelTreePm {
                 self.mode = SimulationMode::Cosmological { cosmology, a: a1 };
             }
         }
+        self.steps += 1;
         #[cfg(feature = "obs")]
         {
             _step_span.arg("interactions", bd.walk.interactions as f64);
@@ -339,7 +398,17 @@ impl ParallelTreePm {
         bd.pp_tree_traversal += t_traverse;
         bd.pp_force_calculation += t_force;
         bd.walk.merge(&stats_all);
-        self.last_cost = (t_traverse + t_force).max(1e-9);
+        self.last_cost = match self.cfg.modeled_pp_cost {
+            Some(per_interaction) => {
+                // Charge the walk to the virtual clock and feed the
+                // balancer the charged (straggler-scaled, deterministic)
+                // time instead of a wall-clock measurement.
+                let v0 = ctx.vtime();
+                ctx.compute(stats_all.interactions as f64 * per_interaction);
+                (ctx.vtime() - v0).max(1e-30)
+            }
+            None => (t_traverse + t_force).max(1e-9),
+        };
         self.pp_accel = accel;
     }
 
@@ -501,6 +570,53 @@ mod tests {
             assert!((a.pos - b.pos).norm() < 1e-12);
             assert!((a.vel - b.vel).norm() < 1e-12);
         }
+    }
+
+    /// With a modelled PP cost the balancer feedback is virtual-clock
+    /// driven, so a state captured mid-run and restored after further
+    /// divergence must replay the remaining steps bit-for-bit.
+    #[test]
+    fn rank_state_restore_replays_bitwise() {
+        let n = 160;
+        let bodies = rand_bodies(n, 29);
+        let cfg = TreePmConfig {
+            modeled_pp_cost: Some(5e-9),
+            ..TreePmConfig::standard(16)
+        };
+        let out = World::new(4).with_net(NetModel::free()).run(|ctx, world| {
+            let root_bodies = (world.rank() == 0).then(|| bodies.clone());
+            let mut sim = ParallelTreePm::new(
+                ctx,
+                world,
+                cfg,
+                [2, 2, 1],
+                2,
+                None,
+                root_bodies,
+                SimulationMode::Static,
+            );
+            sim.step(ctx, world, 1e-3);
+            sim.step(ctx, world, 1e-3);
+            let saved = sim.rank_state();
+            // Diverge: two more steps, record the reference finish...
+            sim.step(ctx, world, 1e-3);
+            sim.step(ctx, world, 1e-3);
+            let reference = sim.gather_bodies(ctx, world);
+            // ...then rewind onto the same world and replay.
+            sim.restore_rank_state(ctx, world, saved);
+            assert_eq!(sim.steps_taken(), 2);
+            sim.step(ctx, world, 1e-3);
+            sim.step(ctx, world, 1e-3);
+            let replayed = sim.gather_bodies(ctx, world);
+            (reference, replayed)
+        });
+        let (reference, replayed) = out[0].clone();
+        let (reference, replayed) = (reference.unwrap(), replayed.unwrap());
+        assert_eq!(reference.len(), n);
+        assert_eq!(
+            reference, replayed,
+            "restored run must be bitwise identical"
+        );
     }
 
     /// Sanity check of the serial-vs-parallel *force* agreement through

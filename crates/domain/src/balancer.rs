@@ -145,6 +145,19 @@ pub struct SamplingBalancer {
     step: u64,
 }
 
+/// A serialisable snapshot of a balancer's mutable state: the boundary
+/// history window and the step counter that seeds per-step sampling.
+/// Restoring it (plus re-running the domain exchange) puts the
+/// decomposition feedback loop back exactly where it was, which is what
+/// makes checkpoint/rollback recovery bit-reproducible.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BalancerState {
+    /// Rebalances performed so far (seeds the sampling RNG).
+    pub step: u64,
+    /// Boundary history, oldest first (at most `params.history` grids).
+    pub grids: Vec<DomainGrid>,
+}
+
 impl SamplingBalancer {
     /// Start from the uniform decomposition.
     pub fn new(params: BalancerParams) -> Self {
@@ -161,6 +174,33 @@ impl SamplingBalancer {
     /// The current (smoothed) decomposition.
     pub fn current(&self) -> DomainGrid {
         smooth(&self.history)
+    }
+
+    /// The parameters this balancer was built with.
+    pub fn params(&self) -> BalancerParams {
+        self.params
+    }
+
+    /// Snapshot the mutable state for checkpointing.
+    pub fn state(&self) -> BalancerState {
+        BalancerState {
+            step: self.step,
+            grids: self.history.iter().cloned().collect(),
+        }
+    }
+
+    /// Restore a state captured by [`SamplingBalancer::state`]. The
+    /// grids must match this balancer's divisions.
+    pub fn restore(&mut self, state: BalancerState) {
+        assert!(
+            !state.grids.is_empty() && state.grids.len() <= self.params.history,
+            "balancer state must hold 1..=history grids"
+        );
+        for g in &state.grids {
+            assert_eq!(g.div, self.params.div, "grid divisions must match");
+        }
+        self.step = state.step;
+        self.history = state.grids.into();
     }
 
     /// Collective rebalance: every rank passes its particle positions
@@ -240,8 +280,9 @@ impl SamplingBalancer {
     }
 }
 
-/// Flatten a grid's boundaries for broadcasting.
-fn pack_grid(g: &DomainGrid) -> Vec<f64> {
+/// Flatten a grid's boundaries into `div[0]+1 + div[0]·(div[1]+1) +
+/// div[0]·div[1]·(div[2]+1)` floats, for broadcasting or checkpointing.
+pub fn pack_grid(g: &DomainGrid) -> Vec<f64> {
     let mut out = g.x_bounds.clone();
     for y in &g.y_bounds {
         out.extend_from_slice(y);
@@ -253,7 +294,7 @@ fn pack_grid(g: &DomainGrid) -> Vec<f64> {
 }
 
 /// Inverse of [`pack_grid`].
-fn unpack_grid(v: &[f64], div: [usize; 3]) -> DomainGrid {
+pub fn unpack_grid(v: &[f64], div: [usize; 3]) -> DomainGrid {
     let mut i = 0;
     let mut take = |n: usize| -> Vec<f64> {
         let s = v[i..i + n].to_vec();
@@ -397,6 +438,46 @@ mod tests {
                 sm.x_bounds[1]
             );
         }
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_identically() {
+        // Two balancers: one runs 6 serial rebalances straight through;
+        // the other is snapshotted after 3, restored into a fresh
+        // instance, and continues. They must agree bit-for-bit.
+        let div = [2, 2, 1];
+        let pos = clustered(2000, 5);
+        let per_rank = |grid: &DomainGrid| -> Vec<(Vec<Vec3>, f64)> {
+            (0..grid.len())
+                .map(|r| {
+                    let mine: Vec<Vec3> = pos
+                        .iter()
+                        .copied()
+                        .filter(|p| grid.rank_of_point(*p) == r)
+                        .collect();
+                    let cost = (mine.len() as f64).powi(2);
+                    (mine, cost)
+                })
+                .collect()
+        };
+        let mut a = SamplingBalancer::new(BalancerParams::new(div, 500));
+        let mut b = SamplingBalancer::new(BalancerParams::new(div, 500));
+        let mut ga = a.current();
+        let mut gb = b.current();
+        for _ in 0..3 {
+            ga = a.rebalance_serial(&per_rank(&ga));
+            gb = b.rebalance_serial(&per_rank(&gb));
+        }
+        let saved = b.state();
+        let mut c = SamplingBalancer::new(BalancerParams::new(div, 500));
+        c.restore(saved);
+        let mut gc = c.current();
+        assert_eq!(pack_grid(&gb), pack_grid(&gc));
+        for _ in 0..3 {
+            ga = a.rebalance_serial(&per_rank(&ga));
+            gc = c.rebalance_serial(&per_rank(&gc));
+        }
+        assert_eq!(pack_grid(&ga), pack_grid(&gc), "restored run must replay");
     }
 
     #[test]

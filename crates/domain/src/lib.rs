@@ -24,6 +24,8 @@ pub mod balancer;
 pub mod exchange;
 pub mod grid;
 
-pub use balancer::{multisection, BalancerParams, SamplingBalancer};
+pub use balancer::{
+    multisection, pack_grid, unpack_grid, BalancerParams, BalancerState, SamplingBalancer,
+};
 pub use exchange::exchange;
 pub use grid::DomainGrid;

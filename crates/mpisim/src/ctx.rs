@@ -6,6 +6,8 @@ use std::sync::Arc;
 
 use crossbeam::channel::{Receiver, Sender};
 
+#[cfg(feature = "faults")]
+use crate::fault::{FaultCtx, FaultPlan, FaultStats, MsgFault};
 use crate::netmodel::NetModel;
 use crate::topology::Torus3d;
 
@@ -19,6 +21,10 @@ pub(crate) struct Message {
     /// Sender's virtual time at which the message hit the wire.
     pub send_ready: f64,
     pub hops: usize,
+    /// Injected fault, drawn deterministically by the sender and paid
+    /// for (in virtual time) by the receiver.
+    #[cfg(feature = "faults")]
+    pub fault: MsgFault,
     pub payload: Box<dyn Any + Send>,
 }
 
@@ -71,6 +77,10 @@ pub struct Ctx {
     /// Shared counter for allocating communicator ids.
     pub(crate) comm_counter: Arc<AtomicU64>,
     pub(crate) stats: CommStats,
+    /// Fault-injection state; `None` costs one branch per hook and is
+    /// the only overhead a fault-free world pays.
+    #[cfg(feature = "faults")]
+    pub(crate) faults: Option<Box<FaultCtx>>,
 }
 
 impl Ctx {
@@ -101,8 +111,21 @@ impl Ctx {
     }
 
     /// Advance the virtual clock by `seconds` of modelled computation.
+    /// On a straggler rank (see [`crate::FaultPlan`]) the charge is
+    /// scaled up by the slowdown factor.
     pub fn compute(&mut self, seconds: f64) {
         debug_assert!(seconds >= 0.0);
+        #[cfg(feature = "faults")]
+        let seconds = match &mut self.faults {
+            Some(f) => {
+                let factor = f.plan.straggler_factor(self.rank, f.step);
+                if factor > 1.0 {
+                    f.stats.straggler_vtime += seconds * (factor - 1.0);
+                }
+                seconds * factor
+            }
+            None => seconds,
+        };
         self.vtime += seconds;
         self.obs_sync();
     }
@@ -153,6 +176,8 @@ impl Ctx {
                 bytes,
                 send_ready: self.vtime,
                 hops: 0,
+                #[cfg(feature = "faults")]
+                fault: MsgFault::default(),
                 payload: Box::new(data),
             });
             return;
@@ -163,6 +188,14 @@ impl Ctx {
         self.obs_sync();
         let hops = self.topo.hops(self.rank, dest);
         self.stats.hops_sent += hops as u64;
+        // Message faults are drawn at send time (so the schedule is a
+        // pure function of the seed and each sender's program order)
+        // but charged at the receiver.
+        #[cfg(feature = "faults")]
+        let fault = match &mut self.faults {
+            Some(f) => f.next_msg_fault(self.rank, dest),
+            None => MsgFault::default(),
+        };
         let msg = Message {
             src: self.rank,
             comm_id,
@@ -170,6 +203,8 @@ impl Ctx {
             bytes,
             send_ready,
             hops,
+            #[cfg(feature = "faults")]
+            fault,
             payload: Box::new(data),
         };
         self.outboxes[dest]
@@ -189,7 +224,12 @@ impl Ctx {
     ) -> Vec<T> {
         let msg = self.take_matching(src, comm_id, tag);
         if msg.src != self.rank {
-            let arrival = msg.send_ready + self.net.latency(msg.hops);
+            #[allow(unused_mut)]
+            let mut arrival = msg.send_ready + self.net.latency(msg.hops);
+            #[cfg(feature = "faults")]
+            if !msg.fault.is_clean() {
+                arrival += self.apply_msg_fault(&msg.fault);
+            }
             let start = self.port_free.max(arrival);
             let done = start + self.net.drain_time(msg.bytes);
             self.port_free = done;
@@ -205,6 +245,72 @@ impl Ctx {
                 self.rank
             )
         })
+    }
+
+    /// Account an injected message fault at the receiver: bump the
+    /// counters, emit trace instants, and return the extra arrival
+    /// latency (injected delay + one backed-off timeout per drop).
+    #[cfg(feature = "faults")]
+    fn apply_msg_fault(&mut self, fault: &MsgFault) -> f64 {
+        let f = self
+            .faults
+            .as_mut()
+            .expect("mpisim: faulty message received but no plan attached");
+        let cost = f.plan.fault_cost(fault);
+        if fault.drops > 0 {
+            f.stats.messages_dropped += 1;
+            f.stats.retries += fault.drops as u64;
+            f.stats.retry_vtime += cost - fault.delay;
+            #[cfg(feature = "obs")]
+            greem_obs::trace::instant("fault", "fault.msg_drop", &[("drops", fault.drops as f64)]);
+        }
+        if fault.delay > 0.0 {
+            f.stats.messages_delayed += 1;
+            f.stats.delay_vtime += fault.delay;
+            #[cfg(feature = "obs")]
+            greem_obs::trace::instant("fault", "fault.msg_delay", &[("delay_s", fault.delay)]);
+        }
+        cost
+    }
+
+    /// Set the step index used by step-indexed faults (crash schedules,
+    /// straggler windows). Step drivers call this once per step; a
+    /// plan-less context ignores it.
+    #[cfg(feature = "faults")]
+    pub fn set_fault_step(&mut self, step: u64) {
+        if let Some(f) = &mut self.faults {
+            f.step = step;
+        }
+    }
+
+    /// Fire this rank's crash scheduled for the current fault step, at
+    /// most once per plan entry. Always false without a plan.
+    #[cfg(feature = "faults")]
+    pub fn take_crash(&mut self) -> bool {
+        let rank = self.rank;
+        match &mut self.faults {
+            Some(f) => {
+                let fired = f.take_crash(rank);
+                #[cfg(feature = "obs")]
+                if fired {
+                    greem_obs::trace::instant("fault", "fault.crash", &[]);
+                }
+                fired
+            }
+            None => false,
+        }
+    }
+
+    /// Fault counters so far (all zero without a plan).
+    #[cfg(feature = "faults")]
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults.as_ref().map(|f| f.stats).unwrap_or_default()
+    }
+
+    /// The fault plan this world was built with, if any.
+    #[cfg(feature = "faults")]
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref().map(|f| f.plan.as_ref())
     }
 
     /// Pull messages from the mailbox until one matches, stashing the

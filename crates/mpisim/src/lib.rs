@@ -34,14 +34,28 @@
 //! time is unaffected by the model; virtual time is read with
 //! [`Ctx::vtime`] and is the quantity our relay-mesh benchmarks report.
 
+//!
+//! ## Fault injection (feature `faults`)
+//!
+//! With the `faults` feature (on by default) a world can carry a seeded
+//! [`FaultPlan`] — rank crashes at a given step, message drops/delays,
+//! straggler slowdowns — whose schedule is replayable bit-for-bit from
+//! the seed. See [`fault`] for the model; `greem_resil` builds the
+//! detection/rollback machinery on top. Without the feature every hook
+//! compiles out; without a plan each hook costs one `Option` branch.
+
 pub mod comm;
 pub mod ctx;
+#[cfg(feature = "faults")]
+pub mod fault;
 pub mod netmodel;
 pub mod topology;
 pub mod world;
 
 pub use comm::Comm;
 pub use ctx::{CommStats, Ctx};
+#[cfg(feature = "faults")]
+pub use fault::{FaultPlan, FaultStats, MsgFault, RetryPolicy};
 pub use netmodel::NetModel;
 pub use topology::Torus3d;
 pub use world::World;

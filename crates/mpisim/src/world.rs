@@ -7,6 +7,8 @@ use crossbeam::channel::unbounded;
 
 use crate::comm::Comm;
 use crate::ctx::{Ctx, Message};
+#[cfg(feature = "faults")]
+use crate::fault::{FaultCtx, FaultPlan};
 use crate::netmodel::NetModel;
 use crate::topology::Torus3d;
 
@@ -26,6 +28,8 @@ pub struct World {
     n: usize,
     topo: Torus3d,
     net: NetModel,
+    #[cfg(feature = "faults")]
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl World {
@@ -37,6 +41,8 @@ impl World {
             n,
             topo: Torus3d::roughly_cubic(n),
             net: NetModel::default(),
+            #[cfg(feature = "faults")]
+            faults: None,
         }
     }
 
@@ -55,6 +61,14 @@ impl World {
     /// Use an explicit network cost model.
     pub fn with_net(mut self, net: NetModel) -> Self {
         self.net = net;
+        self
+    }
+
+    /// Attach a seeded [`FaultPlan`]: every rank draws its faults from
+    /// this shared, replayable schedule.
+    #[cfg(feature = "faults")]
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(Arc::new(plan));
         self
     }
 
@@ -83,6 +97,8 @@ impl World {
                 let comm_counter = Arc::clone(&comm_counter);
                 let topo = self.topo;
                 let net = self.net;
+                #[cfg(feature = "faults")]
+                let plan = self.faults.clone();
                 handles.push(scope.spawn(move || {
                     let mut ctx = Ctx {
                         rank,
@@ -97,6 +113,8 @@ impl World {
                         port_free: 0.0,
                         comm_counter,
                         stats: Default::default(),
+                        #[cfg(feature = "faults")]
+                        faults: plan.map(|p| Box::new(FaultCtx::new(p))),
                     };
                     // Tag this host thread as rank `rank` for the tracer
                     // and seed its virtual clock, so spans recorded inside
@@ -163,5 +181,97 @@ mod tests {
                 panic!("boom");
             }
         });
+    }
+
+    #[cfg(feature = "faults")]
+    mod faults {
+        use super::super::*;
+        use crate::fault::FaultPlan;
+
+        #[test]
+        fn straggler_scales_compute() {
+            let times = World::new(3)
+                .with_net(NetModel::free())
+                .with_faults(FaultPlan::new(0).straggler(1, 4.0))
+                .run(|ctx, _| {
+                    ctx.compute(1.0);
+                    ctx.vtime()
+                });
+            assert_eq!(times, vec![1.0, 4.0, 1.0]);
+        }
+
+        #[test]
+        fn straggler_window_respects_fault_step() {
+            let times = World::new(2)
+                .with_net(NetModel::free())
+                .with_faults(FaultPlan::new(0).straggler_window(0, 3.0, 2, 4))
+                .run(|ctx, _| {
+                    for step in 0..6 {
+                        ctx.set_fault_step(step);
+                        ctx.compute(1.0);
+                    }
+                    ctx.vtime()
+                });
+            // Rank 0 pays 3x on steps 2 and 3 only: 4·1 + 2·3 = 10.
+            assert_eq!(times, vec![10.0, 6.0]);
+        }
+
+        #[test]
+        fn drops_charge_receiver_and_keep_payloads() {
+            let plan = FaultPlan::new(11)
+                .drop_messages(0.5)
+                .delay_messages(0.5, 1e-3);
+            let outs = World::new(4).with_faults(plan).run(|ctx, world| {
+                // Heavy traffic: allreduce must still be correct.
+                let v = vec![ctx.world_rank() as u64];
+                let sum = world.allreduce(ctx, v, |a, b| *a += *b)[0];
+                (sum, ctx.fault_stats(), ctx.vtime())
+            });
+            let total: u64 = (0..4).sum();
+            let agg = outs.iter().fold(crate::FaultStats::default(), |mut a, o| {
+                a.merge(&o.1);
+                a
+            });
+            for (sum, _, _) in &outs {
+                assert_eq!(*sum, total, "faults must never corrupt payloads");
+            }
+            assert!(
+                agg.messages_dropped > 0 && agg.messages_delayed > 0,
+                "p=0.5 on an allreduce should hit something: {agg:?}"
+            );
+            assert!(agg.retry_vtime > 0.0 && agg.delay_vtime > 0.0);
+            assert!(agg.retries >= agg.messages_dropped);
+        }
+
+        #[test]
+        fn empty_plan_matches_no_plan_exactly() {
+            let body = |ctx: &mut Ctx, world: &Comm| {
+                let v = vec![ctx.world_rank() as f64; 100];
+                world.allreduce(ctx, v, |a, b| *a += *b);
+                ctx.compute(0.5);
+                world.barrier(ctx);
+                ctx.vtime()
+            };
+            let clean = World::new(4).run(body);
+            let empty = World::new(4).with_faults(FaultPlan::new(123)).run(body);
+            assert_eq!(clean, empty, "an empty plan must not perturb timing");
+        }
+
+        #[test]
+        fn crash_fires_once_via_ctx() {
+            let fired = World::new(3)
+                .with_faults(FaultPlan::new(0).crash(2, 1))
+                .run(|ctx, _| {
+                    let mut fired = 0;
+                    for step in 0..4 {
+                        ctx.set_fault_step(step);
+                        if ctx.take_crash() {
+                            fired += 1;
+                        }
+                    }
+                    fired
+                });
+            assert_eq!(fired, vec![0, 0, 1]);
+        }
     }
 }

@@ -1,0 +1,228 @@
+//! Critical-path extraction over per-rank virtual-time segments.
+//!
+//! In the lock-step TreePM world every rank runs the same collective
+//! schedule, so the *critical path* of a run is the chain of compute
+//! spans and comm waits on the rank that finishes last: any other
+//! rank's slack is absorbed by the next collective. We therefore
+//! define (see DESIGN.md §13):
+//!
+//! * **makespan** — latest segment end minus earliest segment begin
+//!   across all ranks (virtual seconds);
+//! * **critical rank** — the rank with the latest segment end (lowest
+//!   rank wins ties);
+//! * **on-path busy/wait** — the critical rank's total leaf-segment
+//!   time, and the idle gaps between its segments inside the makespan
+//!   window (waits on collectives, i.e. time the critical rank itself
+//!   spent blocked on an *earlier* transient critical rank);
+//! * **per-phase attribution** — for each phase, the time it occupies
+//!   on the critical path (`on_path_s`) versus the all-rank mean
+//!   (`mean_s`); `slack_s = max(0, on_path_s − mean_s)` is the
+//!   imbalance-attributable share: what perfect balance of that phase
+//!   would shave off the critical path.
+
+use std::collections::BTreeMap;
+
+use crate::segments::Segment;
+
+/// One phase's share of the critical path.
+#[derive(Debug, Clone)]
+pub struct PhasePath {
+    pub phase: &'static str,
+    /// Virtual seconds this phase occupies on the critical rank.
+    pub on_path_s: f64,
+    /// Mean per-rank virtual seconds in this phase.
+    pub mean_s: f64,
+    /// Max per-rank virtual seconds in this phase.
+    pub max_s: f64,
+    /// `max(0, on_path_s − mean_s)` — the part of the on-path time a
+    /// perfectly balanced phase would not spend.
+    pub slack_s: f64,
+    /// Portion of `on_path_s` spent inside comm spans.
+    pub comm_s: f64,
+}
+
+/// The critical path of a captured run (or of one step's segments).
+#[derive(Debug, Clone)]
+pub struct CriticalPath {
+    pub ranks: usize,
+    pub critical_rank: u32,
+    /// Latest end − earliest begin, virtual seconds.
+    pub makespan_s: f64,
+    /// Critical rank's busy time inside the window.
+    pub busy_s: f64,
+    /// Critical rank's idle time inside the window.
+    pub wait_s: f64,
+    /// `busy_s / makespan_s` (1.0 for an empty/degenerate window).
+    pub share: f64,
+    /// Per-phase attribution, largest `on_path_s` first.
+    pub phases: Vec<PhasePath>,
+}
+
+/// Compute the critical path of `segs` (see the module docs). Returns
+/// a degenerate all-zero report when `segs` is empty.
+pub fn critical_path(segs: &[Segment]) -> CriticalPath {
+    if segs.is_empty() {
+        return CriticalPath {
+            ranks: 0,
+            critical_rank: 0,
+            makespan_s: 0.0,
+            busy_s: 0.0,
+            wait_s: 0.0,
+            share: 1.0,
+            phases: Vec::new(),
+        };
+    }
+    let mut v_min = f64::INFINITY;
+    let mut v_max = f64::NEG_INFINITY;
+    // Per rank: (end of latest segment, busy sum).
+    let mut per_rank: BTreeMap<u32, (f64, f64)> = BTreeMap::new();
+    for s in segs {
+        v_min = v_min.min(s.v0);
+        v_max = v_max.max(s.v1);
+        let e = per_rank.entry(s.rank).or_insert((f64::NEG_INFINITY, 0.0));
+        e.0 = e.0.max(s.v1);
+        e.1 += s.dur();
+    }
+    let ranks = per_rank.len();
+    // Latest finisher; BTreeMap iteration order makes the lowest rank
+    // win exact ties.
+    let mut critical_rank = 0u32;
+    let mut busy_s = 0.0f64;
+    let mut latest_end = f64::NEG_INFINITY;
+    for (&r, &(end, busy)) in &per_rank {
+        if end > latest_end {
+            latest_end = end;
+            critical_rank = r;
+            busy_s = busy;
+        }
+    }
+
+    let makespan_s = (v_max - v_min).max(0.0);
+    let wait_s = (makespan_s - busy_s).max(0.0);
+    let share = if makespan_s > 0.0 {
+        busy_s / makespan_s
+    } else {
+        1.0
+    };
+
+    // Per phase: per-rank totals and the on-path (critical-rank) split.
+    struct Acc {
+        per_rank: BTreeMap<u32, f64>,
+        on_path: f64,
+        comm_on_path: f64,
+    }
+    let mut phases: BTreeMap<&'static str, Acc> = BTreeMap::new();
+    for s in segs {
+        let a = phases.entry(s.phase).or_insert_with(|| Acc {
+            per_rank: BTreeMap::new(),
+            on_path: 0.0,
+            comm_on_path: 0.0,
+        });
+        *a.per_rank.entry(s.rank).or_insert(0.0) += s.dur();
+        if s.rank == critical_rank {
+            a.on_path += s.dur();
+            if s.is_comm() {
+                a.comm_on_path += s.dur();
+            }
+        }
+    }
+    let mut phases: Vec<PhasePath> = phases
+        .into_iter()
+        .map(|(phase, a)| {
+            let total: f64 = a.per_rank.values().sum();
+            let mean_s = total / ranks as f64;
+            let max_s = a.per_rank.values().fold(0.0f64, |m, &v| m.max(v));
+            PhasePath {
+                phase,
+                on_path_s: a.on_path,
+                mean_s,
+                max_s,
+                slack_s: (a.on_path - mean_s).max(0.0),
+                comm_s: a.comm_on_path,
+            }
+        })
+        .collect();
+    phases.sort_by(|a, b| b.on_path_s.total_cmp(&a.on_path_s));
+
+    CriticalPath {
+        ranks,
+        critical_rank,
+        makespan_s,
+        busy_s,
+        wait_s,
+        share,
+        phases,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(rank: u32, phase: &'static str, comm: bool, v0: f64, v1: f64) -> Segment {
+        Segment {
+            rank,
+            name: phase,
+            cat: if comm { "comm" } else { "step" },
+            phase,
+            step: Some(0),
+            v0,
+            v1,
+        }
+    }
+
+    #[test]
+    fn slowest_rank_defines_the_path() {
+        // Rank 1 computes 3× longer and finishes last; rank 0 waits.
+        let segs = vec![
+            seg(0, "pp.walk_force", false, 0.0, 1.0),
+            seg(0, "pp.communication", true, 1.0, 1.5),
+            seg(1, "pp.walk_force", false, 0.0, 3.0),
+            seg(1, "pp.communication", true, 3.0, 3.5),
+        ];
+        let cp = critical_path(&segs);
+        assert_eq!(cp.critical_rank, 1);
+        assert_eq!(cp.ranks, 2);
+        assert!((cp.makespan_s - 3.5).abs() < 1e-12);
+        assert!((cp.busy_s - 3.5).abs() < 1e-12);
+        assert!((cp.share - 1.0).abs() < 1e-12);
+        // pp.walk_force dominates the path: 3.0 on-path vs 2.0 mean.
+        let walk = cp
+            .phases
+            .iter()
+            .find(|p| p.phase == "pp.walk_force")
+            .unwrap();
+        assert!((walk.on_path_s - 3.0).abs() < 1e-12);
+        assert!((walk.mean_s - 2.0).abs() < 1e-12);
+        assert!((walk.slack_s - 1.0).abs() < 1e-12);
+        let comm = cp
+            .phases
+            .iter()
+            .find(|p| p.phase == "pp.communication")
+            .unwrap();
+        assert!((comm.comm_s - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn waits_on_the_critical_rank_are_counted() {
+        // Rank 0 finishes last but spent 1s idle mid-run.
+        let segs = vec![
+            seg(0, "a", false, 0.0, 1.0),
+            seg(0, "b", false, 2.0, 4.0),
+            seg(1, "a", false, 0.0, 2.0),
+        ];
+        let cp = critical_path(&segs);
+        assert_eq!(cp.critical_rank, 0);
+        assert!((cp.makespan_s - 4.0).abs() < 1e-12);
+        assert!((cp.busy_s - 3.0).abs() < 1e-12);
+        assert!((cp.wait_s - 1.0).abs() < 1e-12);
+        assert!((cp.share - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input_is_degenerate() {
+        let cp = critical_path(&[]);
+        assert_eq!(cp.ranks, 0);
+        assert_eq!(cp.share, 1.0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Per-rank per-phase load-imbalance factors.
+//!
+//! The factor is `max over ranks / mean over ranks` of the virtual
+//! seconds each rank spent in a phase — exactly the shape the sampling
+//! balancer reacts to (its feedback signal is the per-rank PP walk
+//! cost), so these numbers say what the balancer *saw*, not what a
+//! wall-clock profile happened to measure. A factor of 1.0 is perfect
+//! balance; the step slowdown attributable to a phase's imbalance is
+//! `(factor − 1) × mean`.
+
+use std::collections::BTreeMap;
+
+use crate::segments::Segment;
+
+/// One phase's imbalance across ranks.
+#[derive(Debug, Clone)]
+pub struct PhaseImbalance {
+    pub phase: &'static str,
+    /// Slowest rank's virtual seconds in this phase.
+    pub max_s: f64,
+    /// Mean virtual seconds across all ranks (ranks that never entered
+    /// the phase count as zero).
+    pub mean_s: f64,
+    /// Fastest rank's virtual seconds.
+    pub min_s: f64,
+    /// `max_s / mean_s`; 1.0 when the phase has no cost at all.
+    pub factor: f64,
+}
+
+/// `max/mean` of a per-rank cost vector; 1.0 for empty or zero-mean
+/// input (no work is perfectly balanced work).
+pub fn imbalance_factor(costs: &[f64]) -> f64 {
+    if costs.is_empty() {
+        return 1.0;
+    }
+    let mean = costs.iter().sum::<f64>() / costs.len() as f64;
+    if mean <= 0.0 {
+        return 1.0;
+    }
+    costs.iter().fold(0.0f64, |m, &v| m.max(v)) / mean
+}
+
+/// Per-phase imbalance factors across all ranks present in `segs`,
+/// sorted by descending mean cost.
+pub fn phase_imbalance(segs: &[Segment]) -> Vec<PhaseImbalance> {
+    let mut ranks: Vec<u32> = segs.iter().map(|s| s.rank).collect();
+    ranks.sort_unstable();
+    ranks.dedup();
+    if ranks.is_empty() {
+        return Vec::new();
+    }
+    let mut per_phase: BTreeMap<&'static str, BTreeMap<u32, f64>> = BTreeMap::new();
+    for s in segs {
+        *per_phase
+            .entry(s.phase)
+            .or_default()
+            .entry(s.rank)
+            .or_insert(0.0) += s.dur();
+    }
+    let mut out: Vec<PhaseImbalance> = per_phase
+        .into_iter()
+        .map(|(phase, by_rank)| {
+            let costs: Vec<f64> = ranks
+                .iter()
+                .map(|r| by_rank.get(r).copied().unwrap_or(0.0))
+                .collect();
+            let mean_s = costs.iter().sum::<f64>() / costs.len() as f64;
+            PhaseImbalance {
+                phase,
+                max_s: costs.iter().fold(0.0f64, |m, &v| m.max(v)),
+                mean_s,
+                min_s: costs.iter().fold(f64::INFINITY, |m, &v| m.min(v)),
+                factor: imbalance_factor(&costs),
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| b.mean_s.total_cmp(&a.mean_s));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(rank: u32, phase: &'static str, v0: f64, v1: f64) -> Segment {
+        Segment {
+            rank,
+            name: phase,
+            cat: "step",
+            phase,
+            step: Some(0),
+            v0,
+            v1,
+        }
+    }
+
+    #[test]
+    fn factor_is_max_over_mean() {
+        assert_eq!(imbalance_factor(&[1.0, 1.0, 1.0, 1.0]), 1.0);
+        // One 4× straggler among four ranks: 4 / 1.75.
+        let f = imbalance_factor(&[1.0, 4.0, 1.0, 1.0]);
+        assert!((f - 4.0 / 1.75).abs() < 1e-12);
+        assert_eq!(imbalance_factor(&[]), 1.0);
+        assert_eq!(imbalance_factor(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn missing_ranks_count_as_zero_cost() {
+        // Rank 1 never enters phase "b": its zero drags the mean down.
+        let segs = vec![
+            seg(0, "a", 0.0, 1.0),
+            seg(1, "a", 0.0, 1.0),
+            seg(0, "b", 1.0, 3.0),
+        ];
+        let imb = phase_imbalance(&segs);
+        let b = imb.iter().find(|p| p.phase == "b").unwrap();
+        assert_eq!(b.max_s, 2.0);
+        assert_eq!(b.mean_s, 1.0);
+        assert_eq!(b.min_s, 0.0);
+        assert_eq!(b.factor, 2.0);
+        let a = imb.iter().find(|p| p.phase == "a").unwrap();
+        assert_eq!(a.factor, 1.0);
+        assert_eq!(imb.len(), 2);
+    }
+}

@@ -1,0 +1,387 @@
+//! The perf-regression gate: a metric schema with explicit noise
+//! tolerances and better/worse directions, a committed-baseline JSON
+//! format, and the comparator `harness regress` runs in CI.
+//!
+//! Gated metrics are derived from the *virtual* clock and exact
+//! counters, so they are deterministic across hosts and thread
+//! interleavings; the tolerances only have to absorb trajectory-level
+//! perturbation from SIMD-kernel variants (~2⁻²⁴ relative force
+//! error), which is why a handful of percent suffices to catch a 2×
+//! slowdown. Wall-clock metrics ride along with `gate: false` — they
+//! are recorded into the trajectory but never fail the build.
+
+use greem_obs::json::{self, JsonWriter, Value};
+
+/// Which way is better.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Timings, byte counts: smaller is better.
+    LowerIsBetter,
+    /// Rates, efficiency: bigger is better.
+    HigherIsBetter,
+    /// Structural counters (rollbacks, alert counts): any drift beyond
+    /// tolerance is a regression.
+    Exact,
+}
+
+impl Direction {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Direction::LowerIsBetter => "lower",
+            Direction::HigherIsBetter => "higher",
+            Direction::Exact => "exact",
+        }
+    }
+
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "lower" => Ok(Direction::LowerIsBetter),
+            "higher" => Ok(Direction::HigherIsBetter),
+            "exact" => Ok(Direction::Exact),
+            other => Err(format!("unknown direction '{other}'")),
+        }
+    }
+}
+
+/// One metric: current measurement or baseline record (same shape).
+#[derive(Debug, Clone)]
+pub struct MetricSpec {
+    pub name: String,
+    pub value: f64,
+    /// Relative noise tolerance (0.10 = ±10 %).
+    pub tol_rel: f64,
+    /// Whether a regression here fails the gate.
+    pub gate: bool,
+    pub dir: Direction,
+}
+
+impl MetricSpec {
+    pub fn new(
+        name: impl Into<String>,
+        value: f64,
+        tol_rel: f64,
+        gate: bool,
+        dir: Direction,
+    ) -> Self {
+        MetricSpec {
+            name: name.into(),
+            value,
+            tol_rel,
+            gate,
+            dir,
+        }
+    }
+}
+
+/// A committed baseline: the bench name plus its metric records.
+#[derive(Debug, Clone)]
+pub struct Baseline {
+    pub bench: String,
+    pub metrics: Vec<MetricSpec>,
+}
+
+impl Baseline {
+    pub fn from_metrics(bench: impl Into<String>, metrics: &[MetricSpec]) -> Self {
+        Baseline {
+            bench: bench.into(),
+            metrics: metrics.to_vec(),
+        }
+    }
+
+    /// Serialize: one metric object per line so baseline diffs review
+    /// like a table.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"bench\": \"{}\",\n", self.bench));
+        out.push_str("  \"metrics\": [\n");
+        for (i, m) in self.metrics.iter().enumerate() {
+            let mut w = JsonWriter::new();
+            w.begin_obj(None);
+            w.str_(Some("name"), &m.name);
+            w.f64(Some("value"), m.value);
+            w.f64(Some("tol_rel"), m.tol_rel);
+            w.bool_(Some("gate"), m.gate);
+            w.str_(Some("dir"), m.dir.as_str());
+            w.end_obj();
+            out.push_str("    ");
+            out.push_str(&w.finish());
+            out.push_str(if i + 1 < self.metrics.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    pub fn parse(src: &str) -> Result<Baseline, String> {
+        let doc = json::parse(src)?;
+        let bench = doc
+            .get("bench")
+            .and_then(Value::as_str)
+            .ok_or("baseline: missing 'bench'")?
+            .to_string();
+        let arr = doc
+            .get("metrics")
+            .and_then(Value::as_arr)
+            .ok_or("baseline: missing 'metrics' array")?;
+        let mut metrics = Vec::with_capacity(arr.len());
+        for (i, m) in arr.iter().enumerate() {
+            let field = |k: &str| {
+                m.get(k)
+                    .and_then(Value::as_f64)
+                    .ok_or(format!("baseline metric {i}: missing numeric '{k}'"))
+            };
+            let name = m
+                .get("name")
+                .and_then(Value::as_str)
+                .ok_or(format!("baseline metric {i}: missing 'name'"))?
+                .to_string();
+            let gate = match m.get("gate") {
+                Some(Value::Bool(b)) => *b,
+                _ => return Err(format!("baseline metric {i}: missing bool 'gate'")),
+            };
+            let dir = Direction::parse(
+                m.get("dir")
+                    .and_then(Value::as_str)
+                    .ok_or(format!("baseline metric {i}: missing 'dir'"))?,
+            )?;
+            metrics.push(MetricSpec {
+                name,
+                value: field("value")?,
+                tol_rel: field("tol_rel")?,
+                gate,
+                dir,
+            });
+        }
+        Ok(Baseline { bench, metrics })
+    }
+}
+
+/// Per-metric comparison outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Within tolerance.
+    Pass,
+    /// Worse than baseline beyond tolerance.
+    Regression,
+    /// Better than baseline beyond tolerance (worth refreshing the
+    /// baseline, never a failure).
+    Improvement,
+    /// The metric vanished from the current measurement (schema drift
+    /// — fails the gate when the metric was gated).
+    Missing,
+}
+
+impl Verdict {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Verdict::Pass => "pass",
+            Verdict::Regression => "regression",
+            Verdict::Improvement => "improvement",
+            Verdict::Missing => "missing",
+        }
+    }
+}
+
+/// One metric's judged comparison.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub name: String,
+    pub baseline: f64,
+    /// `None` when the current measurement lost the metric.
+    pub current: Option<f64>,
+    /// `(current − baseline) / max(|baseline|, ε)`.
+    pub rel_delta: f64,
+    pub tol_rel: f64,
+    pub gate: bool,
+    pub dir: Direction,
+    pub verdict: Verdict,
+}
+
+/// The whole comparison.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// One finding per baseline metric, in baseline order.
+    pub findings: Vec<Finding>,
+    /// Current metrics with no baseline record (informational; they
+    /// enter the store on the next `--update-baselines`).
+    pub new_metrics: Vec<String>,
+    /// False iff any gated metric regressed or went missing.
+    pub pass: bool,
+}
+
+/// Judge `current` against `baseline` (see the module docs for the
+/// tolerance semantics).
+pub fn compare(current: &[MetricSpec], baseline: &Baseline) -> Comparison {
+    let mut findings = Vec::with_capacity(baseline.metrics.len());
+    let mut pass = true;
+    for b in &baseline.metrics {
+        let cur = current.iter().find(|c| c.name == b.name);
+        let finding = match cur {
+            None => {
+                if b.gate {
+                    pass = false;
+                }
+                Finding {
+                    name: b.name.clone(),
+                    baseline: b.value,
+                    current: None,
+                    rel_delta: 0.0,
+                    tol_rel: b.tol_rel,
+                    gate: b.gate,
+                    dir: b.dir,
+                    verdict: Verdict::Missing,
+                }
+            }
+            Some(c) => {
+                let denom = b.value.abs().max(1e-12);
+                let rel = (c.value - b.value) / denom;
+                let worse = match b.dir {
+                    Direction::LowerIsBetter => rel > b.tol_rel,
+                    Direction::HigherIsBetter => rel < -b.tol_rel,
+                    Direction::Exact => rel.abs() > b.tol_rel,
+                };
+                let better = match b.dir {
+                    Direction::LowerIsBetter => rel < -b.tol_rel,
+                    Direction::HigherIsBetter => rel > b.tol_rel,
+                    Direction::Exact => false,
+                };
+                let verdict = if worse {
+                    if b.gate {
+                        pass = false;
+                    }
+                    Verdict::Regression
+                } else if better {
+                    Verdict::Improvement
+                } else {
+                    Verdict::Pass
+                };
+                Finding {
+                    name: b.name.clone(),
+                    baseline: b.value,
+                    current: Some(c.value),
+                    rel_delta: rel,
+                    tol_rel: b.tol_rel,
+                    gate: b.gate,
+                    dir: b.dir,
+                    verdict,
+                }
+            }
+        };
+        findings.push(finding);
+    }
+    let new_metrics = current
+        .iter()
+        .filter(|c| !baseline.metrics.iter().any(|b| b.name == c.name))
+        .map(|c| c.name.clone())
+        .collect();
+    Comparison {
+        findings,
+        new_metrics,
+        pass,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(name: &str, value: f64, tol: f64, gate: bool, dir: Direction) -> MetricSpec {
+        MetricSpec::new(name, value, tol, gate, dir)
+    }
+
+    fn sample_metrics() -> Vec<MetricSpec> {
+        vec![
+            spec("step_vtime_s", 0.010, 0.10, true, Direction::LowerIsBetter),
+            spec("pct_of_peak", 0.40, 0.10, true, Direction::HigherIsBetter),
+            spec("rollbacks", 1.0, 0.0, true, Direction::Exact),
+            spec("wall_s", 2.0, 0.5, false, Direction::LowerIsBetter),
+        ]
+    }
+
+    #[test]
+    fn baseline_round_trips_through_json() {
+        let base = Baseline::from_metrics("regress_small", &sample_metrics());
+        let parsed = Baseline::parse(&base.to_json()).expect("parses");
+        assert_eq!(parsed.bench, "regress_small");
+        assert_eq!(parsed.metrics.len(), 4);
+        assert_eq!(parsed.metrics[0].name, "step_vtime_s");
+        assert_eq!(parsed.metrics[0].value, 0.010);
+        assert_eq!(parsed.metrics[0].dir, Direction::LowerIsBetter);
+        assert!(parsed.metrics[0].gate);
+        assert_eq!(parsed.metrics[3].dir, Direction::LowerIsBetter);
+        assert!(!parsed.metrics[3].gate);
+    }
+
+    #[test]
+    fn identical_measurement_passes() {
+        let base = Baseline::from_metrics("b", &sample_metrics());
+        let cmp = compare(&sample_metrics(), &base);
+        assert!(cmp.pass);
+        assert!(cmp.findings.iter().all(|f| f.verdict == Verdict::Pass));
+    }
+
+    #[test]
+    fn synthetic_2x_slowdown_fails_the_gate() {
+        // The CI fixture scenario: every gated timing doubles (and the
+        // rate metric halves). The gate must fail.
+        let base = Baseline::from_metrics("b", &sample_metrics());
+        let mut cur = sample_metrics();
+        for m in &mut cur {
+            match m.dir {
+                Direction::LowerIsBetter => m.value *= 2.0,
+                Direction::HigherIsBetter => m.value *= 0.5,
+                Direction::Exact => {}
+            }
+        }
+        let cmp = compare(&cur, &base);
+        assert!(!cmp.pass);
+        let regressed: Vec<&str> = cmp
+            .findings
+            .iter()
+            .filter(|f| f.verdict == Verdict::Regression)
+            .map(|f| f.name.as_str())
+            .collect();
+        assert!(regressed.contains(&"step_vtime_s"));
+        assert!(regressed.contains(&"pct_of_peak"));
+        // The ungated wall metric regresses without failing anything
+        // on its own (pass is already false from the gated ones).
+        assert!(regressed.contains(&"wall_s"));
+    }
+
+    #[test]
+    fn improvements_never_fail() {
+        let base = Baseline::from_metrics("b", &sample_metrics());
+        let mut cur = sample_metrics();
+        cur[0].value *= 0.5; // 2× faster
+        cur[1].value *= 1.5; // 50 % more efficient
+        let cmp = compare(&cur, &base);
+        assert!(cmp.pass);
+        assert_eq!(cmp.findings[0].verdict, Verdict::Improvement);
+        assert_eq!(cmp.findings[1].verdict, Verdict::Improvement);
+    }
+
+    #[test]
+    fn exact_counters_fail_in_both_directions() {
+        let base = Baseline::from_metrics("b", &sample_metrics());
+        let mut cur = sample_metrics();
+        cur[2].value = 2.0; // one extra rollback
+        assert!(!compare(&cur, &base).pass);
+        cur[2].value = 0.0; // one fewer, still structural drift
+        assert!(!compare(&cur, &base).pass);
+    }
+
+    #[test]
+    fn missing_gated_metric_fails_and_new_metrics_are_reported() {
+        let base = Baseline::from_metrics("b", &sample_metrics());
+        let mut cur = sample_metrics();
+        cur.remove(0);
+        cur.push(spec("brand_new", 1.0, 0.1, true, Direction::Exact));
+        let cmp = compare(&cur, &base);
+        assert!(!cmp.pass);
+        assert_eq!(cmp.findings[0].verdict, Verdict::Missing);
+        assert_eq!(cmp.new_metrics, vec!["brand_new".to_string()]);
+    }
+}

@@ -1,0 +1,208 @@
+//! Fold a captured event stream into per-rank *leaf segments* on the
+//! virtual clock.
+//!
+//! A leaf segment is a maximal interval of virtual time during which
+//! one span was the innermost open span on its rank's track. Segments
+//! tile each rank's busy time exactly (no double counting of nested
+//! spans), which makes them the right primitive for both critical-path
+//! and imbalance accounting: summing segment durations per rank gives
+//! busy time, and gaps between segments are the rank's idle/wait time.
+//!
+//! Each segment is also attributed to a *phase* — the nearest enclosing
+//! span that names a Table I phase (category `step`, e.g.
+//! `pp.walk_force`, `pm.solve`, `dd.particle_exchange`) or a resilience
+//! activity (category `resil`). Comm spans nested inside a phase
+//! attribute their time to that phase with `is_comm = true`, so
+//! "communication inside the PM solve" and "PM compute" can be told
+//! apart without losing the phase structure.
+
+use greem_obs::trace::{Event, Phase};
+
+/// One leaf interval of a rank's virtual-time track.
+#[derive(Debug, Clone)]
+pub struct Segment {
+    pub rank: u32,
+    /// Innermost open span when this interval elapsed.
+    pub name: &'static str,
+    /// Innermost span's category (`comm`, `step`, `pm`, `resil`, …).
+    pub cat: &'static str,
+    /// Nearest enclosing Table I phase (or resilience activity); the
+    /// span's own name when nothing better encloses it.
+    pub phase: &'static str,
+    /// 0-based index of the enclosing `treepm.step` span, if any.
+    pub step: Option<u32>,
+    /// Virtual-time interval (seconds).
+    pub v0: f64,
+    pub v1: f64,
+}
+
+impl Segment {
+    pub fn dur(&self) -> f64 {
+        self.v1 - self.v0
+    }
+
+    /// True when the innermost span is a communication span.
+    pub fn is_comm(&self) -> bool {
+        self.cat == "comm"
+    }
+}
+
+/// Attribution target for a stack of open spans: the innermost phase
+/// span (category `step`, excluding the all-enclosing `treepm.step`),
+/// else the innermost resilience span, else `treepm.step` itself, else
+/// the innermost span's own name.
+fn phase_of(stack: &[(&'static str, &'static str)]) -> &'static str {
+    for (name, cat) in stack.iter().rev() {
+        if *cat == "step" && *name != "treepm.step" {
+            return name;
+        }
+        if *cat == "resil" {
+            return name;
+        }
+    }
+    if stack.iter().any(|(n, _)| *n == "treepm.step") {
+        "treepm.step"
+    } else {
+        stack.last().map(|(n, _)| *n).unwrap_or("")
+    }
+}
+
+/// Fold `events` (as returned by `greem_obs::trace::capture`) into leaf
+/// segments. Events without a virtual timestamp (recorded outside an
+/// `mpisim` rank) are skipped; zero-length intervals are dropped.
+/// Events are processed in global `seq` order, which is also per-track
+/// program order.
+pub fn leaf_segments(events: &[Event]) -> Vec<Segment> {
+    let mut by_seq: Vec<&Event> = events.iter().filter(|e| e.has_vtime()).collect();
+    by_seq.sort_by_key(|e| e.seq);
+
+    use std::collections::BTreeMap;
+    struct Track {
+        stack: Vec<(&'static str, &'static str)>,
+        prev_v: f64,
+        /// `treepm.step` Begins seen so far.
+        steps_begun: u32,
+        /// Depth of the currently open `treepm.step`, if any.
+        in_step: bool,
+    }
+    let mut tracks: BTreeMap<(u32, u32), Track> = BTreeMap::new();
+    let mut out = Vec::new();
+
+    for e in by_seq {
+        let t = tracks.entry((e.rank, e.tid)).or_insert_with(|| Track {
+            stack: Vec::new(),
+            prev_v: e.vtime,
+            steps_begun: 0,
+            in_step: false,
+        });
+        if e.vtime > t.prev_v {
+            if let Some(&(name, cat)) = t.stack.last() {
+                out.push(Segment {
+                    rank: e.rank,
+                    name,
+                    cat,
+                    phase: phase_of(&t.stack),
+                    step: if t.in_step {
+                        Some(t.steps_begun - 1)
+                    } else {
+                        None
+                    },
+                    v0: t.prev_v,
+                    v1: e.vtime,
+                });
+            }
+            t.prev_v = e.vtime;
+        } else {
+            // The virtual clock never runs backwards within a rank;
+            // equal timestamps just mean no modeled cost in between.
+            t.prev_v = t.prev_v.max(e.vtime);
+        }
+        match e.phase {
+            Phase::Begin => {
+                if e.name == "treepm.step" {
+                    t.steps_begun += 1;
+                    t.in_step = true;
+                }
+                t.stack.push((e.name, e.cat));
+            }
+            Phase::End => {
+                // Tolerate unbalanced streams: a stray End is ignored.
+                if t.stack.pop().is_some() && e.name == "treepm.step" {
+                    t.in_step = false;
+                }
+            }
+            Phase::Instant => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use greem_obs::trace::Args;
+
+    pub(crate) fn ev(
+        seq: u64,
+        phase: Phase,
+        name: &'static str,
+        cat: &'static str,
+        rank: u32,
+        vtime: f64,
+    ) -> Event {
+        Event {
+            seq,
+            phase,
+            name,
+            cat,
+            wall_ns: seq * 10,
+            vtime,
+            rank,
+            tid: rank,
+            args: Args::default(),
+        }
+    }
+
+    #[test]
+    fn nested_spans_tile_into_leaf_segments() {
+        use Phase::*;
+        let events = vec![
+            ev(0, Begin, "treepm.step", "step", 0, 0.0),
+            ev(1, Begin, "pp.walk_force", "step", 0, 0.0),
+            ev(2, End, "pp.walk_force", "step", 0, 3.0),
+            ev(3, Begin, "pp.communication", "step", 0, 3.0),
+            ev(4, Begin, "alltoallv", "comm", 0, 3.0),
+            ev(5, End, "alltoallv", "comm", 0, 5.0),
+            ev(6, End, "pp.communication", "step", 0, 5.0),
+            ev(7, End, "treepm.step", "step", 0, 5.0),
+        ];
+        let segs = leaf_segments(&events);
+        assert_eq!(segs.len(), 2);
+        assert_eq!(segs[0].name, "pp.walk_force");
+        assert_eq!(segs[0].phase, "pp.walk_force");
+        assert!(!segs[0].is_comm());
+        assert_eq!(segs[0].dur(), 3.0);
+        assert_eq!(segs[0].step, Some(0));
+        // The comm span attributes to its enclosing phase.
+        assert_eq!(segs[1].name, "alltoallv");
+        assert_eq!(segs[1].phase, "pp.communication");
+        assert!(segs[1].is_comm());
+        assert_eq!(segs[1].dur(), 2.0);
+    }
+
+    #[test]
+    fn non_vtime_events_and_stray_ends_are_tolerated() {
+        use Phase::*;
+        let mut wall_only = ev(1, Begin, "x", "step", 0, 0.0);
+        wall_only.vtime = f64::NAN;
+        let events = vec![
+            ev(0, End, "stray", "step", 0, 0.0),
+            wall_only,
+            ev(2, Begin, "a", "step", 0, 0.0),
+            ev(3, End, "a", "step", 0, 1.0),
+        ];
+        let segs = leaf_segments(&events);
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].name, "a");
+    }
+}

@@ -9,7 +9,12 @@
 //! `tree_vs_treepm`, `scaling`, `chaos`, `all`; plus `trace` (capture
 //! the fig. 5 relay schedule as per-rank virtual-time Chrome-trace
 //! JSON) and `bench-summary` (emit the `BENCH_treepm.json` step-rate
-//! summary, including a `recovery` section from a small chaos run).
+//! summary, including a `recovery` section from a small chaos run);
+//! plus `regress` — the perf-regression gate (see DESIGN.md §13):
+//! measure the fixed regression workload, judge it against the
+//! committed baseline in `baselines/` (override with `--baseline-dir`),
+//! append a trajectory record, and exit nonzero on regression.
+//! `regress --update-baselines` re-records the baseline instead.
 //!
 //! `--small` shrinks every workload (a smoke mode for slow machines /
 //! debug builds). `--json` replaces any experiment's text report with a
@@ -26,6 +31,8 @@ struct HarnessArgs {
     small: bool,
     json: bool,
     out: Option<String>,
+    update_baselines: bool,
+    baseline_dir: Option<String>,
 }
 
 impl HarnessArgs {
@@ -33,6 +40,8 @@ impl HarnessArgs {
         let mut small = false;
         let mut json = false;
         let mut out = None;
+        let mut update_baselines = false;
+        let mut baseline_dir = None;
         let mut command = None;
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
@@ -40,6 +49,10 @@ impl HarnessArgs {
                 "--small" => small = true,
                 "--json" => json = true,
                 "--out" => out = Some(args.next().ok_or("--out needs a path")?),
+                "--update-baselines" => update_baselines = true,
+                "--baseline-dir" => {
+                    baseline_dir = Some(args.next().ok_or("--baseline-dir needs a path")?);
+                }
                 "--help" | "-h" => {
                     println!("see the module docs at the top of harness.rs / EXPERIMENTS.md");
                     std::process::exit(0);
@@ -60,6 +73,8 @@ impl HarnessArgs {
             small,
             json,
             out,
+            update_baselines,
+            baseline_dir,
         })
     }
 
@@ -253,6 +268,27 @@ fn run_bench_summary(args: &HarnessArgs) {
     args.deliver(&w.finish());
 }
 
+/// `harness regress`: the perf-regression gate. Exits 0 on pass,
+/// 1 on regression, 2 on setup/usage errors.
+fn run_regress(args: &HarnessArgs) -> ! {
+    #[cfg(feature = "obs")]
+    {
+        let code = greem_bench::regress::run(&greem_bench::regress::RegressArgs {
+            small: args.small,
+            json: args.json,
+            update_baselines: args.update_baselines,
+            baseline_dir: args.baseline_dir.clone(),
+        });
+        std::process::exit(code);
+    }
+    #[cfg(not(feature = "obs"))]
+    {
+        let _ = (args.update_baselines, &args.baseline_dir);
+        eprintln!("harness regress needs the default 'obs' feature (trace capture)");
+        std::process::exit(2);
+    }
+}
+
 fn main() {
     let args = match HarnessArgs::parse() {
         Ok(a) => a,
@@ -265,6 +301,7 @@ fn main() {
     match args.command.as_str() {
         "trace" => return run_trace(&args),
         "bench-summary" => return run_bench_summary(&args),
+        "regress" => run_regress(&args),
         _ => {}
     }
 
@@ -293,7 +330,7 @@ fn main() {
             Some(r) => println!("{r}"),
             None => {
                 eprintln!(
-                    "unknown command '{}'. Available: {EXPERIMENTS:?}, 'all', 'trace', 'bench-summary'",
+                    "unknown command '{}'. Available: {EXPERIMENTS:?}, 'all', 'trace', 'bench-summary', 'regress'",
                     args.command
                 );
                 std::process::exit(2);

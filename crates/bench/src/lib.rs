@@ -13,5 +13,7 @@
 //! Criterion benches live under `benches/`.
 
 pub mod experiments;
+#[cfg(feature = "obs")]
+pub mod regress;
 pub mod trace;
 pub mod workloads;

@@ -1,0 +1,79 @@
+//! The regression-gate fixture proof: one real measurement of the
+//! `--small` shape judged (a) against itself — must pass with zero
+//! drift on every virtual-clock metric — and (b) against a
+//! deliberately-perturbed baseline simulating a 2× slowdown — must
+//! fail. Mirrors what the CI `analysis-smoke` job does from the shell.
+#![cfg(feature = "obs")]
+
+use greem_analysis::{compare, Baseline, Direction, Verdict};
+use greem_bench::regress::{measure, report_json, RegressShape};
+
+#[test]
+fn measured_small_shape_gates_itself_and_fails_on_2x_slowdown() {
+    let m = measure(&RegressShape::small());
+
+    // Measurement invariants the gate relies on.
+    assert_eq!(m.alerts_total, 0, "clean regress run must raise no alerts");
+    assert!(m.cp.share > 0.0 && m.cp.share <= 1.0 + 1e-12);
+    assert!(m.eff.pct_of_peak > 0.0);
+    for p in &m.imbalance {
+        assert!(p.factor >= 1.0 - 1e-12, "{}: {}", p.phase, p.factor);
+    }
+
+    // (a) Self-comparison through the committed-baseline JSON format:
+    // every gated virtual-clock metric must come back bit-identical.
+    let base = Baseline::from_metrics(m.shape.name, &m.metrics);
+    let base = Baseline::parse(&base.to_json()).expect("baseline round-trips");
+    let cmp = compare(&m.metrics, &base);
+    assert!(cmp.pass, "self-comparison failed: {:?}", cmp.findings);
+    for f in cmp.findings.iter().filter(|f| f.gate) {
+        assert_eq!(f.verdict, Verdict::Pass, "{}: {:?}", f.name, f.verdict);
+    }
+    assert!(cmp.new_metrics.is_empty());
+
+    // (b) Perturbed fixture: rewrite the baseline as if the recorded
+    // run had been 2× faster / more efficient than today's — i.e. the
+    // current measurement is a synthetic 2× regression.
+    let mut perturbed = base.clone();
+    for b in &mut perturbed.metrics {
+        if !b.gate {
+            continue;
+        }
+        match b.dir {
+            Direction::LowerIsBetter => b.value *= 0.5,
+            Direction::HigherIsBetter => b.value *= 2.0,
+            Direction::Exact => {}
+        }
+    }
+    let cmp = compare(&m.metrics, &perturbed);
+    assert!(!cmp.pass, "2x slowdown must fail the gate");
+    let regressed: Vec<&str> = cmp
+        .findings
+        .iter()
+        .filter(|f| f.gate && f.verdict == Verdict::Regression)
+        .map(|f| f.name.as_str())
+        .collect();
+    assert!(regressed.contains(&"step_vtime_s"), "{regressed:?}");
+    assert!(regressed.contains(&"pct_of_peak"), "{regressed:?}");
+    assert!(
+        regressed.contains(&"phase_vtime_s.pp.walk_force"),
+        "{regressed:?}"
+    );
+
+    // The JSON report carries the acceptance-criteria fields.
+    let json = report_json(&m, Some(&cmp));
+    let doc = greem_obs::json::parse(&json).expect("report is valid JSON");
+    assert!(doc
+        .get("critical_path")
+        .and_then(|c| c.get("share"))
+        .is_some());
+    assert!(doc.get("imbalance").is_some());
+    assert!(doc
+        .get("efficiency")
+        .and_then(|e| e.get("pct_of_peak"))
+        .is_some());
+    assert!(
+        matches!(doc.get("pass"), Some(greem_obs::json::Value::Bool(false))),
+        "report must carry the failing verdict"
+    );
+}

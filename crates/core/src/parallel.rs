@@ -160,6 +160,15 @@ impl ParallelTreePm {
         self.steps
     }
 
+    /// This rank's most recent PP walk cost — the exact feedback signal
+    /// the domain balancer consumes (virtual seconds when
+    /// [`TreePmConfig::modeled_pp_cost`] is set, wall seconds
+    /// otherwise). Online imbalance detectors allgather this to see the
+    /// load skew the way the balancer sees it.
+    pub fn last_pp_cost(&self) -> f64 {
+        self.last_cost
+    }
+
     /// Capture this rank's resumable state (see [`RankState`]).
     pub fn rank_state(&self) -> RankState {
         RankState {

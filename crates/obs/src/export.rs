@@ -352,6 +352,68 @@ mod tests {
     }
 
     #[test]
+    fn validator_rejects_malformed_documents() {
+        // No traceEvents array at all.
+        assert!(validate_chrome_trace(r#"{"other":1}"#)
+            .unwrap_err()
+            .contains("traceEvents"));
+        // Out-of-order start timestamps within one track.
+        let out_of_order = r#"{"traceEvents":[
+            {"name":"a","cat":"x","ph":"X","ts":10,"dur":1,"pid":0,"tid":0},
+            {"name":"b","cat":"x","ph":"X","ts":0,"dur":1,"pid":0,"tid":0}]}"#;
+        assert!(validate_chrome_trace(out_of_order)
+            .unwrap_err()
+            .contains("starts before its predecessor"));
+        // Missing pid.
+        let no_pid = r#"{"traceEvents":[
+            {"name":"a","cat":"x","ph":"X","ts":0,"dur":1,"tid":0}]}"#;
+        assert!(validate_chrome_trace(no_pid)
+            .unwrap_err()
+            .contains("missing numeric 'pid'"));
+        // Missing name.
+        let no_name = r#"{"traceEvents":[
+            {"cat":"x","ph":"X","ts":0,"dur":1,"pid":0,"tid":0}]}"#;
+        assert!(validate_chrome_trace(no_name)
+            .unwrap_err()
+            .contains("missing name"));
+        // Negative duration.
+        let neg_dur = r#"{"traceEvents":[
+            {"name":"a","cat":"x","ph":"X","ts":0,"dur":-1,"pid":0,"tid":0}]}"#;
+        assert!(validate_chrome_trace(neg_dur)
+            .unwrap_err()
+            .contains("negative dur"));
+    }
+
+    #[test]
+    fn unbalanced_events_fold_defensively() {
+        // An End with no matching Begin is dropped; the trailing
+        // unmatched Begin closes at the last observed timestamp. The
+        // folded output still validates.
+        let events = vec![
+            ev(0, Phase::End, "stray_end", "step", 0),
+            ev(1, Phase::Begin, "a", "step", 0),
+            ev(2, Phase::End, "a", "step", 0),
+            ev(3, Phase::Begin, "dangling", "step", 0),
+        ];
+        let json = chrome_trace(&events, Clock::Virtual);
+        let summary = validate_chrome_trace(&json).unwrap();
+        assert_eq!(summary.spans, 2, "stray End must not produce a span");
+        let doc = json::parse(&json).unwrap();
+        let names: Vec<String> = doc
+            .get("traceEvents")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .filter(|e| e.get("ph").and_then(Value::as_str) == Some("X"))
+            .map(|e| e.get("name").unwrap().as_str().unwrap().to_string())
+            .collect();
+        assert!(names.contains(&"a".to_string()));
+        assert!(names.contains(&"dangling".to_string()));
+        assert!(!names.contains(&"stray_end".to_string()));
+    }
+
+    #[test]
     fn unmatched_begin_is_closed_at_last_ts() {
         let events = vec![
             ev(0, Phase::Begin, "orphan", "step", 0),

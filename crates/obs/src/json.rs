@@ -389,4 +389,33 @@ mod tests {
         assert!(parse("{} extra").is_err());
         assert!(parse("nope").is_err());
     }
+
+    #[test]
+    fn parser_rejects_malformed_strings_and_numbers() {
+        // Unterminated string.
+        assert!(parse(r#"{"a": "never ends}"#).is_err());
+        // Bad escape sequence.
+        assert!(parse(r#"{"a": "\q"}"#).is_err());
+        // Truncated unicode escape.
+        assert!(parse(r#"{"a": "\u00"}"#).is_err());
+        // Invalid numbers (the scanner defers to f64::from_str, which is
+        // lenient about a leading '+', but multi-dot garbage must fail).
+        assert!(parse("[1.2.3]").is_err());
+        assert!(parse("[1e]").is_err());
+        // Missing value after key, missing colon, trailing comma in object.
+        assert!(parse(r#"{"a":}"#).is_err());
+        assert!(parse(r#"{"a" 1}"#).is_err());
+        assert!(parse(r#"{"a": 1,}"#).is_err());
+        // Unclosed array at EOF.
+        assert!(parse("[1, 2").is_err());
+        // Empty input.
+        assert!(parse("").is_err());
+        assert!(parse("   ").is_err());
+    }
+
+    #[test]
+    fn parser_errors_carry_byte_offsets() {
+        let err = parse(r#"{"a": nope}"#).unwrap_err();
+        assert!(err.contains("byte"), "error should locate the fault: {err}");
+    }
 }

@@ -215,6 +215,22 @@ impl ResilientSim {
         world: &Comm,
         dts: &[f64],
     ) -> Result<RecoveryStats, ResilError> {
+        self.run_with(ctx, world, dts, |_, _, _, _| ())
+    }
+
+    /// Like [`ResilientSim::run`], but invokes `on_step` after every
+    /// *successfully completed* step (never for steps that are later
+    /// rolled back — re-executions after a rollback do call it again).
+    /// This is the hook online monitors (`greem-analysis`) attach to;
+    /// any collectives the hook performs must be collective across the
+    /// whole world, like the step itself.
+    pub fn run_with(
+        &mut self,
+        ctx: &mut Ctx,
+        world: &Comm,
+        dts: &[f64],
+        mut on_step: impl FnMut(&mut Ctx, &Comm, &ParallelTreePm, &greem::ParallelStepStats),
+    ) -> Result<RecoveryStats, ResilError> {
         while (self.sim.steps_taken() as usize) < dts.len() {
             let k = self.sim.steps_taken();
             ctx.set_fault_step(k);
@@ -222,7 +238,8 @@ impl ResilientSim {
                 self.rollback(ctx, world)?;
                 continue;
             }
-            self.sim.step(ctx, world, dts[k as usize]);
+            let st = self.sim.step(ctx, world, dts[k as usize]);
+            on_step(ctx, world, &self.sim, &st);
             if self.sim.steps_taken().is_multiple_of(self.cfg.every) {
                 self.checkpoint(ctx, world)?;
             }

@@ -61,7 +61,7 @@ fn main() {
             "{s} {:.5} {:.0} {:.4} {:.2} {:.3e}",
             a,
             1.0 / a - 1.0,
-            delta_rms(sim.bodies(), 4),
+            delta_rms(&sim.bodies(), 4),
             cosmo.growth(a) / d0,
             vmag
         );

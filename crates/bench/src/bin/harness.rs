@@ -243,6 +243,24 @@ fn run_bench_summary(args: &HarnessArgs) {
     w.f64(Some("pp_communication"), ms(bd.pp_communication));
     w.f64(Some("dd_total"), ms(bd.dd_total()));
     w.end_obj();
+    // The PP engine's effective group size and list-cache hits.
+    w.f64(Some("pp_group_size"), bd.pp_group_size);
+    w.f64(
+        Some("pp_list_replays_per_step"),
+        bd.pp_list_replays as f64 / steps,
+    );
+    // Memory-traffic profile of the dispatched kernel variant: bytes
+    // per interaction from the register-blocking model, and the
+    // achieved read bandwidth at the measured interaction rate.
+    let kb = greem_kernels::kernel_benchmark(if args.small { 128 } else { 512 }, 2);
+    let sel = greem_kernels::selected_variant();
+    if let Some(v) = kb.variants.iter().find(|v| v.variant == sel) {
+        w.begin_obj(Some("kernel"));
+        w.str_(Some("variant"), v.variant.name());
+        w.f64(Some("bytes_per_interaction"), v.bytes_per_interaction);
+        w.f64(Some("gb_per_sec"), v.gb_per_sec);
+        w.end_obj();
+    }
     // Recovery cost of a crash mid-run under the resilient driver
     // (sharded checkpoints + rollback), on a small chaos workload.
     let pos = greem_bench::workloads::clustered(if args.small { 300 } else { 800 }, 3, 0.35, 123);

@@ -118,15 +118,16 @@ pub fn run(p: &MicrohaloRun) -> Vec<Epoch> {
         let m = p.n_side.max(4);
         let a = 1.0 / (1.0 + z);
         let lin = p.delta0 * cosmo.growth(a) / cosmo.growth(a0);
-        let pos: Vec<greem_math::Vec3> = sim.bodies().iter().map(|b| b.pos).collect();
-        let mass: Vec<f64> = sim.bodies().iter().map(|b| b.mass).collect();
+        let bodies = sim.bodies();
+        let pos: Vec<greem_math::Vec3> = bodies.iter().map(|b| b.pos).collect();
+        let mass: Vec<f64> = bodies.iter().map(|b| b.mass).collect();
         epochs.push(Epoch {
             z,
-            snapshot: projected_density(sim.bodies(), 48, 2, &format!("z = {z}")),
-            delta_rms: delta_rms(sim.bodies(), m),
+            snapshot: projected_density(&bodies, 48, 2, &format!("z = {z}")),
+            delta_rms: delta_rms(&bodies, m),
             delta_linear: lin,
             power: greem_cosmo::measure_power(&pos, &mass, m),
-            halos: greem::find_halos(sim.bodies(), 0.2, 20),
+            halos: greem::find_halos(&bodies, 0.2, 20),
         });
     };
     record(&sim, targets[0], &mut epochs);

@@ -1,0 +1,109 @@
+use greem::{Body, Simulation, SimulationMode, TreePmConfig};
+use greem_math::{wrap01, Vec3};
+use std::time::Instant;
+
+fn grid_bodies(n_side: usize, jitter: f64, seed: u64) -> Vec<Body> {
+    let mut s = seed;
+    let mut next = move || {
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    };
+    let spacing = 1.0 / n_side as f64;
+    let mut out = Vec::new();
+    for i in 0..n_side {
+        for j in 0..n_side {
+            for k in 0..n_side {
+                let p = Vec3::new(
+                    (i as f64 + 0.5 + jitter * next()) * spacing,
+                    (j as f64 + 0.5 + jitter * next()) * spacing,
+                    (k as f64 + 0.5 + jitter * next()) * spacing,
+                );
+                out.push(Body::at_rest(
+                    wrap01(p),
+                    1.0 / (n_side * n_side * n_side) as f64,
+                    out.len() as u64,
+                ));
+            }
+        }
+    }
+    out
+}
+
+fn main() {
+    let bodies = grid_bodies(16, 0.4, 3); // 4096 bodies
+    let steps = 30;
+    let mut trav = [0.0f64; 2];
+    for (idx, reuse) in [false, true].into_iter().enumerate() {
+        let cfg = TreePmConfig {
+            list_reuse: reuse,
+            ..TreePmConfig::standard(16)
+        };
+        let mut sim = Simulation::new(cfg, bodies.clone(), SimulationMode::Static);
+        sim.step(1e-4); // warm-up
+        let t0 = Instant::now();
+        let mut t = 0.0;
+        let mut visited = 0u64;
+        let mut replays = 0u64;
+        for _ in 0..steps {
+            let bd = sim.step(1e-4);
+            t += bd.pp_tree_traversal;
+            visited += bd.walk.visited_nodes;
+            replays += bd.pp_list_replays;
+        }
+        trav[idx] = t;
+        println!(
+            "reuse={reuse}: wall {:.3}s  traversal {:.4}s  visited_nodes {visited}  replays {replays}",
+            t0.elapsed().as_secs_f64(),
+            t
+        );
+    }
+    // With reuse off both subcycles walk; the per-subcycle walk cost is
+    // trav_off/2. With reuse on, subcycle 2 costs whatever exceeds one
+    // fresh walk.
+    let walk1 = trav[0] / 2.0;
+    let sub2 = (trav[1] - walk1).max(1e-12);
+    println!(
+        "subcycle-2 walk: fresh {:.4}s -> replay {:.4}s  ({:.1}x reduction)",
+        walk1,
+        sub2,
+        walk1 / sub2
+    );
+
+    // Direct engine-level comparison: one fresh recorded walk, then
+    // repeated replays vs repeated fresh walks over the same store.
+    use greem::{ParticleStore, ResidentPp};
+    let cfg = TreePmConfig::standard(16);
+    let mut store = ParticleStore::from_bodies(&bodies);
+    let mut engine = ResidentPp::new();
+    let reps = 50;
+    let _ = engine.compute(&cfg, &mut store, &mut [], false, 0.0); // record
+    let (mut t_replay, mut t_fresh) = (0.0, 0.0);
+    let mut replayed_all = true;
+    for _ in 0..reps {
+        let out = engine.compute(&cfg, &mut store, &mut [], true, 1e-6);
+        replayed_all &= out.replayed;
+        t_replay += out.times.traversal;
+    }
+    for _ in 0..reps {
+        let out = engine.compute(&cfg, &mut store, &mut [], false, 0.0);
+        t_fresh += out.times.traversal;
+    }
+    println!(
+        "engine: fresh walk {:.1} us/subcycle vs replay {:.1} us/subcycle ({:.2}x, all_replayed={replayed_all})",
+        t_fresh / reps as f64 * 1e6,
+        t_replay / reps as f64 * 1e6,
+        t_fresh / t_replay
+    );
+    let out = engine.compute(&cfg, &mut store, &mut [], true, 1e-6);
+    println!(
+        "replay stats: groups {} node_entries {} particle_entries {} sum_nj {} visited {}",
+        out.walk.n_groups,
+        out.walk.node_entries,
+        out.walk.particle_entries,
+        out.walk.sum_nj,
+        out.walk.visited_nodes
+    );
+}
+// (appended) direct fresh-vs-replay traversal comparison

@@ -1,0 +1,241 @@
+//! Online ⟨Ni⟩ auto-tuning for the PP group walk.
+//!
+//! The paper picks its group size by hand per machine (~100 on K
+//! computer, ~500 on GPU clusters, §II): larger groups amortise the
+//! tree walk over more targets but lengthen every interaction list, so
+//! the per-particle cost `walk/Ni + kernel·⟨Nj⟩(Ni)` is unimodal in Ni.
+//! [`NiTuner`] searches that valley online with a golden-section search
+//! over `log2(group_size) ∈ [3, 9]` (group sizes 8–512): each fresh PP
+//! walk runs at the tuner's current probe, the driver feeds back the
+//! measured per-particle cost, and the bracket contracts by the golden
+//! ratio per pair of probes. The search converges in ~10 probes to a
+//! quarter-octave, then pins the group size for the rest of the run.
+//!
+//! Determinism: group size changes regroup the walk and therefore
+//! reorder force summation, so an auto-tuned run is bit-reproducible
+//! only when the cost objective itself is deterministic — the drivers
+//! feed modelled cost (node visits + interactions, no clocks) when
+//! [`crate::config::TreePmConfig::modeled_pp_cost`] is set, which is
+//! what the CI determinism gate runs.
+
+/// Golden ratio φ.
+const PHI: f64 = 1.618_033_988_749_895;
+/// Search bracket in log2(group size): 2³ = 8 … 2⁹ = 512.
+const LOG2_LO: f64 = 3.0;
+const LOG2_HI: f64 = 9.0;
+/// Stop when the bracket is narrower than this (log2 units — a quarter
+/// octave distinguishes e.g. 90 from 107, well below the cost valley's
+/// curvature).
+const TOL_LOG2: f64 = 0.25;
+
+/// Golden-section search state over `log2(group_size)`.
+///
+/// Protocol: run a fresh walk at [`NiTuner::current`], then feed the
+/// measured per-particle cost to [`NiTuner::observe`]; repeat until
+/// [`NiTuner::converged`]. Observations must come from the walk that
+/// ran at the group size `current()` returned — the serial and parallel
+/// drivers guarantee this by probing once per fresh PP pass.
+#[derive(Debug, Clone)]
+pub struct NiTuner {
+    lo: f64,
+    hi: f64,
+    /// Interior probes, `a < b`, and their measured costs (None =
+    /// pending measurement; at most one pending at a time after the
+    /// first shrink).
+    a: f64,
+    b: f64,
+    fa: Option<f64>,
+    fb: Option<f64>,
+    converged: bool,
+    /// Probes consumed (diagnostics).
+    probes: u32,
+}
+
+impl Default for NiTuner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl NiTuner {
+    /// A fresh search over the standard bracket.
+    pub fn new() -> Self {
+        let (lo, hi) = (LOG2_LO, LOG2_HI);
+        NiTuner {
+            lo,
+            hi,
+            a: hi - (hi - lo) / PHI,
+            b: lo + (hi - lo) / PHI,
+            fa: None,
+            fb: None,
+            converged: false,
+            probes: 0,
+        }
+    }
+
+    fn gs_of(x: f64) -> usize {
+        (x.exp2().round() as usize).max(2)
+    }
+
+    /// The group size the next fresh walk should run at: the pending
+    /// probe while searching, the bracket midpoint once converged.
+    pub fn current(&self) -> usize {
+        if self.converged {
+            Self::gs_of(0.5 * (self.lo + self.hi))
+        } else if self.fa.is_none() {
+            Self::gs_of(self.a)
+        } else {
+            Self::gs_of(self.b)
+        }
+    }
+
+    /// Has the bracket contracted to its tolerance?
+    pub fn converged(&self) -> bool {
+        self.converged
+    }
+
+    /// Probes consumed so far.
+    pub fn probes(&self) -> u32 {
+        self.probes
+    }
+
+    /// Record the measured per-particle PP cost of the walk that ran at
+    /// [`NiTuner::current`]'s group size, and advance the search.
+    pub fn observe(&mut self, cost: f64) {
+        if self.converged {
+            return;
+        }
+        self.probes += 1;
+        if self.fa.is_none() {
+            self.fa = Some(cost);
+        } else {
+            self.fb = Some(cost);
+        }
+        let (Some(fa), Some(fb)) = (self.fa, self.fb) else {
+            return;
+        };
+        // Both interior costs known: contract toward the cheaper side.
+        if fa <= fb {
+            self.hi = self.b;
+            self.b = self.a;
+            self.fb = self.fa;
+            self.a = self.hi - (self.hi - self.lo) / PHI;
+            self.fa = None;
+        } else {
+            self.lo = self.a;
+            self.a = self.b;
+            self.fa = self.fb;
+            self.b = self.lo + (self.hi - self.lo) / PHI;
+            self.fb = None;
+        }
+        if self.hi - self.lo < TOL_LOG2 {
+            self.converged = true;
+        }
+    }
+}
+
+/// Weight of one visited tree node relative to one pairwise interaction
+/// in the deterministic (modelled) tuner objective: an opening test
+/// costs a few distance computations and compares, roughly this many
+/// kernel interactions' worth of work.
+pub const MODELED_NODE_WEIGHT: f64 = 8.0;
+
+/// Resolve the effective autotune switch: the `GREEM_PP_AUTOTUNE`
+/// environment variable overrides the config flag (`on`/`1`/`true`/
+/// `yes` → on; `off`/`0`/`false`/`no` → off; unset or unrecognised →
+/// `cfg_default`).
+pub fn autotune_enabled(cfg_default: bool) -> bool {
+    autotune_from(
+        std::env::var("GREEM_PP_AUTOTUNE").ok().as_deref(),
+        cfg_default,
+    )
+}
+
+/// Pure parsing half of [`autotune_enabled`], separated from the
+/// process environment so tests need not mutate it (env mutation races
+/// with concurrently running simulation tests that read the switch).
+fn autotune_from(var: Option<&str>, cfg_default: bool) -> bool {
+    match var {
+        Some(v) => match v.to_ascii_lowercase().as_str() {
+            "on" | "1" | "true" | "yes" => true,
+            "off" | "0" | "false" | "no" => false,
+            _ => cfg_default,
+        },
+        None => cfg_default,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic unimodal per-particle cost with its valley at gs ≈ 100:
+    /// walk cost ~ 1/Ni, list cost ~ Ni (both in arbitrary units).
+    fn cost(gs: usize) -> f64 {
+        let x = gs as f64;
+        120.0 / x + 0.012 * x
+    }
+
+    #[test]
+    fn converges_near_the_valley_quickly() {
+        let mut t = NiTuner::new();
+        let mut steps = 0;
+        while !t.converged() {
+            let gs = t.current();
+            t.observe(cost(gs));
+            steps += 1;
+            assert!(steps < 50, "tuner failed to converge");
+        }
+        let gs = t.current();
+        // Valley of 120/x + 0.012x is at x = 100; a quarter-octave
+        // bracket must land within ~30 %.
+        assert!(
+            (70..=140).contains(&gs),
+            "converged to {gs}, expected ≈100 (took {steps} probes)"
+        );
+        assert!(steps <= 16, "golden section should need ≤16 probes");
+        // Converged tuner ignores further observations.
+        let before = t.current();
+        t.observe(1e9);
+        assert_eq!(t.current(), before);
+    }
+
+    #[test]
+    fn identical_observations_give_identical_trajectories() {
+        let mut t1 = NiTuner::new();
+        let mut t2 = NiTuner::new();
+        for _ in 0..20 {
+            assert_eq!(t1.current(), t2.current());
+            let c = cost(t1.current());
+            t1.observe(c);
+            t2.observe(c);
+        }
+        assert_eq!(t1.converged(), t2.converged());
+        assert_eq!(t1.current(), t2.current());
+    }
+
+    #[test]
+    fn probes_stay_inside_the_bracket() {
+        let mut t = NiTuner::new();
+        for i in 0..30 {
+            let gs = t.current();
+            assert!((8..=512).contains(&gs), "probe {gs} outside 8..=512");
+            // A hostile (non-unimodal) objective must not break the
+            // bracket invariants either.
+            t.observe(if i % 3 == 0 { 0.1 } else { 10.0 });
+        }
+    }
+
+    #[test]
+    fn env_override_logic() {
+        assert!(autotune_from(Some("on"), false));
+        assert!(autotune_from(Some("1"), false));
+        assert!(autotune_from(Some("TRUE"), false));
+        assert!(!autotune_from(Some("off"), true));
+        assert!(!autotune_from(Some("0"), true));
+        assert!(autotune_from(Some("banana"), true));
+        assert!(!autotune_from(Some("banana"), false));
+        assert!(autotune_from(None, true));
+        assert!(!autotune_from(None, false));
+    }
+}

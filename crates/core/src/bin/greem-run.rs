@@ -223,7 +223,7 @@ fn main() {
     }
     println!("\nmean per-step cost breakdown:");
     println!("{}", total.table(o.steps as f64));
-    let snap = projected_density(sim.bodies(), 48, 2, "final");
+    let snap = projected_density(&sim.bodies(), 48, 2, "final");
     println!(
         "final projected density (peak contrast {:.1}):",
         snap.peak_contrast()

@@ -40,6 +40,22 @@ pub struct TreePmConfig {
     /// straggler slowdowns, closing the paper's feedback loop under
     /// fault injection. `None` keeps the measured-time behaviour.
     pub modeled_pp_cost: Option<f64>,
+    /// Online ⟨Ni⟩ auto-tuning: when on, the PP engine golden-section
+    /// searches the group size that minimises the measured per-particle
+    /// walk+kernel cost, replacing the fixed `group_size`. The search
+    /// objective is deterministic (node-visit/interaction counts) when
+    /// `modeled_pp_cost` is set, wall-clock otherwise. The
+    /// `GREEM_PP_AUTOTUNE` env var (`on`/`off`) overrides this flag —
+    /// see [`crate::autotune::autotune_enabled`].
+    pub autotune: bool,
+    /// Reuse each group's recorded interaction list across the two PP
+    /// subcycles of one step (serial driver): subcycle 1 walks fresh
+    /// with a cutoff margin and records list structure; subcycle 2
+    /// replays it against drifted positions and refreshed node
+    /// monopoles when every particle moved less than half the margin
+    /// (see `crate::resident`). Monopole-only; quadrupole runs always
+    /// walk fresh.
+    pub list_reuse: bool,
 }
 
 impl TreePmConfig {
@@ -56,6 +72,8 @@ impl TreePmConfig {
             deconvolve: true,
             multipole: Multipole::Monopole,
             modeled_pp_cost: None,
+            autotune: false,
+            list_reuse: true,
         }
     }
 

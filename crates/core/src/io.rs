@@ -349,7 +349,7 @@ impl Simulation {
             step: self.steps_taken(),
             mode: self.mode(),
         };
-        write_snapshot(File::create(path)?, &header, self.bodies())
+        write_snapshot(File::create(path)?, &header, &self.bodies())
     }
 
     /// Resume a simulation from a checkpoint: the particle state and

@@ -25,6 +25,7 @@
 //! "MPI" half) and reports the per-phase cost breakdown of the paper's
 //! Table I.
 
+pub mod autotune;
 pub mod config;
 pub mod diagnostics;
 pub mod forces;
@@ -32,9 +33,12 @@ pub mod halos;
 pub mod io;
 pub mod parallel;
 pub mod particle;
+pub mod resident;
 pub mod simulation;
 pub mod stats;
+pub mod store;
 
+pub use autotune::{autotune_enabled, NiTuner};
 pub use config::TreePmConfig;
 pub use diagnostics::{projected_density, Snapshot};
 pub use forces::{ForceResult, TreePm};
@@ -42,5 +46,7 @@ pub use halos::{find_halos, friends_of_friends, Halo};
 pub use io::{read_snapshot, write_snapshot, SnapshotError, SnapshotHeader};
 pub use parallel::{ParallelStepStats, ParallelTreePm, RankState};
 pub use particle::Body;
+pub use resident::{PpOutcome, ResidentPp};
 pub use simulation::{Simulation, SimulationMode};
 pub use stats::StepBreakdown;
+pub use store::{permute_vec3, ParticleStore, PermScratch};

@@ -16,17 +16,19 @@
 
 use std::time::Instant;
 
-use greem_domain::{exchange, BalancerParams, BalancerState, DomainGrid, SamplingBalancer};
-use greem_kernels::{pp_accel_dispatch, SourceList, Targets};
+use greem_domain::{
+    exchange, exchange_rows, BalancerParams, BalancerState, DomainGrid, SamplingBalancer,
+};
 use greem_math::{wrap01, Aabb, Vec3};
 use greem_pm::{ParallelPm, ParallelPmConfig};
-use greem_tree::{GroupWalk, Octree, WalkStats};
 use mpisim::{Comm, Ctx};
 
 use crate::config::TreePmConfig;
 use crate::particle::Body;
+use crate::resident::ResidentPp;
 use crate::simulation::SimulationMode;
 use crate::stats::StepBreakdown;
+use crate::store::ParticleStore;
 
 /// Per-rank result of one parallel step.
 #[derive(Debug, Clone)]
@@ -46,7 +48,10 @@ pub struct ParallelTreePm {
     balancer: SamplingBalancer,
     grid: DomainGrid,
     mode: SimulationMode,
-    bodies: Vec<Body>,
+    /// Owned particles, Morton-resident: the PP engine re-permutes the
+    /// store's rows into tree order at every cycle.
+    store: ParticleStore,
+    engine: ResidentPp,
     pp_accel: Vec<Vec3>,
     pm_accel: Vec<Vec3>,
     /// Measured force cost of the last cycle — the feedback signal of
@@ -126,7 +131,8 @@ impl ParallelTreePm {
             balancer,
             grid,
             mode,
-            bodies: mine,
+            store: ParticleStore::from_bodies(&mine),
+            engine: ResidentPp::new(),
             pp_accel: Vec::new(),
             pm_accel: Vec::new(),
             last_cost: 1.0,
@@ -140,9 +146,10 @@ impl ParallelTreePm {
         sim
     }
 
-    /// This rank's owned bodies.
-    pub fn bodies(&self) -> &[Body] {
-        &self.bodies
+    /// This rank's owned bodies, materialised from the resident store
+    /// in its current (Morton) row order.
+    pub fn bodies(&self) -> Vec<Body> {
+        self.store.to_bodies()
     }
 
     /// The current domain of this rank.
@@ -169,13 +176,22 @@ impl ParallelTreePm {
         self.last_cost
     }
 
+    /// This rank's ⟨Ni⟩ auto-tuner state as `(group_size, converged)`,
+    /// or `None` while the tuner is inactive (see [`crate::autotune`]).
+    pub fn tuner_state(&self) -> Option<(usize, bool)> {
+        self.engine.tuner_state()
+    }
+
     /// Capture this rank's resumable state (see [`RankState`]).
     pub fn rank_state(&self) -> RankState {
         RankState {
             step: self.steps,
             mode: self.mode,
             balancer: self.balancer.state(),
-            bodies: self.bodies.clone(),
+            // The store's current row order IS the semantic order (the
+            // Morton sort tie-breaks on slot), so a round trip through
+            // this AoS view resumes bit-identically.
+            bodies: self.store.to_bodies(),
         }
     }
 
@@ -194,9 +210,11 @@ impl ParallelTreePm {
         self.balancer.restore(st.balancer);
         self.grid = self.balancer.current();
         let grid = self.grid.clone();
-        self.bodies = exchange(ctx, world, st.bodies, move |b: &Body| {
+        let mine = exchange(ctx, world, st.bodies, move |b: &Body| {
             grid.rank_of_point(wrap01(b.pos))
         });
+        self.store = ParticleStore::from_bodies(&mine);
+        self.engine.invalidate_cache();
         let mut scratch = StepBreakdown::default();
         self.recompute_pp(ctx, world, &mut scratch);
         self.recompute_pm(ctx, world, &mut scratch);
@@ -204,11 +222,13 @@ impl ParallelTreePm {
 
     /// Gather the full snapshot on world rank 0 (diagnostics).
     pub fn gather_bodies(&self, ctx: &mut Ctx, world: &Comm) -> Option<Vec<Body>> {
-        world.gather(ctx, 0, self.bodies.clone()).map(|per_rank| {
-            let mut all: Vec<Body> = per_rank.into_iter().flatten().collect();
-            all.sort_unstable_by_key(|b| b.id);
-            all
-        })
+        world
+            .gather(ctx, 0, self.store.to_bodies())
+            .map(|per_rank| {
+                let mut all: Vec<Body> = per_rank.into_iter().flatten().collect();
+                all.sort_unstable_by_key(|b| b.id);
+                all
+            })
     }
 
     /// One collective TreePM step (see the module docs). For static
@@ -221,17 +241,17 @@ impl ParallelTreePm {
         match self.mode {
             SimulationMode::Static => {
                 let dt = dt_or_a_next;
-                self.kick(&self.pm_accel.clone(), 0.5 * dt);
+                self.kick_pm(0.5 * dt);
                 let delta = 0.5 * dt;
                 for _ in 0..2 {
-                    self.kick(&self.pp_accel.clone(), 0.5 * delta);
+                    self.kick_pp(0.5 * delta);
                     self.drift(delta, &mut bd);
                     self.domain_decomposition(ctx, world, &mut bd);
                     self.recompute_pp(ctx, world, &mut bd);
-                    self.kick(&self.pp_accel.clone(), 0.5 * delta);
+                    self.kick_pp(0.5 * delta);
                 }
                 self.recompute_pm(ctx, world, &mut bd);
-                self.kick(&self.pm_accel.clone(), 0.5 * dt);
+                self.kick_pm(0.5 * dt);
             }
             SimulationMode::Cosmological { cosmology, a } => {
                 let a1 = dt_or_a_next;
@@ -240,16 +260,16 @@ impl ParallelTreePm {
                 let am = 0.5 * (a + a1);
                 let kd_whole = cosmology.kick_drift(a, a1);
                 let halves = [cosmology.kick_drift(a, am), cosmology.kick_drift(am, a1)];
-                self.kick(&self.pm_accel.clone(), 0.5 * kd_whole.kick * g_eff);
+                self.kick_pm(0.5 * kd_whole.kick * g_eff);
                 for kd in halves {
-                    self.kick(&self.pp_accel.clone(), 0.5 * kd.kick * g_eff);
+                    self.kick_pp(0.5 * kd.kick * g_eff);
                     self.drift(kd.drift, &mut bd);
                     self.domain_decomposition(ctx, world, &mut bd);
                     self.recompute_pp(ctx, world, &mut bd);
-                    self.kick(&self.pp_accel.clone(), 0.5 * kd.kick * g_eff);
+                    self.kick_pp(0.5 * kd.kick * g_eff);
                 }
                 self.recompute_pm(ctx, world, &mut bd);
-                self.kick(&self.pm_accel.clone(), 0.5 * kd_whole.kick * g_eff);
+                self.kick_pm(0.5 * kd_whole.kick * g_eff);
                 self.mode = SimulationMode::Cosmological { cosmology, a: a1 };
             }
         }
@@ -257,28 +277,28 @@ impl ParallelTreePm {
         #[cfg(feature = "obs")]
         {
             _step_span.arg("interactions", bd.walk.interactions as f64);
-            _step_span.arg("n_owned", self.bodies.len() as f64);
+            _step_span.arg("n_owned", self.store.len() as f64);
         }
         ParallelStepStats {
             breakdown: bd,
-            n_owned: self.bodies.len(),
+            n_owned: self.store.len(),
             n_ghosts: self.n_ghosts,
         }
     }
 
-    fn kick(&mut self, acc: &[Vec3], w: f64) {
-        for (b, a) in self.bodies.iter_mut().zip(acc) {
-            b.vel += *a * w;
-        }
+    fn kick_pm(&mut self, w: f64) {
+        self.store.kick(&self.pm_accel, w);
+    }
+
+    fn kick_pp(&mut self, w: f64) {
+        self.store.kick(&self.pp_accel, w);
     }
 
     fn drift(&mut self, w: f64, bd: &mut StepBreakdown) {
         let t0 = Instant::now();
         #[cfg(feature = "obs")]
         let _span = greem_obs::trace::span("step", "dd.position_update");
-        for b in self.bodies.iter_mut() {
-            b.pos = wrap01(b.pos + b.vel * w);
-        }
+        self.store.drift_wrap(w);
         bd.dd_position_update += t0.elapsed().as_secs_f64();
     }
 
@@ -290,20 +310,25 @@ impl ParallelTreePm {
         {
             #[cfg(feature = "obs")]
             let _span = greem_obs::trace::span("step", "dd.sampling_method");
-            let pos: Vec<Vec3> = self.bodies.iter().map(|b| b.pos).collect();
+            let pos = self.store.positions();
             self.grid = self.balancer.rebalance(ctx, world, &pos, self.last_cost);
         }
         bd.dd_sampling_method += t0.elapsed().as_secs_f64() + (ctx.vtime() - v0);
 
-        // Route every particle to its (possibly new) owner.
+        // Route every particle to its (possibly new) owner. The store's
+        // columns travel as packed 64-byte rows (pos, vel, mass, id) —
+        // the same wire size as the AoS `Body` they replace.
         let t0 = Instant::now();
         let v0 = ctx.vtime();
         {
             #[cfg(feature = "obs")]
             let _span = greem_obs::trace::span("step", "dd.particle_exchange");
             let grid = self.grid.clone();
-            let mine = std::mem::take(&mut self.bodies);
-            self.bodies = exchange(ctx, world, mine, move |b: &Body| grid.rank_of_point(b.pos));
+            let rows = self.store.to_packed();
+            let rows = exchange_rows(ctx, world, rows, move |r| {
+                grid.rank_of_point(Vec3::new(r[0], r[1], r[2]))
+            });
+            self.store = ParticleStore::from_packed(&rows);
         }
         bd.dd_particle_exchange += t0.elapsed().as_secs_f64() + (ctx.vtime() - v0);
     }
@@ -316,20 +341,24 @@ impl ParallelTreePm {
         let domains: Vec<Aabb> = (0..p).map(|r| self.grid.domain(r)).collect();
         let mut send: Vec<Vec<(Vec3, f64)>> = (0..p).map(|_| Vec::new()).collect();
         let me = world.rank();
-        for b in &self.bodies {
+        for i in 0..self.store.len() {
+            let pos = self.store.pos(i);
+            let mass = self.store.mass_column()[i];
             for (d, dom) in domains.iter().enumerate() {
                 if d == me {
                     continue;
                 }
-                if dom.periodic_dist2_to_point(b.pos) <= rc2 {
-                    send[d].push((b.pos, b.mass));
+                if dom.periodic_dist2_to_point(pos) <= rc2 {
+                    send[d].push((pos, mass));
                 }
             }
         }
         world.alltoallv(ctx, send).into_iter().flatten().collect()
     }
 
-    /// Full PP cycle: ghost import, local tree, group walk, kernel.
+    /// Full PP cycle: ghost import, then the resident engine's combined
+    /// walk (Morton sort over owned + ghosts, owned-row permutation of
+    /// the store, persistent-arena build, group walk + kernel).
     fn recompute_pp(&mut self, ctx: &mut Ctx, world: &Comm, bd: &mut StepBreakdown) {
         // Boundary communication.
         let t0 = Instant::now();
@@ -342,83 +371,34 @@ impl ParallelTreePm {
         self.n_ghosts = ghosts.len();
         bd.pp_communication += t0.elapsed().as_secs_f64() + (ctx.vtime() - v0);
 
-        // Local tree: Morton sort + build over owned + ghost particles.
-        let t0 = Instant::now();
-        let n_own = self.bodies.len();
-        let mut pos: Vec<Vec3> = self.bodies.iter().map(|b| b.pos).collect();
-        let mut mass: Vec<f64> = self.bodies.iter().map(|b| b.mass).collect();
-        pos.extend(ghosts.iter().map(|g| g.0));
-        mass.extend(ghosts.iter().map(|g| g.1));
-        bd.pp_local_tree += t0.elapsed().as_secs_f64();
-
-        let t0 = Instant::now();
-        let tree = {
-            #[cfg(feature = "obs")]
-            let _span = greem_obs::trace::span("step", "pp.tree_construction");
-            Octree::build(&pos, &mass, Aabb::UNIT, self.cfg.tree_params())
-        };
-        bd.pp_tree_construction += t0.elapsed().as_secs_f64();
-
-        // Walk + kernel. Groups covering only ghosts still compute (the
-        // cost of the simple "one tree over everything" design), but
-        // only owned particles' results are kept.
+        // The PM accelerations are stale whenever this follows a domain
+        // exchange, and are refreshed before their next kick in every
+        // path, so the store permutation does not need to carry them.
         #[cfg(feature = "obs")]
         let mut _walk_span = greem_obs::trace::span("step", "pp.walk_force");
-        let walk = GroupWalk::new(&tree, self.cfg.traverse_params());
-        let split = self.cfg.split();
-        let mut accel = vec![Vec3::ZERO; n_own];
-        let mut stats_all = WalkStats::default();
-        let mut t_traverse = 0.0;
-        let mut t_force = 0.0;
-        let mut stack = Vec::new();
-        let mut list = Vec::new();
-        for group in walk.groups() {
-            let lo = group.first as usize;
-            let hi = lo + group.count as usize;
-            // Skip all-ghost groups outright.
-            if tree.orig_index()[lo..hi]
-                .iter()
-                .all(|&i| i as usize >= n_own)
-            {
-                continue;
-            }
-            let t1 = Instant::now();
-            list.clear();
-            let stats = walk.list_for_group(group, &mut stack, &mut list);
-            t_traverse += t1.elapsed().as_secs_f64();
-
-            let t1 = Instant::now();
-            let mut targets = Targets::from_positions(&tree.pos()[lo..hi]);
-            let mut sources = SourceList::with_capacity(list.len());
-            for s in &list {
-                sources.push(s.pos, s.mass);
-            }
-            pp_accel_dispatch(&mut targets, &sources, &split);
-            t_force += t1.elapsed().as_secs_f64();
-            for (k, &oi) in tree.orig_index()[lo..hi].iter().enumerate() {
-                if (oi as usize) < n_own {
-                    accel[oi as usize] = targets.accel(k);
-                }
-            }
-            stats_all.merge(&stats);
-        }
+        let out = self
+            .engine
+            .compute_combined(&self.cfg, &mut self.store, &ghosts, &mut []);
         #[cfg(feature = "obs")]
-        _walk_span.arg("interactions", stats_all.interactions as f64);
-        bd.pp_tree_traversal += t_traverse;
-        bd.pp_force_calculation += t_force;
-        bd.walk.merge(&stats_all);
+        _walk_span.arg("interactions", out.walk.interactions as f64);
+        bd.pp_local_tree += out.times.tree_build * 0.5;
+        bd.pp_tree_construction += out.times.tree_build * 0.5;
+        bd.pp_tree_traversal += out.times.traversal;
+        bd.pp_force_calculation += out.times.force;
+        bd.walk.merge(&out.walk);
+        bd.pp_group_size = out.group_size as f64;
         self.last_cost = match self.cfg.modeled_pp_cost {
             Some(per_interaction) => {
                 // Charge the walk to the virtual clock and feed the
                 // balancer the charged (straggler-scaled, deterministic)
                 // time instead of a wall-clock measurement.
                 let v0 = ctx.vtime();
-                ctx.compute(stats_all.interactions as f64 * per_interaction);
+                ctx.compute(out.walk.interactions as f64 * per_interaction);
                 (ctx.vtime() - v0).max(1e-30)
             }
-            None => (t_traverse + t_force).max(1e-9),
+            None => (out.times.traversal + out.times.force).max(1e-9),
         };
-        self.pp_accel = accel;
+        self.pp_accel = out.accel;
     }
 
     /// Collective PM cycle at the current positions.
@@ -426,8 +406,8 @@ impl ParallelTreePm {
         #[cfg(feature = "obs")]
         let _span = greem_obs::trace::span("step", "pm.solve");
         let dom = self.grid.domain(world.rank());
-        let pos: Vec<Vec3> = self.bodies.iter().map(|b| b.pos).collect();
-        let mass: Vec<f64> = self.bodies.iter().map(|b| b.mass).collect();
+        let pos = self.store.positions();
+        let mass = self.store.masses();
         let (accel, times) = self.pm.solve(
             ctx,
             world,
@@ -658,7 +638,8 @@ mod tests {
             );
             let mut bd = StepBreakdown::default();
             sim.recompute_pp(ctx, world, &mut bd);
-            sim.bodies
+            sim.store
+                .to_bodies()
                 .iter()
                 .zip(&sim.pp_accel)
                 .map(|(b, a)| (b.id, *a))

@@ -18,12 +18,14 @@
 //! `G_eff/a = 3Ωm/(8π·a)` (unit box, total mass 1, 1/H0 time units).
 
 use greem_cosmo::Cosmology;
-use greem_math::{wrap01, Vec3};
+use greem_math::Vec3;
 
 use crate::config::TreePmConfig;
 use crate::forces::TreePm;
 use crate::particle::Body;
+use crate::resident::ResidentPp;
 use crate::stats::StepBreakdown;
+use crate::store::ParticleStore;
 
 /// Time variable of the run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -51,13 +53,24 @@ pub enum SimulationMode {
 /// // The pair fell toward each other.
 /// assert!(sim.bodies()[0].vel.x > 0.0);
 /// ```
+///
+/// Internally particles live in a Morton-resident [`ParticleStore`]
+/// that the PP engine ([`ResidentPp`]) physically re-permutes at every
+/// fresh tree build; [`Simulation::bodies`] therefore materialises an
+/// AoS copy **sorted by id** so callers see a stable external order.
 pub struct Simulation {
     solver: TreePm,
-    bodies: Vec<Body>,
+    cfg: TreePmConfig,
+    store: ParticleStore,
+    engine: ResidentPp,
     mode: SimulationMode,
-    /// Cached accelerations, split as the integrator needs them.
+    /// Cached accelerations, split as the integrator needs them; both
+    /// aligned with the store's current row order.
     pp_accel: Vec<Vec3>,
     pm_accel: Vec<Vec3>,
+    /// Largest per-particle displacement of the last drift — the margin
+    /// budget of the interaction-list cache.
+    last_drift: f64,
     steps_taken: u64,
 }
 
@@ -68,46 +81,66 @@ impl Simulation {
         let solver = TreePm::new(cfg);
         let mut sim = Simulation {
             solver,
-            bodies,
+            cfg,
+            store: ParticleStore::from_bodies(&bodies),
+            engine: ResidentPp::new(),
             mode,
             pp_accel: Vec::new(),
             pm_accel: Vec::new(),
+            last_drift: 0.0,
             steps_taken: 0,
         };
         sim.refresh_forces();
         sim
     }
 
-    fn positions(&self) -> Vec<Vec3> {
-        self.bodies.iter().map(|b| b.pos).collect()
-    }
-
-    fn masses(&self) -> Vec<f64> {
-        self.bodies.iter().map(|b| b.mass).collect()
-    }
-
     fn refresh_forces(&mut self) {
-        let pos = self.positions();
-        let mass = self.masses();
-        let res = self.solver.compute(&pos, &mass);
-        self.pp_accel = res.pp_accel;
-        self.pm_accel = res.pm_accel;
+        // PP first: the fresh walk Morton-permutes the store (and the
+        // held PM accelerations, when present); PM then runs at the
+        // permuted positions so both arrays share the store's order.
+        self.engine.invalidate_cache();
+        let out = self.engine.compute(
+            &self.cfg,
+            &mut self.store,
+            &mut [&mut self.pm_accel],
+            false,
+            0.0,
+        );
+        self.pp_accel = out.accel;
+        let pos = self.store.positions();
+        let mass = self.store.masses();
+        let (res, _) = self.solver.compute_pm(&pos, &mass);
+        self.pm_accel = res.accel;
     }
 
-    /// The bodies (current state).
-    pub fn bodies(&self) -> &[Body] {
-        &self.bodies
+    /// The bodies, materialised from the resident store and sorted by
+    /// id so the order is stable across internal Morton permutations.
+    pub fn bodies(&self) -> Vec<Body> {
+        let mut v = self.store.to_bodies();
+        v.sort_by_key(|b| b.id);
+        v
     }
 
-    /// Mutable access (e.g. to inject perturbations in tests); call
-    /// [`Simulation::reset_forces`] afterwards.
-    pub fn bodies_mut(&mut self) -> &mut [Body] {
-        &mut self.bodies
+    /// Apply an in-place edit to every body (e.g. to inject
+    /// perturbations in tests); call [`Simulation::reset_forces`]
+    /// afterwards.
+    pub fn edit_bodies(&mut self, mut f: impl FnMut(&mut Body)) {
+        for i in 0..self.store.len() {
+            let mut b = self.store.body(i);
+            f(&mut b);
+            self.store.set(i, b);
+        }
     }
 
     /// Recompute cached forces after external state changes.
     pub fn reset_forces(&mut self) {
         self.refresh_forces();
+    }
+
+    /// The PP engine's auto-tuner state, if auto-tuning has run:
+    /// `(group_size, converged)`.
+    pub fn tuner_state(&self) -> Option<(usize, bool)> {
+        self.engine.tuner_state()
     }
 
     /// The integration mode (current scale factor for cosmological
@@ -128,19 +161,19 @@ impl Simulation {
 
     /// Kinetic + potential energy (static mode; diagnostics).
     pub fn energy(&self) -> f64 {
-        let kinetic: f64 = self
-            .bodies
-            .iter()
-            .map(|b| 0.5 * b.mass * b.vel.norm2())
+        let kinetic: f64 = (0..self.store.len())
+            .map(|i| 0.5 * self.store.mass_column()[i] * self.store.vel(i).norm2())
             .sum();
-        let pos = self.positions();
-        let mass = self.masses();
+        let pos = self.store.positions();
+        let mass = self.store.masses();
         kinetic + self.solver.potential_energy(&pos, &mass)
     }
 
     /// Total momentum.
     pub fn momentum(&self) -> Vec3 {
-        self.bodies.iter().map(|b| b.vel * b.mass).sum()
+        (0..self.store.len())
+            .map(|i| self.store.vel(i) * self.store.mass_column()[i])
+            .sum()
     }
 
     /// The comoving energy pair (T, W) of the Layzer-Irvine equation,
@@ -159,14 +192,12 @@ impl Simulation {
         let SimulationMode::Cosmological { cosmology, a } = self.mode else {
             return None;
         };
-        let t: f64 = self
-            .bodies
-            .iter()
-            .map(|b| 0.5 * b.mass * (b.vel / a).norm2())
+        let t: f64 = (0..self.store.len())
+            .map(|i| 0.5 * self.store.mass_column()[i] * (self.store.vel(i) / a).norm2())
             .sum();
         let g_eff = 3.0 * cosmology.omega_m / (8.0 * std::f64::consts::PI);
-        let pos = self.positions();
-        let mass = self.masses();
+        let pos = self.store.positions();
+        let mass = self.store.masses();
         let u_box = self.solver.potential_energy(&pos, &mass);
         Some((t, g_eff / a * u_box))
     }
@@ -199,12 +230,15 @@ impl Simulation {
     fn step_static(&mut self, dt: f64, bd: &mut StepBreakdown) {
         // PM half kick.
         self.kick_pm(0.5 * dt);
-        // Two PP sub-cycles of δ = dt/2 each.
+        // Two PP sub-cycles of δ = dt/2 each. The first walks fresh
+        // (recording interaction lists); the second asks the engine to
+        // replay them, falling back to a fresh walk when the drift
+        // exceeded the recorded margin.
         let delta = 0.5 * dt;
-        for _ in 0..2 {
+        for cycle in 0..2 {
             self.kick_pp(0.5 * delta);
             self.drift(delta, bd);
-            self.recompute_pp(bd);
+            self.recompute_pp(cycle == 1, bd);
             self.kick_pp(0.5 * delta);
         }
         // Refresh PM at the new positions; closing half kick.
@@ -228,61 +262,57 @@ impl Simulation {
         let kd_second = cosmo.kick_drift(am, a1);
         // PM half kicks use half the whole-step kick integral.
         let pm_half = 0.5 * kd_whole.kick * g_eff;
-        self.kick_with(&self.pm_accel.clone(), pm_half);
-        // First PP sub-cycle.
-        self.kick_with(&self.pp_accel.clone(), 0.5 * kd_first.kick * g_eff);
+        self.kick_pm(pm_half);
+        // First PP sub-cycle (fresh walk, records lists).
+        self.kick_pp(0.5 * kd_first.kick * g_eff);
         self.drift(kd_first.drift, bd);
-        self.recompute_pp(bd);
-        self.kick_with(&self.pp_accel.clone(), 0.5 * kd_first.kick * g_eff);
-        // Second PP sub-cycle.
-        self.kick_with(&self.pp_accel.clone(), 0.5 * kd_second.kick * g_eff);
+        self.recompute_pp(false, bd);
+        self.kick_pp(0.5 * kd_first.kick * g_eff);
+        // Second PP sub-cycle (replays the recorded lists when valid).
+        self.kick_pp(0.5 * kd_second.kick * g_eff);
         self.drift(kd_second.drift, bd);
-        self.recompute_pp(bd);
-        self.kick_with(&self.pp_accel.clone(), 0.5 * kd_second.kick * g_eff);
+        self.recompute_pp(true, bd);
+        self.kick_pp(0.5 * kd_second.kick * g_eff);
         // Closing PM half kick at the new positions.
         self.recompute_pm(bd);
-        self.kick_with(&self.pm_accel.clone(), pm_half);
+        self.kick_pm(pm_half);
     }
 
-    fn kick_pm(&mut self, dt: f64) {
-        let acc = self.pm_accel.clone();
-        self.kick_with(&acc, dt);
+    fn kick_pm(&mut self, w: f64) {
+        self.store.kick(&self.pm_accel, w);
     }
 
-    fn kick_pp(&mut self, dt: f64) {
-        let acc = self.pp_accel.clone();
-        self.kick_with(&acc, dt);
-    }
-
-    fn kick_with(&mut self, acc: &[Vec3], w: f64) {
-        for (b, a) in self.bodies.iter_mut().zip(acc) {
-            b.vel += *a * w;
-        }
+    fn kick_pp(&mut self, w: f64) {
+        self.store.kick(&self.pp_accel, w);
     }
 
     fn drift(&mut self, w: f64, bd: &mut StepBreakdown) {
         let t0 = std::time::Instant::now();
-        for b in self.bodies.iter_mut() {
-            b.pos = wrap01(b.pos + b.vel * w);
-        }
+        self.last_drift = self.store.drift_wrap(w);
         bd.dd_position_update += t0.elapsed().as_secs_f64();
     }
 
-    fn recompute_pp(&mut self, bd: &mut StepBreakdown) {
-        let pos = self.positions();
-        let mass = self.masses();
-        let (acc, walk, times) = self.solver.compute_pp(&pos, &mass);
-        self.pp_accel = acc;
-        bd.pp_local_tree += times.tree_build * 0.5;
-        bd.pp_tree_construction += times.tree_build * 0.5;
-        bd.pp_tree_traversal += times.traversal;
-        bd.pp_force_calculation += times.force;
-        bd.walk.merge(&walk);
+    fn recompute_pp(&mut self, try_replay: bool, bd: &mut StepBreakdown) {
+        let out = self.engine.compute(
+            &self.cfg,
+            &mut self.store,
+            &mut [&mut self.pm_accel],
+            try_replay,
+            self.last_drift,
+        );
+        self.pp_accel = out.accel;
+        bd.pp_local_tree += out.times.tree_build * 0.5;
+        bd.pp_tree_construction += out.times.tree_build * 0.5;
+        bd.pp_tree_traversal += out.times.traversal;
+        bd.pp_force_calculation += out.times.force;
+        bd.walk.merge(&out.walk);
+        bd.pp_list_replays += out.replayed as u64;
+        bd.pp_group_size = out.group_size as f64;
     }
 
     fn recompute_pm(&mut self, bd: &mut StepBreakdown) {
-        let pos = self.positions();
-        let mass = self.masses();
+        let pos = self.store.positions();
+        let mass = self.store.masses();
         let (res, times) = self.solver.compute_pm(&pos, &mass);
         self.pm_accel = res.accel;
         bd.pm.accumulate(&times);
@@ -292,6 +322,7 @@ impl Simulation {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use greem_math::wrap01;
 
     fn grid_bodies(n_side: usize, jitter: f64, seed: u64) -> Vec<Body> {
         let mut s = seed;
@@ -377,6 +408,70 @@ mod tests {
                 b.pos
             );
         }
+    }
+
+    #[test]
+    fn second_subcycle_replays_cached_lists() {
+        let base = TreePmConfig::standard(16);
+        let bodies = grid_bodies(5, 0.4, 9);
+
+        let mut reuse = Simulation::new(base, bodies.clone(), SimulationMode::Static);
+        let bd_r = reuse.step(1e-4);
+        assert_eq!(
+            bd_r.pp_list_replays, 1,
+            "the second PP subcycle must replay the recorded lists"
+        );
+
+        let mut fresh = Simulation::new(
+            TreePmConfig {
+                list_reuse: false,
+                ..base
+            },
+            bodies,
+            SimulationMode::Static,
+        );
+        let bd_f = fresh.step(1e-4);
+        assert_eq!(bd_f.pp_list_replays, 0);
+        // The replayed subcycle skips the tree walk entirely, so the
+        // walk-once step visits well under the walk-twice node count
+        // (ideally half; allow slack for the shared initial walk).
+        assert!(
+            2 * bd_r.walk.visited_nodes < bd_f.walk.visited_nodes + bd_f.walk.visited_nodes / 2,
+            "replay did not cut the walk: {} vs {}",
+            bd_r.walk.visited_nodes,
+            bd_f.walk.visited_nodes
+        );
+        // Replayed trajectories stay within the documented monopole
+        // replay tolerance of the walk-twice trajectory.
+        for (a, b) in reuse.bodies().iter().zip(&fresh.bodies()) {
+            assert_eq!(a.id, b.id);
+            assert!(
+                greem_math::min_image_vec(a.pos, b.pos).norm() < 1e-9,
+                "replayed trajectory diverged for body {}",
+                a.id
+            );
+        }
+    }
+
+    #[test]
+    fn autotuner_converges_on_modeled_cost() {
+        let cfg = TreePmConfig {
+            autotune: true,
+            // Deterministic objective: modeled per-interaction cost
+            // instead of wall time.
+            modeled_pp_cost: Some(5e-9),
+            ..TreePmConfig::standard(16)
+        };
+        let mut sim = Simulation::new(cfg, grid_bodies(6, 0.4, 11), SimulationMode::Static);
+        for _ in 0..30 {
+            sim.step(1e-4);
+        }
+        let (gs, converged) = sim.tuner_state().expect("autotune on => tuner active");
+        assert!(converged, "tuner still probing after 30 steps (gs={gs})");
+        assert!(
+            (8..=512).contains(&gs),
+            "converged group size {gs} outside the search window"
+        );
     }
 
     #[test]

@@ -37,6 +37,12 @@ pub struct StepBreakdown {
     // ----- Statistics -----
     /// Aggregated walk statistics of the PP cycles in this step.
     pub walk: WalkStats,
+    /// Group size ⟨Ni⟩ the PP engine ran at this step (the auto-tuner's
+    /// probe or the configured value; 0 until a PP pass has run).
+    pub pp_group_size: f64,
+    /// PP evaluations served from the interaction-list cache (replays)
+    /// instead of fresh tree walks.
+    pub pp_list_replays: u64,
 }
 
 impl StepBreakdown {
@@ -95,6 +101,10 @@ impl StepBreakdown {
         self.dd_sampling_method += o.dd_sampling_method;
         self.dd_particle_exchange += o.dd_particle_exchange;
         self.walk.merge(&o.walk);
+        if o.pp_group_size > 0.0 {
+            self.pp_group_size = o.pp_group_size;
+        }
+        self.pp_list_replays += o.pp_list_replays;
     }
 
     /// The Table-I rows as a JSON object (hand-rolled; the build is
@@ -131,6 +141,8 @@ impl StepBreakdown {
                 "  \"mean_ni\": {},\n",
                 "  \"mean_nj\": {},\n",
                 "  \"interactions_per_step\": {},\n",
+                "  \"pp_group_size\": {},\n",
+                "  \"pp_list_replays\": {},\n",
                 "  \"flops_rate\": {}\n",
                 "}}"
             ),
@@ -154,6 +166,8 @@ impl StepBreakdown {
             self.walk.mean_ni(),
             self.walk.mean_nj(),
             self.walk.interactions as f64 / steps,
+            self.pp_group_size,
+            self.pp_list_replays as f64 / steps,
             self.flops_rate(),
         )
     }
@@ -194,6 +208,10 @@ impl StepBreakdown {
             }
         });
         self.walk.observe(reg);
+        if self.pp_group_size > 0.0 {
+            reg.gauge_set("pp_autotune_group_size", self.pp_group_size);
+        }
+        reg.counter_add("pp_list_replays", self.pp_list_replays as f64);
         reg.gauge_set("flops_rate", self.flops_rate());
     }
 
@@ -368,6 +386,8 @@ mod tests {
             "\"mean_ni\"",
             "\"mean_nj\"",
             "\"interactions_per_step\"",
+            "\"pp_group_size\"",
+            "\"pp_list_replays\"",
             "\"flops_rate\"",
         ] {
             assert!(j.contains(key), "missing {key} in {j}");

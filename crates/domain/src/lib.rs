@@ -27,5 +27,5 @@ pub mod grid;
 pub use balancer::{
     multisection, pack_grid, unpack_grid, BalancerParams, BalancerState, SamplingBalancer,
 };
-pub use exchange::exchange;
+pub use exchange::{exchange, exchange_rows, PackedRow};
 pub use grid::DomainGrid;

@@ -36,6 +36,15 @@ pub struct VariantBench {
     pub flops: f64,
     /// Speedup over the scalar reference kernel.
     pub speedup_vs_scalar: f64,
+    /// Modelled memory traffic per interaction (bytes): the source
+    /// columns (x, y, z, m = 32 B each) are streamed once per
+    /// [`KernelVariant::target_block`] targets, plus the per-target
+    /// position load and acceleration read-modify-write amortised over
+    /// the sources. A blocking model of streamed bytes, not a hardware
+    /// counter — roofline-style evidence of memory-boundedness.
+    pub bytes_per_interaction: f64,
+    /// Achieved modelled bandwidth: interactions/s × bytes/interaction.
+    pub gb_per_sec: f64,
 }
 
 /// Results of the O(N²) kernel benchmark across all runnable variants.
@@ -123,14 +132,32 @@ pub fn kernel_benchmark(n: usize, iters: usize) -> KernelBenchReport {
         dispatch: selected_variant(),
         variants: rates
             .into_iter()
-            .map(|(variant, rate)| VariantBench {
-                variant,
-                interactions_per_sec: rate,
-                flops: rate * FLOPS_PER_INTERACTION,
-                speedup_vs_scalar: rate / scalar_rate.max(1e-12),
+            .map(|(variant, rate)| {
+                let bpi = bytes_per_interaction(variant, n, n);
+                VariantBench {
+                    variant,
+                    interactions_per_sec: rate,
+                    flops: rate * FLOPS_PER_INTERACTION,
+                    speedup_vs_scalar: rate / scalar_rate.max(1e-12),
+                    bytes_per_interaction: bpi,
+                    gb_per_sec: rate * bpi / 1e9,
+                }
             })
             .collect(),
     }
+}
+
+/// The blocking model of streamed bytes per interaction for `nt`
+/// targets against `ns` sources: each block of `target_block()` targets
+/// re-reads the four source columns (32 B per source), and each target
+/// costs one position load plus an acceleration read-modify-write
+/// (72 B) amortised over `ns` sources.
+pub fn bytes_per_interaction(variant: KernelVariant, nt: usize, ns: usize) -> f64 {
+    let bt = variant.target_block();
+    let passes = nt.div_ceil(bt) as f64;
+    let source_bytes = passes * ns as f64 * 32.0;
+    let target_bytes = nt as f64 * 72.0;
+    (source_bytes + target_bytes) / (nt as f64 * ns as f64)
 }
 
 #[cfg(test)]
@@ -148,7 +175,14 @@ mod tests {
                 (v.flops - v.interactions_per_sec * FLOPS_PER_INTERACTION).abs() < 1e-6 * v.flops
             );
             assert!(v.speedup_vs_scalar > 0.0);
+            assert!(v.bytes_per_interaction > 0.0);
+            assert!(v.gb_per_sec > 0.0);
         }
+        // Wider register blocking must lower the modelled traffic.
+        assert!(
+            bytes_per_interaction(KernelVariant::Avx2, 256, 256)
+                < bytes_per_interaction(KernelVariant::Scalar, 256, 256)
+        );
         assert_eq!(r.variants.last().unwrap().variant, KernelVariant::Scalar);
         assert!(r.rate_of(KernelVariant::Scalar).is_some());
         assert!(r.rate_of(KernelVariant::Portable).is_some());

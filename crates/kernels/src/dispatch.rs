@@ -57,6 +57,18 @@ impl KernelVariant {
             KernelVariant::Avx2 => avx2_available(),
         }
     }
+
+    /// Targets processed per source-stream pass: the register-blocking
+    /// factor of each implementation. The source columns are re-read
+    /// once per block of this many targets — the denominator of the
+    /// bytes-per-interaction model the benchmark reports.
+    pub fn target_block(self) -> usize {
+        match self {
+            KernelVariant::Scalar => 1,
+            KernelVariant::Portable => 4, // phantom.rs LANES
+            KernelVariant::Avx2 => 16,    // x86.rs BLOCK = I_VECS·W
+        }
+    }
 }
 
 #[cfg(all(target_arch = "x86_64", not(feature = "portable-only")))]

@@ -46,7 +46,7 @@ pub mod sources;
 pub mod testutil;
 pub mod x86;
 
-pub use benchmark::{kernel_benchmark, KernelBenchReport, VariantBench};
+pub use benchmark::{bytes_per_interaction, kernel_benchmark, KernelBenchReport, VariantBench};
 pub use dispatch::{
     available_variants, pp_accel_dispatch, pp_accel_variant, selected_variant, KernelVariant,
 };

@@ -123,6 +123,26 @@ impl Targets {
         self.az.resize(pos.len(), 0.0);
     }
 
+    /// Refill straight from SoA column slices (the Morton-resident
+    /// `ParticleStore` layout) with accelerations zeroed, reusing the
+    /// six buffers — three contiguous memcpys instead of a transposing
+    /// gather from `Vec3`s.
+    pub fn load_from_slices(&mut self, x: &[f64], y: &[f64], z: &[f64]) {
+        debug_assert!(x.len() == y.len() && x.len() == z.len());
+        self.x.clear();
+        self.y.clear();
+        self.z.clear();
+        self.x.extend_from_slice(x);
+        self.y.extend_from_slice(y);
+        self.z.extend_from_slice(z);
+        self.ax.clear();
+        self.ay.clear();
+        self.az.clear();
+        self.ax.resize(x.len(), 0.0);
+        self.ay.resize(x.len(), 0.0);
+        self.az.resize(x.len(), 0.0);
+    }
+
     /// Number of targets.
     #[inline]
     pub fn len(&self) -> usize {

@@ -48,14 +48,21 @@ impl Histogram {
     }
 
     pub fn observe(&mut self, v: f64) {
+        self.observe_n(v, 1);
+    }
+
+    /// Record `v` with multiplicity `n` in one call — how pre-bucketed
+    /// counts (e.g. the walk's per-group-size tallies) fold in without
+    /// `n` separate observations.
+    pub fn observe_n(&mut self, v: f64, n: u64) {
         let idx = self
             .bounds
             .iter()
             .position(|&b| v <= b)
             .unwrap_or(self.bounds.len());
-        self.counts[idx] += 1;
-        self.sum += v;
-        self.count += 1;
+        self.counts[idx] += n;
+        self.sum += v * n as f64;
+        self.count += n;
     }
 
     pub fn mean(&self) -> f64 {
@@ -202,6 +209,12 @@ impl Registry {
     /// Record `v` into the histogram `name`, creating it with `bounds` on
     /// first use (later calls keep the original bounds).
     pub fn hist_observe_with(&mut self, name: &str, bounds: &[f64], v: f64) {
+        self.hist_observe_n(name, bounds, v, 1);
+    }
+
+    /// Record `v` with multiplicity `n` into the histogram `name`,
+    /// creating it with `bounds` on first use.
+    pub fn hist_observe_n(&mut self, name: &str, bounds: &[f64], v: f64, n: u64) {
         let (key, labels) = self.key(name);
         let entry = self.entries.entry(key).or_insert_with(|| Entry {
             name: name.to_string(),
@@ -209,7 +222,7 @@ impl Registry {
             value: MetricValue::Histogram(Histogram::new(bounds)),
         });
         if let MetricValue::Histogram(h) = &mut entry.value {
-            h.observe(v);
+            h.observe_n(v, n);
         }
     }
 

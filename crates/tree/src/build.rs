@@ -12,7 +12,37 @@ use rayon::prelude::*;
 
 /// Below this particle count the whole build runs serially — the
 /// broadcast/latch overhead of eight subtree tasks outweighs the work.
-const PAR_BUILD_CUTOFF: usize = 2048;
+pub(crate) const PAR_BUILD_CUTOFF: usize = 2048;
+
+/// Position storage the node builders can read: an AoS `[Vec3]` slice
+/// (the classic [`Octree`]) or the SoA columns of the persistent arena
+/// (`crate::arena`). Monomorphised, so both paths run the *same* FP
+/// instruction sequence — the moment sums stay bitwise identical
+/// across layouts.
+pub(crate) trait PosRead: Sync {
+    fn pos_at(&self, i: usize) -> Vec3;
+}
+
+impl PosRead for [Vec3] {
+    #[inline]
+    fn pos_at(&self, i: usize) -> Vec3 {
+        self[i]
+    }
+}
+
+/// SoA position columns (borrowed from a `ParticleStore`).
+pub(crate) struct SoaPos<'a> {
+    pub x: &'a [f64],
+    pub y: &'a [f64],
+    pub z: &'a [f64],
+}
+
+impl PosRead for SoaPos<'_> {
+    #[inline]
+    fn pos_at(&self, i: usize) -> Vec3 {
+        Vec3::new(self.x[i], self.y[i], self.z[i])
+    }
+}
 
 /// Construction parameters.
 #[derive(Debug, Clone, Copy)]
@@ -190,7 +220,7 @@ impl Octree {
             build_arena(
                 &mut tree.nodes,
                 &sorted_keys,
-                &tree.pos,
+                tree.pos.as_slice(),
                 &tree.mass,
                 0,
                 n,
@@ -217,7 +247,7 @@ impl Octree {
     ) {
         let n = self.pos.len();
         debug_assert!(self.nodes.is_empty());
-        let mut root = make_node(&self.pos, &self.mass, 0, n, center, half);
+        let mut root = make_node(self.pos.as_slice(), &self.mass, 0, n, center, half);
         root.is_leaf = false;
         self.nodes.push(root);
         // Octant sub-ranges: particles are key-sorted, so each is a
@@ -234,7 +264,7 @@ impl Octree {
             start = end;
         }
         let quarter = half * 0.5;
-        let pos = &self.pos;
+        let pos = self.pos.as_slice();
         let mass = &self.mass;
         let subs: Vec<(u8, Vec<Node>)> = ranges
             .into_par_iter()
@@ -317,8 +347,8 @@ impl Octree {
 
 /// Node over sorted slots `[first, last)`: moments and geometry, no
 /// children yet.
-fn make_node(
-    pos: &[Vec3],
+pub(crate) fn make_node<P: PosRead + ?Sized>(
+    pos: &P,
     mass: &[f64],
     first: usize,
     last: usize,
@@ -329,20 +359,19 @@ fn make_node(
     debug_assert!(count > 0);
     let mut m = 0.0;
     let mut com = Vec3::ZERO;
-    for i in first..last {
-        m += mass[i];
-        com += pos[i] * mass[i];
+    for (i, &w) in mass.iter().enumerate().take(last).skip(first) {
+        m += w;
+        com += pos.pos_at(i) * w;
     }
     let com = if m > 0.0 {
         com / m
     } else {
         // Massless clump (possible in tests): fall back to centroid.
-        pos[first..last].iter().copied().sum::<Vec3>() / count as f64
+        (first..last).map(|i| pos.pos_at(i)).sum::<Vec3>() / count as f64
     };
     let mut s_moment = [0.0; 6];
-    for i in first..last {
-        let d = pos[i] - com;
-        let w = mass[i];
+    for (i, &w) in mass.iter().enumerate().take(last).skip(first) {
+        let d = pos.pos_at(i) - com;
         s_moment[0] += w * d.x * d.x;
         s_moment[1] += w * d.x * d.y;
         s_moment[2] += w * d.x * d.z;
@@ -367,10 +396,10 @@ fn make_node(
 /// `level` into `nodes` (a DFS arena with indices local to `nodes`);
 /// returns the subtree root's index.
 #[allow(clippy::too_many_arguments)]
-fn build_arena(
+pub(crate) fn build_arena<P: PosRead + ?Sized>(
     nodes: &mut Vec<Node>,
     keys: &[MortonKey],
-    pos: &[Vec3],
+    pos: &P,
     mass: &[f64],
     first: usize,
     last: usize,

@@ -23,10 +23,15 @@
 //! and reports the walk statistics (⟨Ni⟩, ⟨Nj⟩, interaction counts) that
 //! appear in the paper's Table I.
 
+pub mod arena;
 pub mod build;
 pub mod multipole;
 pub mod traverse;
 
+pub use arena::{ArenaView, TreeArena};
 pub use build::{Node, Octree, TreeParams};
 pub use multipole::pseudo_particles;
-pub use traverse::{Group, GroupWalk, Multipole, SourceEntry, TraverseParams, WalkStats};
+pub use traverse::{
+    Group, GroupWalk, ListEntry, Multipole, SourceEntry, TraverseParams, TreeSource, WalkStats,
+    GROUP_SIZE_BUCKETS,
+};

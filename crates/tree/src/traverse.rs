@@ -3,7 +3,39 @@
 
 use greem_math::{Aabb, Vec3};
 
-use crate::build::Octree;
+use crate::build::{Node, Octree};
+
+/// Read-only tree access the group walk needs: the node arena plus the
+/// Morton-sorted particle positions/masses. Implemented by [`Octree`]
+/// (which owns gathered copies) and by `crate::arena::ArenaView` (which
+/// borrows the resident SoA columns — zero-copy).
+pub trait TreeSource {
+    /// The node arena (index 0 is the root when non-empty).
+    fn nodes(&self) -> &[Node];
+    /// Number of particles.
+    fn n_particles(&self) -> usize;
+    /// Position of Morton-sorted slot `i`.
+    fn pos_at(&self, i: usize) -> Vec3;
+    /// Mass of Morton-sorted slot `i`.
+    fn mass_at(&self, i: usize) -> f64;
+}
+
+impl TreeSource for Octree {
+    fn nodes(&self) -> &[Node] {
+        Octree::nodes(self)
+    }
+    fn n_particles(&self) -> usize {
+        self.len()
+    }
+    #[inline]
+    fn pos_at(&self, i: usize) -> Vec3 {
+        self.pos()[i]
+    }
+    #[inline]
+    fn mass_at(&self, i: usize) -> f64 {
+        self.mass()[i]
+    }
+}
 
 /// The multipole order of accepted nodes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -62,6 +94,20 @@ pub struct SourceEntry {
     pub mass: f64,
 }
 
+/// One recorded interaction-list entry, in tree coordinates rather than
+/// evaluated positions: a node index (accepted multipole) or a
+/// contiguous slot range (opened leaf). Recording the *structure* of the
+/// walk instead of its values lets a later subcycle replay the list
+/// against moved particles and refreshed node monopoles — the
+/// interaction-list reuse of Kawai, Fukushige & Makino (1999).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ListEntry {
+    /// An accepted node's multipole (monopole-only on replay).
+    Node(u32),
+    /// An opened leaf: particles at sorted slots `first..first+count`.
+    Particles { first: u32, count: u32 },
+}
+
 /// A particle group sharing one interaction list: a contiguous range of
 /// the tree's Morton-sorted particle slots. Usually a tree node's range;
 /// degenerates to single particles when a periodic group would otherwise
@@ -89,6 +135,27 @@ pub struct WalkStats {
     pub particle_entries: u64,
     /// Multipole (node) entries across all lists.
     pub node_entries: u64,
+    /// Tree nodes examined during list construction (opened, accepted or
+    /// pruned) — the traversal-cost half of the auto-tuner's objective.
+    /// Zero for replayed lists, which is the point of replaying.
+    pub visited_nodes: u64,
+    /// Power-of-two histogram of group sizes: bucket `k < 11` counts
+    /// groups with `2^(k-1) < Ni ≤ 2^k`; bucket 11 is overflow
+    /// (`Ni > 1024`). Published as the `walk_group_size` registry
+    /// histogram.
+    pub group_size_buckets: [u64; GROUP_SIZE_BUCKETS],
+}
+
+/// Number of buckets in [`WalkStats::group_size_buckets`].
+pub const GROUP_SIZE_BUCKETS: usize = 12;
+
+/// Histogram bucket for a group of `count` particles.
+fn group_size_bucket(count: u32) -> usize {
+    let mut b = 0usize;
+    while b + 1 < GROUP_SIZE_BUCKETS && (1u64 << b) < count as u64 {
+        b += 1;
+    }
+    b
 }
 
 impl WalkStats {
@@ -118,6 +185,14 @@ impl WalkStats {
         self.interactions += o.interactions;
         self.particle_entries += o.particle_entries;
         self.node_entries += o.node_entries;
+        self.visited_nodes += o.visited_nodes;
+        for (a, b) in self
+            .group_size_buckets
+            .iter_mut()
+            .zip(&o.group_size_buckets)
+        {
+            *a += b;
+        }
     }
 }
 
@@ -132,21 +207,55 @@ impl greem_obs::Observe for WalkStats {
         reg.counter_add("walk_interactions", self.interactions as f64);
         reg.counter_add("walk_particle_entries", self.particle_entries as f64);
         reg.counter_add("walk_node_entries", self.node_entries as f64);
+        reg.counter_add("walk_visited_nodes", self.visited_nodes as f64);
         reg.gauge_set("walk_mean_ni", self.mean_ni());
         reg.gauge_set("walk_mean_nj", self.mean_nj());
+        // Full ⟨Ni⟩ distribution, not just the mean: bucket k's
+        // representative value is its upper bound 2^k (2048 for the
+        // overflow bucket), so the histogram `sum` is an upper estimate.
+        const BOUNDS: [f64; 11] = [
+            1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0,
+        ];
+        for (k, &n) in self.group_size_buckets.iter().enumerate() {
+            if n > 0 {
+                let rep = if k < BOUNDS.len() { BOUNDS[k] } else { 2048.0 };
+                reg.hist_observe_n("walk_group_size", &BOUNDS, rep, n);
+            }
+        }
     }
 }
 
-/// A group walk over an octree: finds the particle groups and builds each
-/// group's shared interaction list.
-pub struct GroupWalk<'t> {
-    tree: &'t Octree,
+/// Shift a source to the periodic image nearest the group centre
+/// by whole box lengths only: `p − round(p − c)` leaves unwrapped
+/// coordinates bit-exact (round = 0) and wrapped ones exactly
+/// `p ± 1` (exact in f64 for p ∈ [0,1]), so a group's own particle
+/// stays identical to its target copy and the kernel's self-pair
+/// mask fires.
+#[inline]
+fn shift_to(gcenter: Vec3, periodic: bool, p: Vec3) -> Vec3 {
+    if periodic {
+        Vec3::new(
+            p.x - (p.x - gcenter.x).round(),
+            p.y - (p.y - gcenter.y).round(),
+            p.z - (p.z - gcenter.z).round(),
+        )
+    } else {
+        p
+    }
+}
+
+/// A group walk over a tree source: finds the particle groups and builds
+/// each group's shared interaction list. Generic over [`TreeSource`] so
+/// the same walk runs against an [`Octree`] (gathered copies) or the
+/// resident arena's borrowed SoA columns.
+pub struct GroupWalk<'t, T: TreeSource = Octree> {
+    tree: &'t T,
     params: TraverseParams,
 }
 
-impl<'t> GroupWalk<'t> {
+impl<'t, T: TreeSource> GroupWalk<'t, T> {
     /// Bind a walk configuration to a tree.
-    pub fn new(tree: &'t Octree, params: TraverseParams) -> Self {
+    pub fn new(tree: &'t T, params: TraverseParams) -> Self {
         assert!(params.theta >= 0.0, "theta must be non-negative");
         assert!(params.group_size >= 1);
         GroupWalk { tree, params }
@@ -181,7 +290,7 @@ impl<'t> GroupWalk<'t> {
     /// per-particle groups.
     pub fn groups(&self) -> Vec<Group> {
         let mut out = Vec::new();
-        if self.tree.is_empty() {
+        if self.tree.nodes().is_empty() {
             return out;
         }
         let max_side = self.max_group_side();
@@ -239,55 +348,198 @@ impl<'t> GroupWalk<'t> {
         stack: &mut Vec<usize>,
         list: &mut Vec<SourceEntry>,
     ) -> WalkStats {
-        let mut stats = WalkStats::default();
-        self.build_list(group, stack, list, &mut stats);
-        stats.n_groups = 1;
-        stats.sum_ni = group.count as u64;
-        stats.sum_nj = list.len() as u64;
-        stats.interactions = group.count as u64 * list.len() as u64;
-        stats
+        self.list_impl(group, stack, list, 0.0, None)
     }
 
-    /// Build one group's interaction list.
-    fn build_list(
+    /// [`list_for_group`](Self::list_for_group) that additionally records
+    /// the list's *structure* into `rec` (cleared first) so a later
+    /// subcycle can [`replay_list`](Self::replay_list) it without
+    /// re-walking the tree. The cutoff prune is inflated by `margin` so
+    /// sources that drift into range before the replay are already on
+    /// the list — they contribute exactly zero force while beyond
+    /// `r_cut` (`g_P3M ≡ 0` there), so the inflation is accuracy-neutral
+    /// on the fresh pass.
+    pub fn list_for_group_recording(
         &self,
         group: Group,
         stack: &mut Vec<usize>,
         list: &mut Vec<SourceEntry>,
-        stats: &mut WalkStats,
-    ) {
+        margin: f64,
+        rec: &mut Vec<ListEntry>,
+    ) -> WalkStats {
+        rec.clear();
+        self.list_impl(group, stack, list, margin, Some(rec))
+    }
+
+    /// Re-evaluate a recorded list against the tree's *current*
+    /// positions and (refreshed) node monopoles. The walk's opening
+    /// decisions are frozen at record time; only positions move. Replay
+    /// is monopole-only — the pseudo-particle expansion would need
+    /// refreshed second moments.
+    pub fn replay_list(
+        &self,
+        group: Group,
+        entries: &[ListEntry],
+        list: &mut Vec<SourceEntry>,
+    ) -> WalkStats {
+        self.replay_list_into(group, entries, |pos, mass| {
+            list.push(SourceEntry { pos, mass })
+        })
+    }
+
+    /// [`replay_list`](Self::replay_list) materialising each source
+    /// straight through `push` — the hot path hands the kernel's SoA
+    /// source columns in directly, skipping the intermediate
+    /// [`SourceEntry`] buffer (one full write+read of the list saved
+    /// per replayed group).
+    pub fn replay_list_into(
+        &self,
+        group: Group,
+        entries: &[ListEntry],
+        mut push: impl FnMut(Vec3, f64),
+    ) -> WalkStats {
+        debug_assert!(
+            matches!(self.params.multipole, Multipole::Monopole),
+            "list replay is monopole-only"
+        );
+        let nodes = self.tree.nodes();
+        let mut stats = WalkStats::default();
+        let gbox = Aabb::from_points(
+            (group.first..group.first + group.count).map(|i| self.tree.pos_at(i as usize)),
+        );
+        let gcenter = gbox.center();
+        let periodic = self.params.periodic;
+        let mut pushed = 0u64;
+        for e in entries {
+            match *e {
+                ListEntry::Node(i) => {
+                    let node = &nodes[i as usize];
+                    push(shift_to(gcenter, periodic, node.com), node.mass);
+                    stats.node_entries += 1;
+                    pushed += 1;
+                }
+                ListEntry::Particles { first, count } => {
+                    for i in first..first + count {
+                        push(
+                            shift_to(gcenter, periodic, self.tree.pos_at(i as usize)),
+                            self.tree.mass_at(i as usize),
+                        );
+                    }
+                    stats.particle_entries += count as u64;
+                    pushed += count as u64;
+                }
+            }
+        }
+        stats.n_groups = 1;
+        stats.sum_ni = group.count as u64;
+        stats.sum_nj = pushed;
+        stats.interactions = group.count as u64 * pushed;
+        stats.group_size_buckets[group_size_bucket(group.count)] += 1;
+        stats
+    }
+
+    /// Bulk replay of a recorded list against explicit SoA position and
+    /// mass columns, appending straight onto the kernel's four source
+    /// columns. Source values are bitwise-identical to
+    /// [`replay_list`](Self::replay_list) (same [`shift_to`]
+    /// arithmetic), but particle ranges stream through branchless
+    /// column `extend`s — the hot path of the serial driver's
+    /// interaction-list cache.
+    #[allow(clippy::too_many_arguments)]
+    pub fn replay_list_columns(
+        &self,
+        (x, y, z, m): (&[f64], &[f64], &[f64], &[f64]),
+        group: Group,
+        entries: &[ListEntry],
+        ox: &mut Vec<f64>,
+        oy: &mut Vec<f64>,
+        oz: &mut Vec<f64>,
+        om: &mut Vec<f64>,
+    ) -> WalkStats {
+        debug_assert!(
+            matches!(self.params.multipole, Multipole::Monopole),
+            "list replay is monopole-only"
+        );
+        let nodes = self.tree.nodes();
+        let lo = group.first as usize;
+        let hi = lo + group.count as usize;
+        let gbox = Aabb::from_points((lo..hi).map(|i| Vec3::new(x[i], y[i], z[i])));
+        let gc = gbox.center();
+        let periodic = self.params.periodic;
+        let mut stats = WalkStats::default();
+        let mut pushed = 0u64;
+        for e in entries {
+            match *e {
+                ListEntry::Node(i) => {
+                    let node = &nodes[i as usize];
+                    let p = shift_to(gc, periodic, node.com);
+                    ox.push(p.x);
+                    oy.push(p.y);
+                    oz.push(p.z);
+                    om.push(node.mass);
+                    stats.node_entries += 1;
+                    pushed += 1;
+                }
+                ListEntry::Particles { first, count } => {
+                    let r = first as usize..(first + count) as usize;
+                    if periodic {
+                        // Branchless nearest-image shift. For offsets
+                        // t = v − gc ∈ (−1, 1) this is bitwise-equal to
+                        // `v − t.round()` (ties away from zero), but it
+                        // auto-vectorises on baseline x86-64 where
+                        // `round` has no packed instruction.
+                        let img = |v: f64, g: f64| {
+                            let t = v - g;
+                            v - ((t >= 0.5) as u8 as f64) + ((t <= -0.5) as u8 as f64)
+                        };
+                        ox.extend(x[r.clone()].iter().map(|&v| img(v, gc.x)));
+                        oy.extend(y[r.clone()].iter().map(|&v| img(v, gc.y)));
+                        oz.extend(z[r.clone()].iter().map(|&v| img(v, gc.z)));
+                    } else {
+                        ox.extend_from_slice(&x[r.clone()]);
+                        oy.extend_from_slice(&y[r.clone()]);
+                        oz.extend_from_slice(&z[r.clone()]);
+                    }
+                    om.extend_from_slice(&m[r]);
+                    stats.particle_entries += count as u64;
+                    pushed += count as u64;
+                }
+            }
+        }
+        stats.n_groups = 1;
+        stats.sum_ni = group.count as u64;
+        stats.sum_nj = pushed;
+        stats.interactions = group.count as u64 * pushed;
+        stats.group_size_buckets[group_size_bucket(group.count)] += 1;
+        stats
+    }
+
+    /// Build one group's interaction list, optionally recording its
+    /// structure; `rc_extra` inflates the cutoff prune (0 for exact).
+    fn list_impl(
+        &self,
+        group: Group,
+        stack: &mut Vec<usize>,
+        list: &mut Vec<SourceEntry>,
+        rc_extra: f64,
+        mut rec: Option<&mut Vec<ListEntry>>,
+    ) -> WalkStats {
+        let mut stats = WalkStats::default();
         let nodes = self.tree.nodes();
         // Tight bounding box of the group's particles.
         let gbox = Aabb::from_points(
-            self.tree.pos()[group.first as usize..(group.first + group.count) as usize]
-                .iter()
-                .copied(),
+            (group.first..group.first + group.count).map(|i| self.tree.pos_at(i as usize)),
         );
         let gcenter = gbox.center();
+        let periodic = self.params.periodic;
         let theta2 = self.params.theta * self.params.theta;
-        let rc2 = self.params.r_cut.map(|r| r * r);
-
-        // Shift a source to the periodic image nearest the group centre
-        // by whole box lengths only: `p − round(p − c)` leaves unwrapped
-        // coordinates bit-exact (round = 0) and wrapped ones exactly
-        // `p ± 1` (exact in f64 for p ∈ [0,1]), so a group's own particle
-        // stays identical to its target copy and the kernel's self-pair
-        // mask fires.
-        let shift = |p: Vec3| -> Vec3 {
-            if self.params.periodic {
-                Vec3::new(
-                    p.x - (p.x - gcenter.x).round(),
-                    p.y - (p.y - gcenter.y).round(),
-                    p.z - (p.z - gcenter.z).round(),
-                )
-            } else {
-                p
-            }
-        };
+        let rc2 = self.params.r_cut.map(|r| (r + rc_extra) * (r + rc_extra));
+        let shift = |p: Vec3| -> Vec3 { shift_to(gcenter, periodic, p) };
 
         stack.clear();
         stack.push(0);
         while let Some(ni) = stack.pop() {
+            stats.visited_nodes += 1;
             let node = &nodes[ni];
             let cell = node.cell();
             let d2 = if self.params.periodic {
@@ -327,6 +579,9 @@ impl<'t> GroupWalk<'t> {
                         }
                     }
                 }
+                if let Some(r) = rec.as_mut() {
+                    r.push(ListEntry::Node(ni as u32));
+                }
                 stats.node_entries += 1;
             } else if node.is_leaf {
                 // Direct: every particle of the leaf (including the
@@ -335,8 +590,14 @@ impl<'t> GroupWalk<'t> {
                 // kernel's self-pair mask discards i == j).
                 for i in node.first..node.first + node.count {
                     list.push(SourceEntry {
-                        pos: shift(self.tree.pos()[i as usize]),
-                        mass: self.tree.mass()[i as usize],
+                        pos: shift(self.tree.pos_at(i as usize)),
+                        mass: self.tree.mass_at(i as usize),
+                    });
+                }
+                if let Some(r) = rec.as_mut() {
+                    r.push(ListEntry::Particles {
+                        first: node.first,
+                        count: node.count,
                     });
                 }
                 stats.particle_entries += node.count as u64;
@@ -348,6 +609,12 @@ impl<'t> GroupWalk<'t> {
                 }
             }
         }
+        stats.n_groups = 1;
+        stats.sum_ni = group.count as u64;
+        stats.sum_nj = list.len() as u64;
+        stats.interactions = group.count as u64 * list.len() as u64;
+        stats.group_size_buckets[group_size_bucket(group.count)] += 1;
+        stats
     }
 }
 

@@ -69,7 +69,7 @@ fn main() {
     let mut a = a0;
     let mut next = 1;
     let snap = |sim: &Simulation, z: f64| {
-        let s = projected_density(sim.bodies(), 48, 2, &format!("z = {z}"));
+        let s = projected_density(&sim.bodies(), 48, 2, &format!("z = {z}"));
         println!(
             "\n=== projected density at z = {z} (peak contrast {:.1}) ===",
             s.peak_contrast()

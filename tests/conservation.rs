@@ -83,9 +83,7 @@ fn time_reversibility_of_the_integrator() {
     let start: Vec<Vec3> = bodies.iter().map(|b| b.pos).collect();
     let mut sim = Simulation::new(TreePmConfig::standard(16), bodies, SimulationMode::Static);
     sim.step(1e-3);
-    for b in sim.bodies_mut() {
-        b.vel = -b.vel;
-    }
+    sim.edit_bodies(|b| b.vel = -b.vel);
     sim.reset_forces();
     sim.step(1e-3);
     for (b, s0) in sim.bodies().iter().zip(&start) {

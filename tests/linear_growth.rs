@@ -67,7 +67,7 @@ fn contrast_grows_with_the_linear_growth_factor() {
         a *= ratio;
         sim.step(a);
     }
-    let d_end = tsc_delta_rms(sim.bodies(), n_side);
+    let d_end = tsc_delta_rms(&sim.bodies(), n_side);
     let measured = d_end / d_start;
     let linear = cosmo.growth(a_end) / cosmo.growth(a0);
     assert!(

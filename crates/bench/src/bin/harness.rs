@@ -10,7 +10,12 @@
 //! the fig. 5 relay schedule as per-rank virtual-time Chrome-trace
 //! JSON) and `bench-summary` (emit the `BENCH_treepm.json` step-rate
 //! summary, including a `recovery` section from a small chaos run);
-//! plus `regress` — the perf-regression gate (see DESIGN.md §13):
+//! plus `serve-bench` — load-test the `greem-serve` daemon in-process
+//! (job throughput, 429 admission control, 8-way snapshot fan-out,
+//! delivery-latency quantiles) and gate its deterministic counts
+//! against `baselines/serve_bench_*.json` (`--update-baselines`
+//! re-records them); plus `regress` — the perf-regression gate (see
+//! DESIGN.md §13):
 //! measure the fixed regression workload, judge it against the
 //! committed baseline in `baselines/` (override with `--baseline-dir`),
 //! append a trajectory record, and exit nonzero on regression.
@@ -282,8 +287,41 @@ fn run_bench_summary(args: &HarnessArgs) {
     w.f64(Some("lost_vtime_s"), o.stats.lost_vtime);
     w.bool_(Some("bitwise_match"), o.final_matches_clean == Some(true));
     w.end_obj();
+    // The service layer under the same build: job throughput, fan-out
+    // and delivery latency from a quick in-process serve-bench run.
+    let sv = serve_bench::run(args.small);
+    w.begin_obj(Some("serve"));
+    serve_bench::write_outcome(&sv, &mut w);
+    w.end_obj();
     w.end_obj();
     args.deliver(&w.finish());
+}
+
+/// `harness serve-bench`: load-test the daemon and gate the
+/// deterministic counts. Exit codes mirror `regress`.
+fn run_serve_bench(args: &HarnessArgs) -> ! {
+    #[cfg(feature = "obs")]
+    {
+        let code = serve_bench::gate(
+            args.small,
+            args.json,
+            args.update_baselines,
+            args.baseline_dir.as_deref(),
+        );
+        std::process::exit(code);
+    }
+    #[cfg(not(feature = "obs"))]
+    {
+        // Without the obs cascade there is no MetricSpec gate; still
+        // run and report.
+        let out = if args.json {
+            serve_bench::summary_json(args.small)
+        } else {
+            serve_bench::report(args.small)
+        };
+        println!("{out}");
+        std::process::exit(0);
+    }
 }
 
 /// `harness regress`: the perf-regression gate. Exits 0 on pass,
@@ -319,6 +357,7 @@ fn main() {
     match args.command.as_str() {
         "trace" => return run_trace(&args),
         "bench-summary" => return run_bench_summary(&args),
+        "serve-bench" => run_serve_bench(&args),
         "regress" => run_regress(&args),
         _ => {}
     }
@@ -348,7 +387,7 @@ fn main() {
             Some(r) => println!("{r}"),
             None => {
                 eprintln!(
-                    "unknown command '{}'. Available: {EXPERIMENTS:?}, 'all', 'trace', 'bench-summary', 'regress'",
+                    "unknown command '{}'. Available: {EXPERIMENTS:?}, 'all', 'trace', 'bench-summary', 'serve-bench', 'regress'",
                     args.command
                 );
                 std::process::exit(2);

@@ -16,6 +16,7 @@ pub mod kernel;
 pub mod multipole_ablation;
 pub mod ni_sweep;
 pub mod scaling;
+pub mod serve_bench;
 pub mod table1;
 pub mod tree_vs_treepm;
 

@@ -1,0 +1,127 @@
+//! A tiny clock seam: wall time for production, a manual clock for
+//! deterministic tests.
+//!
+//! The service layer (`greem-serve`) paces simulation steps and stamps
+//! snapshot publish/delivery times; its worker loop runs inside
+//! [`ResilientSim::run_with`]'s per-step hook. Tests and the
+//! `serve-bench` harness must drive that hook without real
+//! `thread::sleep`s, so everything that needs "now" or "wait a bit"
+//! takes an `Arc<dyn Clock>` instead of calling `std::time` directly.
+//!
+//! [`ResilientSim::run_with`]: https://docs.rs/greem-resil
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Monotonic seconds + sleep, injectable for tests.
+///
+/// Implementations must be cheap and thread-safe: `now` is called per
+/// delivered snapshot on the serving hot path.
+pub trait Clock: Send + Sync {
+    /// Monotonic seconds since this clock's epoch.
+    fn now(&self) -> f64;
+
+    /// Pause the calling thread for `secs` (saturating at 0). A manual
+    /// clock advances its notion of time instead of blocking.
+    fn sleep(&self, secs: f64);
+}
+
+/// The production clock: `Instant`-based monotonic time and a real
+/// `thread::sleep`. The epoch is pinned process-wide on first use so
+/// every `WallClock` value reads from the same timeline.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct WallClock;
+
+fn wall_epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+impl Clock for WallClock {
+    fn now(&self) -> f64 {
+        wall_epoch().elapsed().as_secs_f64()
+    }
+
+    fn sleep(&self, secs: f64) {
+        if secs > 0.0 {
+            std::thread::sleep(std::time::Duration::from_secs_f64(secs));
+        }
+    }
+}
+
+/// A deterministic clock for tests: `sleep` advances time atomically and
+/// returns immediately, so a paced worker loop runs at full speed while
+/// the timeline it reports stays exact. Shared freely across threads.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    /// Current time in nanoseconds (fixed-point so advances are atomic).
+    now_ns: AtomicU64,
+}
+
+impl ManualClock {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advance the clock by `secs` without sleeping (what `sleep` does).
+    pub fn advance(&self, secs: f64) {
+        if secs > 0.0 {
+            self.now_ns
+                .fetch_add((secs * 1e9).round() as u64, Ordering::SeqCst);
+        }
+    }
+}
+
+impl Clock for ManualClock {
+    fn now(&self) -> f64 {
+        self.now_ns.load(Ordering::SeqCst) as f64 / 1e9
+    }
+
+    fn sleep(&self, secs: f64) {
+        self.advance(secs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn wall_clock_is_monotonic_and_sleeps() {
+        let c = WallClock;
+        let t0 = c.now();
+        c.sleep(0.001);
+        let t1 = c.now();
+        assert!(t1 >= t0 + 0.0005, "sleep must advance wall time");
+        c.sleep(-1.0); // negative sleeps are a no-op, not a panic
+    }
+
+    #[test]
+    fn manual_clock_advances_without_blocking() {
+        let c = ManualClock::new();
+        assert_eq!(c.now(), 0.0);
+        let t0 = std::time::Instant::now();
+        c.sleep(3600.0); // an hour of virtual pacing, instantly
+        assert!(t0.elapsed().as_millis() < 500);
+        assert!((c.now() - 3600.0).abs() < 1e-9);
+        c.advance(0.5);
+        assert!((c.now() - 3600.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn manual_clock_is_shared_across_threads() {
+        let c = Arc::new(ManualClock::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || c.sleep(0.25))
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!((c.now() - 2.0).abs() < 1e-9);
+    }
+}

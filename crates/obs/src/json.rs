@@ -298,16 +298,31 @@ impl Parser<'_> {
                         b'r' => s.push('\r'),
                         b't' => s.push('\t'),
                         b'u' => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos..self.pos + 4)
-                                .ok_or("truncated \\u escape")?;
-                            let code = u32::from_str_radix(
-                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
-                                16,
-                            )
-                            .map_err(|e| e.to_string())?;
-                            self.pos += 4;
+                            let code = self.hex4()?;
+                            // Surrogate pairs: interop clients (notably
+                            // python's json.dumps with the default
+                            // ensure_ascii=True) encode astral characters
+                            // as \uD800-\uDBFF + \uDC00-\uDFFF pairs.
+                            let code = if (0xd800..0xdc00).contains(&code)
+                                && self.bytes.get(self.pos) == Some(&b'\\')
+                                && self.bytes.get(self.pos + 1) == Some(&b'u')
+                            {
+                                let mark = self.pos;
+                                self.pos += 2;
+                                let lo = self.hex4()?;
+                                if (0xdc00..0xe000).contains(&lo) {
+                                    0x10000 + ((code - 0xd800) << 10) + (lo - 0xdc00)
+                                } else {
+                                    // Not a low surrogate: rewind so the
+                                    // second escape decodes on its own.
+                                    self.pos = mark;
+                                    code
+                                }
+                            } else {
+                                code
+                            };
+                            // Lone surrogates have no scalar value; map
+                            // them to U+FFFD rather than failing the doc.
                             s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
                         }
                         _ => return Err(format!("bad escape at byte {}", self.pos)),
@@ -325,6 +340,18 @@ impl Parser<'_> {
                 }
             }
         }
+    }
+
+    /// Four hex digits of a `\u` escape (the `\u` itself already consumed).
+    fn hex4(&mut self) -> Result<u32, String> {
+        let hex = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or("truncated \\u escape")?;
+        let code = u32::from_str_radix(std::str::from_utf8(hex).map_err(|e| e.to_string())?, 16)
+            .map_err(|e| e.to_string())?;
+        self.pos += 4;
+        Ok(code)
     }
 
     fn number(&mut self) -> Result<Value, String> {
@@ -411,6 +438,53 @@ mod tests {
         // Empty input.
         assert!(parse("").is_err());
         assert!(parse("   ").is_err());
+    }
+
+    #[test]
+    fn control_characters_round_trip() {
+        // Every C0 control character must escape on write and decode on
+        // parse — an HTTP job name with a tab or bell must stay valid JSON.
+        let nasty: String = (0u32..0x20).map(|c| char::from_u32(c).unwrap()).collect();
+        let mut w = JsonWriter::new();
+        w.begin_obj(None);
+        w.str_(Some("name"), &nasty);
+        w.end_obj();
+        let s = w.finish();
+        assert!(
+            s.bytes().all(|b| b >= 0x20),
+            "raw control bytes leaked into the document: {s:?}"
+        );
+        let v = parse(&s).unwrap();
+        assert_eq!(v.get("name").unwrap().as_str().unwrap(), nasty);
+    }
+
+    #[test]
+    fn unicode_escapes_decode_including_surrogate_pairs() {
+        // BMP escape.
+        let v = parse(r#"{"a": "\u00e9\t"}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_str().unwrap(), "\u{e9}\t");
+        // Astral plane via surrogate pair (python json.dumps default).
+        let v = parse(r#"{"e": "\ud83d\ude80!"}"#).unwrap();
+        assert_eq!(v.get("e").unwrap().as_str().unwrap(), "\u{1f680}!");
+        // A writer round trip of an astral char parses back equal whether
+        // the transport re-encodes it or not.
+        let mut w = JsonWriter::new();
+        w.begin_obj(None);
+        w.str_(Some("e"), "\u{1f680}");
+        w.end_obj();
+        assert_eq!(
+            parse(&w.finish()).unwrap().get("e").unwrap().as_str(),
+            Some("\u{1f680}")
+        );
+        // Lone surrogates degrade to U+FFFD instead of failing the doc…
+        let v = parse(r#"{"x": "\ud800"}"#).unwrap();
+        assert_eq!(v.get("x").unwrap().as_str().unwrap(), "\u{fffd}");
+        // …including a high surrogate followed by a non-surrogate escape,
+        // which must still decode the second escape on its own.
+        let v = parse(r#"{"x": "\ud800A"}"#).unwrap();
+        assert_eq!(v.get("x").unwrap().as_str().unwrap(), "\u{fffd}A");
+        // Truncated pair tail is still an error.
+        assert!(parse(r#"{"x": "\ud83d\ud"}"#).is_err());
     }
 
     #[test]

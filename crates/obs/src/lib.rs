@@ -16,15 +16,19 @@
 //!   simulated rank), a step-report JSONL stream, and human text tables.
 //! * [`json`] — a dependency-free JSON writer and a minimal parser used by
 //!   the exporters and by tests/CI that validate emitted files.
+//! * [`clock`] — the `Clock` seam (wall vs manual): lets the service
+//!   layer's paced loops run deterministically in tests.
 //!
 //! With the `record` feature disabled (and hence with downstream crates'
 //! `obs` features disabled) every tracing entry point compiles to nothing,
 //! keeping the `treepm_step` hot path unperturbed.
 
+pub mod clock;
 pub mod export;
 pub mod json;
 pub mod metrics;
 pub mod trace;
 
+pub use clock::{Clock, ManualClock, WallClock};
 pub use metrics::{Observe, Registry};
 pub use trace::{Event, Span};

@@ -231,6 +231,32 @@ impl ResilientSim {
         dts: &[f64],
         mut on_step: impl FnMut(&mut Ctx, &Comm, &ParallelTreePm, &greem::ParallelStepStats),
     ) -> Result<RecoveryStats, ResilError> {
+        self.run_with_stats(ctx, world, dts, |ctx, world, sim, st, _| {
+            on_step(ctx, world, sim, st)
+        })
+    }
+
+    /// Like [`ResilientSim::run_with`], but the hook also receives the
+    /// driver's [`RecoveryStats`] *as of the just-completed step*. This
+    /// is how an online consumer (the `greem-serve` snapshot publisher)
+    /// tags each step with the rollback/crash counters without waiting
+    /// for the run to finish — a subscriber watching the stream sees
+    /// the rollback counter jump when a mid-job fault was recovered.
+    /// Transport counters (drops/retries/delays) are only folded in at
+    /// the end of the run, exactly as in [`ResilientSim::run`].
+    pub fn run_with_stats(
+        &mut self,
+        ctx: &mut Ctx,
+        world: &Comm,
+        dts: &[f64],
+        mut on_step: impl FnMut(
+            &mut Ctx,
+            &Comm,
+            &ParallelTreePm,
+            &greem::ParallelStepStats,
+            &RecoveryStats,
+        ),
+    ) -> Result<RecoveryStats, ResilError> {
         while (self.sim.steps_taken() as usize) < dts.len() {
             let k = self.sim.steps_taken();
             ctx.set_fault_step(k);
@@ -239,7 +265,7 @@ impl ResilientSim {
                 continue;
             }
             let st = self.sim.step(ctx, world, dts[k as usize]);
-            on_step(ctx, world, &self.sim, &st);
+            on_step(ctx, world, &self.sim, &st, &self.stats);
             if self.sim.steps_taken().is_multiple_of(self.cfg.every) {
                 self.checkpoint(ctx, world)?;
             }

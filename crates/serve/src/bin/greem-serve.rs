@@ -1,0 +1,94 @@
+//! The `greem-serve` daemon binary.
+//!
+//! ```text
+//! greem-serve [--addr HOST:PORT] [--workers N] [--queue N] [--data-dir PATH]
+//! ```
+//!
+//! Prints one JSON line with the bound address on startup (port 0 in
+//! `--addr` picks a free port — CI uses this), then serves until
+//! SIGTERM/SIGINT or `POST /shutdown`, then drains gracefully: no new
+//! submissions, queued jobs finish, snapshot streams run to their
+//! terminal line, and the exit summary goes to stdout.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use greem_serve::{start, ServerConfig};
+
+static TERM: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_signal_handlers() {
+    // std links libc already; declaring `signal` directly avoids a
+    // dependency for two lines of FFI. The handler only flips an
+    // AtomicBool — async-signal-safe by construction.
+    extern "C" fn on_term(_sig: i32) {
+        TERM.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_term as *const () as usize);
+        signal(SIGINT, on_term as *const () as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
+
+fn usage() -> ! {
+    eprintln!("usage: greem-serve [--addr HOST:PORT] [--workers N] [--queue N] [--data-dir PATH]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut cfg = ServerConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut val = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--addr" => cfg.addr = val("--addr"),
+            "--workers" => {
+                cfg.workers = val("--workers").parse().unwrap_or_else(|_| usage());
+            }
+            "--queue" => {
+                cfg.max_queue = val("--queue").parse().unwrap_or_else(|_| usage());
+            }
+            "--data-dir" => cfg.data_dir = val("--data-dir").into(),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                usage();
+            }
+        }
+    }
+
+    install_signal_handlers();
+    let handle = match start(cfg) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("greem-serve: bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    // Announce the bound address machine-readably (CI parses this).
+    println!("{{\"listening\": \"{}\"}}", handle.addr());
+
+    loop {
+        if TERM.load(Ordering::SeqCst) || handle.draining() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    eprintln!("greem-serve: draining");
+    handle.shutdown();
+    println!("{{\"drained\": true}}");
+}

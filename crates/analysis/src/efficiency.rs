@@ -44,8 +44,24 @@ pub struct Efficiency {
 
 /// Compute the report for `interactions` PP interactions over
 /// `elapsed_s` virtual seconds on `nodes` ranks. Degenerate windows
-/// (zero time or zero nodes) report zero performance.
+/// (zero time or zero nodes) report zero performance. The model column
+/// is evaluated at the fiducial [`MODEL_NODES`]; weak-scaling sweeps
+/// that run *at* a paper node count should use [`efficiency_at`] so the
+/// model baseline tracks the same `p`.
 pub fn efficiency(interactions: f64, elapsed_s: f64, nodes: usize) -> Efficiency {
+    efficiency_at(interactions, elapsed_s, nodes, MODEL_NODES)
+}
+
+/// [`efficiency`] with the `TableOne` model evaluated at an explicit
+/// node count, so `ratio_to_model` compares like with like when the
+/// measured window itself ran at a paper-scale `p` (phantom-mode
+/// weak-scaling sweeps pass `model_nodes == nodes`).
+pub fn efficiency_at(
+    interactions: f64,
+    elapsed_s: f64,
+    nodes: usize,
+    model_nodes: usize,
+) -> Efficiency {
     let machine = KMachine::new();
     let flops_rate = if elapsed_s > 0.0 {
         interactions * FLOPS_PER_INTERACTION / elapsed_s
@@ -55,7 +71,7 @@ pub fn efficiency(interactions: f64, elapsed_s: f64, nodes: usize) -> Efficiency
     let peak = machine.peak_flops(nodes.max(1));
     let kernel_bound =
         machine.kernel_bound_per_core() * machine.cores_per_node as f64 * nodes.max(1) as f64;
-    let model_pct_of_peak = model_table(MODEL_NODES).efficiency();
+    let model_pct_of_peak = model_table(model_nodes.max(1)).efficiency();
     let pct_of_peak = if nodes > 0 { flops_rate / peak } else { 0.0 };
     Efficiency {
         interactions,
@@ -101,5 +117,19 @@ mod tests {
         assert_eq!(efficiency(1e9, 0.0, 4).gflops, 0.0);
         assert_eq!(efficiency(0.0, 1.0, 4).pct_of_peak, 0.0);
         assert_eq!(efficiency(1e9, 1.0, 0).pct_of_peak, 0.0);
+    }
+
+    #[test]
+    fn parameterised_model_nodes_tracks_the_sweep_point() {
+        // At p = 82944 the model predicts lower efficiency than at the
+        // fiducial 24576 (Amdahl through the flat FFT), so the same
+        // measurement scores a higher ratio against it.
+        let at24 = efficiency_at(1e12, 1.0, 64, 24576);
+        let at82 = efficiency_at(1e12, 1.0, 64, 82944);
+        assert!(at82.model_pct_of_peak < at24.model_pct_of_peak);
+        assert!(at82.ratio_to_model > at24.ratio_to_model);
+        // The default entry point is the fiducial variant.
+        let d = efficiency(1e12, 1.0, 64);
+        assert_eq!(d.model_pct_of_peak, at24.model_pct_of_peak);
     }
 }

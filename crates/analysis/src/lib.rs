@@ -39,7 +39,7 @@ pub mod segments;
 
 pub use critpath::{critical_path, CriticalPath, PhasePath};
 pub use detect::{Alert, DetectorConfig, DetectorKind, Monitor, StepSignals};
-pub use efficiency::{efficiency, Efficiency};
+pub use efficiency::{efficiency, efficiency_at, Efficiency};
 pub use imbalance::{imbalance_factor, phase_imbalance, PhaseImbalance};
 pub use regress::{compare, Baseline, Comparison, Direction, Finding, MetricSpec, Verdict};
 pub use segments::{leaf_segments, Segment};

@@ -14,7 +14,11 @@
 //! (job throughput, 429 admission control, 8-way snapshot fan-out,
 //! delivery-latency quantiles) and gate its deterministic counts
 //! against `baselines/serve_bench_*.json` (`--update-baselines`
-//! re-records them); plus `regress` — the perf-regression gate (see
+//! re-records them); plus `weakscale` — the §IV virtual weak-scaling
+//! sweep on phantom-rank worlds up to the paper's 82944 nodes
+//! (`--small` for the CI smoke points; gated against
+//! `baselines/weakscale_*.json` when a baseline exists,
+//! `--update-baselines` records one); plus `regress` — the perf-regression gate (see
 //! DESIGN.md §13):
 //! measure the fixed regression workload, judge it against the
 //! committed baseline in `baselines/` (override with `--baseline-dir`),
@@ -293,6 +297,13 @@ fn run_bench_summary(args: &HarnessArgs) {
     w.begin_obj(Some("serve"));
     serve_bench::write_outcome(&sv, &mut w);
     w.end_obj();
+    // The §IV virtual weak-scaling curve (small sweep), so one artifact
+    // carries both the measured step rates and the efficiency model.
+    let wsp = weakscale::run_sweep(true);
+    w.begin_obj(Some("weakscale"));
+    w.bool_(Some("small"), true);
+    weakscale::write_sweep(&wsp, &mut w);
+    w.end_obj();
     w.end_obj();
     args.deliver(&w.finish());
 }
@@ -318,6 +329,35 @@ fn run_serve_bench(args: &HarnessArgs) -> ! {
             serve_bench::summary_json(args.small)
         } else {
             serve_bench::report(args.small)
+        };
+        println!("{out}");
+        std::process::exit(0);
+    }
+}
+
+/// `harness weakscale`: the §IV virtual weak-scaling sweep on
+/// phantom-rank worlds (full curve up to 82944 ranks; `--small` for
+/// the CI smoke points). With the obs feature the deterministic
+/// counts are gated against `baselines/weakscale_*.json` when a
+/// baseline exists (`--update-baselines` records one; a missing
+/// baseline runs ungated with exit 0).
+fn run_weakscale(args: &HarnessArgs) -> ! {
+    #[cfg(feature = "obs")]
+    {
+        let code = weakscale::gate(
+            args.small,
+            args.json,
+            args.update_baselines,
+            args.baseline_dir.as_deref(),
+        );
+        std::process::exit(code);
+    }
+    #[cfg(not(feature = "obs"))]
+    {
+        let out = if args.json {
+            weakscale::summary_json(args.small)
+        } else {
+            weakscale::report(args.small)
         };
         println!("{out}");
         std::process::exit(0);
@@ -358,6 +398,7 @@ fn main() {
         "trace" => return run_trace(&args),
         "bench-summary" => return run_bench_summary(&args),
         "serve-bench" => run_serve_bench(&args),
+        "weakscale" => run_weakscale(&args),
         "regress" => run_regress(&args),
         _ => {}
     }
@@ -387,7 +428,7 @@ fn main() {
             Some(r) => println!("{r}"),
             None => {
                 eprintln!(
-                    "unknown command '{}'. Available: {EXPERIMENTS:?}, 'all', 'trace', 'bench-summary', 'serve-bench', 'regress'",
+                    "unknown command '{}'. Available: {EXPERIMENTS:?}, 'all', 'trace', 'bench-summary', 'serve-bench', 'weakscale', 'regress'",
                     args.command
                 );
                 std::process::exit(2);

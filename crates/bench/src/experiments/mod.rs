@@ -19,6 +19,7 @@ pub mod scaling;
 pub mod serve_bench;
 pub mod table1;
 pub mod tree_vs_treepm;
+pub mod weakscale;
 
 use greem_obs::json::JsonWriter;
 

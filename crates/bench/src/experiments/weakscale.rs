@@ -1,0 +1,628 @@
+//! §IV weak scaling at full machine size, on the virtual machine.
+//!
+//! The paper's headline curve: 1.53 Pflops (49 % of peak) at 24576
+//! nodes and 4.45 Pflops (42 %) at 82944 for the 10240³ production
+//! run. No supercomputer here, so the sweep runs on phantom-rank
+//! worlds ([`mpisim::World::with_phantoms`]): every rank of the real
+//! machine exists as a virtual clock on the K-like torus, replaying
+//! the Table-I cost model ([`greem_perfmodel::model_table`]) as a
+//! [`Script`] — per-phase compute charges plus the paper's
+//! communication schedule (sampling gather/bcast, the over-groups
+//! relay reduce/bcast, the balancer allreduce, step barriers) with
+//! token payloads. One representative rank additionally runs a real
+//! (small) TreePM step per simulated step, so the sweep stays wired to
+//! the actual kernels. Efficiency is then the paper's accounting —
+//! 51 flops × interactions over the virtual makespan against
+//! `KMachine::peak_flops(p)` — and `greem_analysis::critical_path`
+//! attributes where the lost points went. See DESIGN.md §16.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use greem::{Simulation, SimulationMode, TreePmConfig};
+use greem_analysis::efficiency::FLOPS_PER_INTERACTION;
+use greem_analysis::{critical_path, efficiency_at, Segment};
+use greem_perfmodel::{model_table, paper_table, KMachine, RunShape};
+use mpisim::{NetModel, Script, World};
+
+use crate::workloads;
+
+/// Sweep node counts: the full curve touches the paper's two published
+/// points; the small (CI smoke) curve stays under a second.
+pub fn sweep_points(small: bool) -> &'static [usize] {
+    if small {
+        &[16, 128, 1024]
+    } else {
+        &[64, 512, 6144, 24576, 82944]
+    }
+}
+
+/// Steps per sweep point (the paper averages its production table over
+/// a handful of steps; two is enough for a deterministic average that
+/// still exercises the per-step schedule twice).
+pub const STEPS: u64 = 2;
+
+/// Deterministic per-rank compute skew in [0.98, 1.02) (splitmix64 on
+/// the rank id): the imbalance that makes barriers and the critical
+/// path mean something without perturbing the model by more than ±2 %.
+fn skew(rank: usize) -> f64 {
+    let mut z = (rank as u64).wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^= z >> 31;
+    0.98 + 0.04 * ((z >> 11) as f64 / (1u64 << 53) as f64)
+}
+
+/// Shared state of the representative's real-work hook: a live small
+/// simulation and the interactions its kernel actually evaluated.
+pub struct RepWork {
+    sim: Mutex<Simulation>,
+    interactions: AtomicU64,
+}
+
+fn rep_work(small: bool) -> Arc<RepWork> {
+    let n = if small { 192 } else { 384 };
+    let pos = workloads::clustered(n, 3, 0.35, 42);
+    let bodies = workloads::bodies_at_rest(&pos);
+    let cfg = TreePmConfig::standard(16);
+    Arc::new(RepWork {
+        sim: Mutex::new(Simulation::new(cfg, bodies, SimulationMode::Static)),
+        interactions: AtomicU64::new(0),
+    })
+}
+
+/// The per-step script for `p` ranks: the 13 Table-I rows as modelled
+/// compute charges (timing), interleaved with the paper's collective
+/// schedule (structure + traffic). Payload sizes are tokens — enough
+/// to exercise the torus and the congestion model without drowning the
+/// Table-I timings the curve is calibrated against.
+pub fn build_script(p: usize, steps: u64, work: &Arc<RepWork>) -> Script {
+    let table = model_table(p);
+    let shape = RunShape::paper(p);
+    let groups = shape.relay_groups as u64;
+    // Per-rank share of the 4096³ density mesh, capped so the token
+    // transfer stays small against the modelled pm.communication row.
+    let slab_bytes = ((8 * shape.n_mesh.pow(3)) / p).min(4 << 20);
+    let mut s = Script::new();
+    for step in 0..steps {
+        s.set_step(step);
+        for (name, secs) in table.phase_rows() {
+            match name {
+                "pp.force_calculation" => {
+                    let w = Arc::clone(work);
+                    s.compute_with_work(
+                        name,
+                        move |r| secs * skew(r),
+                        move |_rank| {
+                            let bd = w.sim.lock().unwrap().step(1e-3);
+                            w.interactions
+                                .fetch_add(bd.interactions(), Ordering::Relaxed);
+                        },
+                    );
+                }
+                "pp.tree_traversal" => {
+                    s.compute(name, move |r| secs * skew(r));
+                }
+                _ => {
+                    s.compute(name, move |_| secs);
+                }
+            }
+            match name {
+                // The over-groups relay: Reduce slabs to each group
+                // head, Bcast the summed slab back (§II-B, fig. 5).
+                "pm.communication" => {
+                    s.group_reduce(name, move |r| r as u64 % groups, move |_| slab_bytes);
+                    s.group_bcast(name, move |r| r as u64 % groups, move |_| slab_bytes);
+                }
+                // The sampling method: every rank ships samples to
+                // rank 0, which broadcasts the new domain boundaries.
+                "dd.sampling_method" => {
+                    s.gather(name, 0, |_| 24 * 64);
+                    s.bcast(name, 0, move |_| 48 * p);
+                }
+                _ => {}
+            }
+        }
+        s.allreduce("ctl.balancer", |_| 40);
+        s.barrier("ctl.step_barrier");
+    }
+    s
+}
+
+/// Per-phase share of the critical path and the efficiency points it
+/// costs (see [`attribute_losses`]).
+pub struct PhaseLoss {
+    pub phase: &'static str,
+    /// Critical-path seconds per step.
+    pub on_path_s: f64,
+    /// Fraction of the makespan.
+    pub share: f64,
+    /// Percentage points of machine peak this phase forfeits.
+    pub lost_points: f64,
+}
+
+/// One sweep point.
+pub struct WeakScalePoint {
+    pub p: usize,
+    pub steps: u64,
+    /// Virtual seconds per step (the paper's "Total(sec/step)").
+    pub vtime_per_step: f64,
+    /// Sustained Pflops at the paper's 51 flops/interaction.
+    pub pflops: f64,
+    /// Fraction of `KMachine::peak_flops(p)`.
+    pub pct_of_peak: f64,
+    /// The Table-I model's prediction at this `p`.
+    pub model_pct_of_peak: f64,
+    /// The published efficiency, where the paper printed one.
+    pub paper_pct_of_peak: Option<f64>,
+    /// Engine traffic: total messages and bytes over the whole run.
+    pub messages: u64,
+    pub bytes_sent: u64,
+    /// Interactions the representative's *real* kernel evaluated.
+    pub rep_interactions: u64,
+    /// Host wall seconds for this point.
+    pub wall_s: f64,
+    pub losses: Vec<PhaseLoss>,
+}
+
+/// Fold per-rank phase timings into critical-path phase losses. The
+/// kernel ceiling (51/68 of peak ≈ 72.8 %) is the efficiency the
+/// machine would sustain if every critical-path second ran the PP
+/// kernel flat out; each phase forfeits its share of that ceiling,
+/// except the force phase, which keeps the sustained efficiency and is
+/// charged only the remainder (instruction mix + imbalance inside the
+/// kernel phase).
+fn attribute_losses(
+    outcome: &mpisim::ScriptOutcome,
+    p: usize,
+    steps: f64,
+    pct_of_peak: f64,
+) -> Vec<PhaseLoss> {
+    let phases = &outcome.phases;
+    // Sample ≤ 128 ranks (the critical path only needs the spread, and
+    // phase times are per-rank totals, not per-step events).
+    let stride = p.div_ceil(128).max(1);
+    let mut segs = Vec::new();
+    for (r, t) in outcome.timelines.iter().enumerate().step_by(stride) {
+        let mut cursor = 0.0;
+        for (i, &name) in phases.iter().enumerate() {
+            let d = t.phase_vtime.get(i).copied().unwrap_or(0.0);
+            if d <= 0.0 {
+                continue;
+            }
+            segs.push(Segment {
+                rank: r as u32,
+                name,
+                cat: if name.starts_with("ctl.") {
+                    "comm"
+                } else {
+                    "step"
+                },
+                phase: name,
+                step: None,
+                v0: cursor,
+                v1: cursor + d,
+            });
+            cursor += d;
+        }
+    }
+    let cp = critical_path(&segs);
+    let machine = KMachine::new();
+    let kernel_ceiling =
+        machine.interactions_per_sec_per_node() * FLOPS_PER_INTERACTION / machine.peak_flops(1);
+    let mut losses: Vec<PhaseLoss> = cp
+        .phases
+        .iter()
+        .map(|ph| {
+            let share = if cp.makespan_s > 0.0 {
+                ph.on_path_s / cp.makespan_s
+            } else {
+                0.0
+            };
+            let lost = if ph.phase == "pp.force_calculation" {
+                (share * kernel_ceiling - pct_of_peak).max(0.0) * 100.0
+            } else {
+                share * kernel_ceiling * 100.0
+            };
+            PhaseLoss {
+                phase: ph.phase,
+                on_path_s: ph.on_path_s / steps,
+                share,
+                lost_points: lost,
+            }
+        })
+        .collect();
+    losses.sort_by(|a, b| b.lost_points.total_cmp(&a.lost_points));
+    losses
+}
+
+/// Run one sweep point on a phantom world (rank 0 is the
+/// representative carrying the real-work hook).
+pub fn run_point(p: usize, steps: u64, small: bool) -> WeakScalePoint {
+    let work = rep_work(small);
+    let script = build_script(p, steps, &work);
+    let t0 = std::time::Instant::now();
+    let outcome = World::new(p)
+        .with_net(NetModel::k_computer())
+        .with_phantoms([0])
+        .run_script(&script);
+    let wall_s = t0.elapsed().as_secs_f64();
+    let makespan = outcome.makespan();
+    let shape = RunShape::paper(p);
+    let eff = efficiency_at(shape.interactions * steps as f64, makespan, p, p);
+    let bytes_sent: u64 = outcome.timelines.iter().map(|t| t.stats.bytes_sent).sum();
+    let messages = outcome.engine.as_ref().map(|e| e.messages).unwrap_or(0);
+    let losses = attribute_losses(&outcome, p, steps as f64, eff.pct_of_peak);
+    WeakScalePoint {
+        p,
+        steps,
+        vtime_per_step: makespan / steps as f64,
+        pflops: eff.gflops / 1e6,
+        pct_of_peak: eff.pct_of_peak,
+        model_pct_of_peak: eff.model_pct_of_peak,
+        paper_pct_of_peak: matches!(p, 24576 | 82944).then(|| paper_table(p).efficiency()),
+        messages,
+        bytes_sent,
+        rep_interactions: work.interactions.load(Ordering::Relaxed),
+        wall_s,
+        losses,
+    }
+}
+
+/// The sweep.
+pub fn run_sweep(small: bool) -> Vec<WeakScalePoint> {
+    sweep_points(small)
+        .iter()
+        .map(|&p| {
+            eprintln!("weakscale: p = {p}…");
+            run_point(p, STEPS, small)
+        })
+        .collect()
+}
+
+/// The human-readable report: the §IV efficiency curve plus the
+/// critical-path loss attribution at the largest point.
+pub fn report(small: bool) -> String {
+    let points = run_sweep(small);
+    render(&points)
+}
+
+fn render(points: &[WeakScalePoint]) -> String {
+    let mut s = String::from(
+        "=== Sec. IV: weak scaling to the full machine (virtual) =========\n\n\
+         Phantom-rank worlds on the K-like torus replay the Table-I cost\n\
+         model; rank 0 runs a real TreePM step each virtual step.\n\n\
+         p(nodes)  vtime/step(s)   Pflops   %peak   model%   paper%   msgs\n",
+    );
+    for pt in points {
+        s.push_str(&format!(
+            "{:>8} {:>14.2} {:>8.2} {:>7.1} {:>8.1} {:>8} {:>8}\n",
+            pt.p,
+            pt.vtime_per_step,
+            pt.pflops,
+            pt.pct_of_peak * 100.0,
+            pt.model_pct_of_peak * 100.0,
+            pt.paper_pct_of_peak
+                .map(|v| format!("{:.1}", v * 100.0))
+                .unwrap_or_else(|| "-".into()),
+            pt.messages,
+        ));
+    }
+    if let Some(last) = points.last() {
+        s.push_str(&format!(
+            "\nwhere the peak went at p = {} (critical path, per step):\n\
+             phase                      on-path(s)   share%   peak-points lost\n",
+            last.p
+        ));
+        for l in &last.losses {
+            s.push_str(&format!(
+                "  {:<24} {:>11.2} {:>8.1} {:>14.1}\n",
+                l.phase,
+                l.on_path_s,
+                l.share * 100.0,
+                l.lost_points
+            ));
+        }
+        s.push_str(&format!(
+            "\n  representative's real kernel: {} interactions over {} steps\n",
+            last.rep_interactions, last.steps
+        ));
+    }
+    s
+}
+
+/// Shared JSON body for one point.
+fn write_point(pt: &WeakScalePoint, w: &mut greem_obs::json::JsonWriter) {
+    w.u64(Some("p"), pt.p as u64);
+    w.u64(Some("steps"), pt.steps);
+    w.f64(Some("vtime_per_step"), pt.vtime_per_step);
+    w.f64(Some("pflops"), pt.pflops);
+    w.f64(Some("pct_of_peak"), pt.pct_of_peak);
+    w.f64(Some("model_pct_of_peak"), pt.model_pct_of_peak);
+    if let Some(v) = pt.paper_pct_of_peak {
+        w.f64(Some("paper_pct_of_peak"), v);
+    }
+    w.u64(Some("messages"), pt.messages);
+    w.u64(Some("bytes_sent"), pt.bytes_sent);
+    w.u64(Some("rep_interactions"), pt.rep_interactions);
+    w.f64(Some("wall_s"), pt.wall_s);
+    w.begin_arr(Some("losses"));
+    for l in &pt.losses {
+        w.begin_obj(None);
+        w.str_(Some("phase"), l.phase);
+        w.f64(Some("on_path_s"), l.on_path_s);
+        w.f64(Some("share"), l.share);
+        w.f64(Some("lost_points"), l.lost_points);
+        w.end_obj();
+    }
+    w.end_arr();
+}
+
+/// Shared JSON body for a whole sweep (also embedded by
+/// `bench-summary`'s `weakscale` section).
+pub fn write_sweep(points: &[WeakScalePoint], w: &mut greem_obs::json::JsonWriter) {
+    w.begin_arr(Some("points"));
+    for pt in points {
+        w.begin_obj(None);
+        write_point(pt, w);
+        w.end_obj();
+    }
+    w.end_arr();
+}
+
+/// Machine-readable summary (`--json`).
+pub fn summary_json(small: bool) -> String {
+    let points = run_sweep(small);
+    let mut w = super::summary_writer("weakscale", small);
+    write_sweep(&points, &mut w);
+    w.end_obj();
+    w.finish()
+}
+
+/// Gate metrics: the deterministic virtual-clock and traffic counts of
+/// every sweep point. All `Exact` — the engine is bitwise
+/// deterministic, so any drift is a semantic change to the runtime or
+/// the model, not noise. Host wall time is reported ungated.
+#[cfg(feature = "obs")]
+fn metric_specs(points: &[WeakScalePoint]) -> Vec<greem_analysis::MetricSpec> {
+    use greem_analysis::{Direction, MetricSpec};
+    let mut m = Vec::new();
+    for pt in points {
+        let p = pt.p;
+        m.push(MetricSpec::new(
+            format!("p{p}_vtime_per_step"),
+            pt.vtime_per_step,
+            0.0,
+            true,
+            Direction::Exact,
+        ));
+        m.push(MetricSpec::new(
+            format!("p{p}_pct_of_peak"),
+            pt.pct_of_peak,
+            0.0,
+            true,
+            Direction::Exact,
+        ));
+        m.push(MetricSpec::new(
+            format!("p{p}_messages"),
+            pt.messages as f64,
+            0.0,
+            true,
+            Direction::Exact,
+        ));
+        m.push(MetricSpec::new(
+            format!("p{p}_bytes"),
+            pt.bytes_sent as f64,
+            0.0,
+            true,
+            Direction::Exact,
+        ));
+        m.push(MetricSpec::new(
+            format!("p{p}_wall_s"),
+            pt.wall_s,
+            0.5,
+            false,
+            Direction::LowerIsBetter,
+        ));
+    }
+    m
+}
+
+/// `harness weakscale`: run the sweep, report, and — when a baseline
+/// exists — gate the deterministic counts against
+/// `baselines/weakscale_{small,full}.json`. Unlike `serve-bench`, a
+/// missing baseline is NOT an error (exit 0 with a note): the full
+/// sweep is a first-class experiment, the gate an opt-in for CI.
+/// `--update-baselines` records the baseline. Exit codes otherwise
+/// mirror `regress`: 0 pass, 1 regression, 2 setup error.
+#[cfg(feature = "obs")]
+pub fn gate(small: bool, json_out: bool, update: bool, baseline_dir: Option<&str>) -> i32 {
+    use greem_analysis::{compare, Baseline, Verdict};
+
+    let name = if small {
+        "weakscale_small"
+    } else {
+        "weakscale_full"
+    };
+    let dir = baseline_dir
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(crate::regress::default_baseline_dir);
+    let path = dir.join(format!("{name}.json"));
+    let points = run_sweep(small);
+    let metrics = metric_specs(&points);
+
+    let emit = |points: &[WeakScalePoint], cmp: Option<&greem_analysis::Comparison>| {
+        if json_out {
+            let mut w = super::summary_writer("weakscale", small);
+            write_sweep(points, &mut w);
+            if let Some(cmp) = cmp {
+                w.bool_(Some("pass"), cmp.pass);
+                w.begin_arr(Some("findings"));
+                for f in &cmp.findings {
+                    w.begin_obj(None);
+                    w.str_(Some("name"), &f.name);
+                    w.f64(Some("baseline"), f.baseline);
+                    match f.current {
+                        Some(c) => w.f64(Some("current"), c),
+                        None => w.str_(Some("current"), "missing"),
+                    }
+                    w.bool_(Some("gate"), f.gate);
+                    w.str_(Some("verdict"), f.verdict.as_str());
+                    w.end_obj();
+                }
+                w.end_arr();
+            } else {
+                w.bool_(Some("pass"), true);
+            }
+            w.end_obj();
+            println!("{}", w.finish());
+        } else {
+            print!("{}", render(points));
+            if let Some(cmp) = cmp {
+                println!(
+                    "  gate vs baseline: {}",
+                    if cmp.pass { "PASS" } else { "REGRESSION" }
+                );
+                for f in &cmp.findings {
+                    let mark = match f.verdict {
+                        Verdict::Pass => "ok  ",
+                        Verdict::Regression => "FAIL",
+                        Verdict::Improvement => "BEAT",
+                        Verdict::Missing => "GONE",
+                    };
+                    println!(
+                        "    [{mark}] {:<24} base {:>14.6}  cur {:>14.6}{}",
+                        f.name,
+                        f.baseline,
+                        f.current.unwrap_or(f64::NAN),
+                        if f.gate { "" } else { "  (ungated)" },
+                    );
+                }
+            }
+        }
+    };
+
+    if update {
+        let base = Baseline::from_metrics(name, &metrics);
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("weakscale: cannot create {}: {e}", dir.display());
+            return 2;
+        }
+        if let Err(e) = std::fs::write(&path, base.to_json()) {
+            eprintln!("weakscale: cannot write {}: {e}", path.display());
+            return 2;
+        }
+        emit(&points, None);
+        eprintln!("weakscale: baseline updated at {}", path.display());
+        return 0;
+    }
+
+    match std::fs::read_to_string(&path) {
+        Ok(src) => match Baseline::parse(&src) {
+            Ok(base) => {
+                let cmp = compare(&metrics, &base);
+                let pass = cmp.pass;
+                emit(&points, Some(&cmp));
+                if pass {
+                    0
+                } else {
+                    1
+                }
+            }
+            Err(e) => {
+                eprintln!("weakscale: corrupt baseline {}: {e}", path.display());
+                2
+            }
+        },
+        Err(_) => {
+            emit(&points, None);
+            eprintln!(
+                "weakscale: no baseline at {} — ran ungated (record one with --update-baselines)",
+                path.display()
+            );
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_sweep_is_deterministic_and_monotone() {
+        let a = run_sweep(true);
+        let b = run_sweep(true);
+        assert_eq!(a.len(), sweep_points(true).len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.vtime_per_step.to_bits(), y.vtime_per_step.to_bits());
+            assert_eq!(x.messages, y.messages);
+            assert_eq!(x.bytes_sent, y.bytes_sent);
+        }
+        // Weak scaling: efficiency must not increase with p (Amdahl via
+        // the flat FFT + growing sampling cost).
+        for w in a.windows(2) {
+            assert!(
+                w[1].pct_of_peak <= w[0].pct_of_peak + 1e-12,
+                "efficiency rose from p={} to p={}",
+                w[0].p,
+                w[1].p
+            );
+        }
+        for pt in &a {
+            assert!(pt.pct_of_peak > 0.0 && pt.pct_of_peak < 1.0);
+            assert!(pt.rep_interactions > 0, "real kernel never ran");
+            assert!(!pt.losses.is_empty());
+            // The force row owns the largest critical-path share
+            // everywhere in the sweep (losses are sorted by points
+            // *lost*, where the kernel phase is by design near zero).
+            let dominant = pt
+                .losses
+                .iter()
+                .max_by(|a, b| a.share.total_cmp(&b.share))
+                .unwrap();
+            assert_eq!(dominant.phase, "pp.force_calculation");
+        }
+    }
+
+    #[test]
+    fn sweep_tracks_the_model_closely() {
+        // The scripted makespan is the model total + token comm + ≤2 %
+        // skew, so measured %peak must sit within 10 % (relative) of
+        // the Table-I model at every p.
+        for pt in run_sweep(true) {
+            let ratio = pt.pct_of_peak / pt.model_pct_of_peak;
+            assert!(
+                (0.85..=1.01).contains(&ratio),
+                "p={}: pct_of_peak {:.3} vs model {:.3} (ratio {ratio:.3})",
+                pt.p,
+                pt.pct_of_peak,
+                pt.model_pct_of_peak
+            );
+        }
+    }
+
+    #[test]
+    fn published_point_lands_on_the_paper() {
+        // The acceptance bar: modelled efficiency at 24576 within ±10
+        // points of the paper's published 49 %. (82944 is exercised in
+        // the harness/CI full run; it shares every code path with
+        // this.) Note `paper_pct_of_peak` is the row-sum basis (52.1 %
+        // — Table I's printed rows undershoot its printed totals), so
+        // both references are checked.
+        let pt = run_point(24576, 1, true);
+        let paper_rows = pt.paper_pct_of_peak.unwrap();
+        assert!((paper_rows - 0.521).abs() < 0.02, "row basis {paper_rows}");
+        assert!(
+            (pt.pct_of_peak - 0.49).abs() < 0.10,
+            "24576: {:.3} vs published 0.49",
+            pt.pct_of_peak
+        );
+        assert!(
+            (pt.pct_of_peak - paper_rows).abs() < 0.10,
+            "24576: {:.3} vs row-sum {paper_rows:.3}",
+            pt.pct_of_peak
+        );
+        assert!(pt.messages > 0 && pt.bytes_sent > 0);
+    }
+}

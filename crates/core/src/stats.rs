@@ -107,6 +107,29 @@ impl StepBreakdown {
         self.pp_list_replays += o.pp_list_replays;
     }
 
+    /// The 13 measured phase rows as `(dotted name, seconds/step)`
+    /// pairs, matching `TableOne::phase_rows` from `greem_perfmodel` and
+    /// the phase names the weak-scaling scripts charge virtual time
+    /// under — the join key between measurement, model and simulation.
+    pub fn phase_rows(&self, steps: f64) -> [(&'static str, f64); 13] {
+        let s = |v: f64| v / steps;
+        [
+            ("pm.density_assignment", s(self.pm.density_assignment)),
+            ("pm.communication", s(self.pm.communication_sim)),
+            ("pm.fft", s(self.pm.fft)),
+            ("pm.accel_on_mesh", s(self.pm.acceleration_on_mesh)),
+            ("pm.force_interpolation", s(self.pm.force_interpolation)),
+            ("pp.local_tree", s(self.pp_local_tree)),
+            ("pp.communication", s(self.pp_communication)),
+            ("pp.tree_construction", s(self.pp_tree_construction)),
+            ("pp.tree_traversal", s(self.pp_tree_traversal)),
+            ("pp.force_calculation", s(self.pp_force_calculation)),
+            ("dd.position_update", s(self.dd_position_update)),
+            ("dd.sampling_method", s(self.dd_sampling_method)),
+            ("dd.particle_exchange", s(self.dd_particle_exchange)),
+        ]
+    }
+
     /// The Table-I rows as a JSON object (hand-rolled; the build is
     /// offline so no serde). Keys follow the paper's phase names in
     /// snake_case; all timings are seconds per step.
@@ -398,6 +421,20 @@ mod tests {
         let close = j.matches('}').count();
         assert_eq!(open, close);
         assert_eq!(open, 4);
+    }
+
+    #[test]
+    fn phase_rows_divide_by_steps_and_sum_to_total() {
+        let mut b = StepBreakdown::default();
+        b.pm.fft = 3.0;
+        b.pp_force_calculation = 6.0;
+        b.dd_sampling_method = 1.5;
+        let rows = b.phase_rows(3.0);
+        let sum: f64 = rows.iter().map(|(_, v)| v).sum();
+        assert!((sum - b.total() / 3.0).abs() < 1e-12);
+        assert!(rows.contains(&("pm.fft", 1.0)));
+        assert!(rows.contains(&("pp.force_calculation", 2.0)));
+        assert!(rows.contains(&("dd.sampling_method", 0.5)));
     }
 
     #[test]

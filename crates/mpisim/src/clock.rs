@@ -1,0 +1,109 @@
+//! The per-rank virtual clock, shared by both execution modes.
+//!
+//! All virtual-time arithmetic — compute charges, injection-port
+//! serialisation on send, drain-port serialisation on receive — lives in
+//! [`RankClock`] so the thread-per-rank runtime ([`crate::World::run`])
+//! and the single-threaded phantom engine ([`crate::World::run_script`]
+//! with phantoms) execute *the same floating-point operations in the
+//! same order*. That is what makes phantom-mode timelines bitwise
+//! identical to full-thread timelines (test-enforced in
+//! `tests/phantom_equivalence.rs`); see DESIGN.md §16.
+
+use crate::netmodel::NetModel;
+
+/// A rank's virtual clock plus its two network-port occupancy times.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub(crate) struct RankClock {
+    /// The rank's virtual clock, in simulated seconds.
+    pub vtime: f64,
+    /// Virtual time until which the injection (send) port is busy.
+    pub inject_free: f64,
+    /// Virtual time until which the drain (receive) port is busy.
+    pub port_free: f64,
+}
+
+impl RankClock {
+    /// Advance the clock by `seconds` of modelled computation.
+    #[inline]
+    pub fn compute(&mut self, seconds: f64) {
+        self.vtime += seconds;
+    }
+
+    /// Force the clock to at least `t` (used by barriers and receives).
+    #[inline]
+    pub fn advance_to(&mut self, t: f64) -> bool {
+        if t > self.vtime {
+            self.vtime = t;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Charge a self-send (pure memcpy, bypasses the NIC) and return the
+    /// payload's ready time.
+    #[inline]
+    pub fn charge_self_send(&mut self, net: &NetModel, bytes: usize) -> f64 {
+        self.vtime += net.self_time(bytes);
+        self.vtime
+    }
+
+    /// Charge a remote send: serialise on the injection port, pay the
+    /// per-message overhead, and return the wire time (`send_ready`).
+    #[inline]
+    pub fn charge_send(&mut self, net: &NetModel, bytes: usize) -> f64 {
+        let send_ready = self.vtime.max(self.inject_free);
+        self.inject_free = send_ready + net.inject_time(bytes);
+        self.vtime = send_ready + net.send_overhead;
+        send_ready
+    }
+
+    /// Charge a remote receive whose message arrived at `arrival`
+    /// (sender's `send_ready` + hop latency + any injected fault cost):
+    /// serialise on the drain port and advance the clock past the drain.
+    #[inline]
+    pub fn charge_recv(&mut self, net: &NetModel, arrival: f64, bytes: usize) {
+        let start = self.port_free.max(arrival);
+        let done = start + net.drain_time(bytes);
+        self.port_free = done;
+        self.advance_to(done);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_serialises_on_inject_port() {
+        let net = NetModel::k_computer();
+        let mut c = RankClock::default();
+        let r0 = c.charge_send(&net, 1 << 20);
+        let r1 = c.charge_send(&net, 1 << 20);
+        assert_eq!(r0, 0.0);
+        // Second send must wait for the first's injection to finish.
+        assert_eq!(r1, net.inject_time(1 << 20));
+        assert!(c.inject_free > c.vtime, "inject port outlives the overhead");
+    }
+
+    #[test]
+    fn recv_serialises_on_drain_port() {
+        let net = NetModel::k_computer();
+        let mut c = RankClock::default();
+        c.charge_recv(&net, 1.0, 1 << 20);
+        let after_one = c.vtime;
+        // A message that "arrived" long ago still queues behind the port.
+        c.charge_recv(&net, 0.0, 1 << 20);
+        assert_eq!(c.vtime, after_one + net.drain_time(1 << 20));
+    }
+
+    #[test]
+    fn advance_never_rewinds() {
+        let mut c = RankClock::default();
+        c.compute(2.0);
+        assert!(!c.advance_to(1.0));
+        assert_eq!(c.vtime, 2.0);
+        assert!(c.advance_to(3.0));
+        assert_eq!(c.vtime, 3.0);
+    }
+}

@@ -11,9 +11,17 @@
 //!
 //! Collectives use the algorithms real MPI implementations use at these
 //! scales — binomial trees for `bcast`/`reduce`/`barrier`, linear
-//! fan-in for `gather`, pairwise exchange for `alltoallv` — so the
-//! simulated network sees a realistic message pattern, which is the whole
-//! point: the relay-mesh experiment is *about* those patterns.
+//! fan-in for `gather` (small-message `Gatherv`), Bruck-style
+//! dissemination for `allgather`, pairwise exchange for `alltoallv` — so
+//! the simulated network sees a realistic message pattern, which is the
+//! whole point: the relay-mesh experiment is *about* those patterns.
+//!
+//! The phantom engine (see [`crate::script`] and DESIGN.md §16) replays
+//! the same edge patterns without payloads; its per-rank schedules live
+//! in [`sched`] at the bottom of this file and **must** stay in
+//! lockstep with the threaded implementations — the
+//! `phantom_equivalence` integration tests enforce bitwise-identical
+//! virtual clocks between the two.
 
 use std::cell::Cell;
 use std::sync::atomic::Ordering;
@@ -34,6 +42,7 @@ enum CollOp {
     Gather = 4,
     AllToAll = 5,
     Split = 6,
+    AllGather = 7,
 }
 
 /// A communicator: an ordered subset of world ranks, with this rank's
@@ -61,6 +70,20 @@ impl Comm {
             id: 0,
             ranks: Arc::new((0..n).collect()),
             my_rank: my_global,
+            seq: Cell::new(0),
+        }
+    }
+
+    /// A communicator over an explicit member list with a caller-chosen
+    /// id. Used by the script runtime, which derives group membership
+    /// and ids deterministically on every rank (no `split` traffic);
+    /// the id space must not collide with `split`'s counter.
+    pub(crate) fn subset(id: u64, ranks: Arc<Vec<usize>>, my_rank: usize) -> Comm {
+        debug_assert!(my_rank < ranks.len());
+        Comm {
+            id,
+            ranks,
+            my_rank,
             seq: Cell::new(0),
         }
     }
@@ -317,16 +340,64 @@ impl Comm {
         Some(out)
     }
 
-    /// Gather at local rank 0 and broadcast the result to every member.
+    /// Gather every member's vector at every member (local-rank order).
+    /// Bruck-style dissemination: ⌈log₂ p⌉ rounds in which each rank
+    /// ships its accumulated run of blocks `have` ranks downward and
+    /// doubles it, so no rank — in particular not local rank 0 —
+    /// serialises O(p) receives the way the rooted [`Comm::gather`]
+    /// does. Ragged blocks are handled with a small length header
+    /// preceding each round's concatenated payload.
     pub fn allgather<T: Clone + Send + 'static>(
         &self,
         ctx: &mut Ctx,
         local: Vec<T>,
     ) -> Vec<Vec<T>> {
-        self.traced(ctx, "allgather", move |c, ctx| {
-            let gathered = c.gather(ctx, 0, local);
-            c.bcast(ctx, 0, gathered)
-        })
+        self.traced(ctx, "allgather", move |c, ctx| c.allgather_impl(ctx, local))
+    }
+
+    fn allgather_impl<T: Clone + Send + 'static>(
+        &self,
+        ctx: &mut Ctx,
+        local: Vec<T>,
+    ) -> Vec<Vec<T>> {
+        let tag = self.next_tag(CollOp::AllGather);
+        let p = self.size();
+        let r = self.my_rank;
+        // blocks[j] holds the vector of local rank (r + j) % p.
+        let mut blocks: Vec<Vec<T>> = Vec::with_capacity(p);
+        blocks.push(local);
+        let mut have = 1;
+        while have < p {
+            // Ship our first `cnt` blocks `have` ranks downward; the
+            // receiver appends them to its run, which grows to
+            // `have + cnt`. Each (src → dst) pair occurs in exactly one
+            // round, so one tag pair per round cannot cross-match.
+            let cnt = have.min(p - have);
+            let dst = self.ranks[(r + p - have) % p];
+            let src = self.ranks[(r + have) % p];
+            let header: Vec<u64> = blocks[..cnt].iter().map(|b| b.len() as u64).collect();
+            ctx.send_raw(dst, self.id, tag, header);
+            let data: Vec<T> = blocks[..cnt]
+                .iter()
+                .flat_map(|b| b.iter().cloned())
+                .collect();
+            ctx.send_raw(dst, self.id, tag + (1 << 7), data);
+            let lens = ctx.recv_raw::<u64>(src, self.id, tag);
+            let data = ctx.recv_raw::<T>(src, self.id, tag + (1 << 7));
+            let mut it = data.into_iter();
+            for len in lens {
+                blocks.push(it.by_ref().take(len as usize).collect());
+            }
+            debug_assert!(it.next().is_none(), "allgather: header/data mismatch");
+            have += cnt;
+            debug_assert_eq!(blocks.len(), have);
+        }
+        // Rotate back into local-rank order: blocks[j] is rank (r+j)%p.
+        let mut out: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
+        for (j, b) in blocks.into_iter().enumerate() {
+            out[(r + j) % p] = b;
+        }
+        out
     }
 
     /// Personalised all-to-all with per-destination vectors
@@ -427,4 +498,162 @@ impl Comm {
 fn highest_bit(x: usize) -> usize {
     debug_assert!(x > 0);
     1 << (usize::BITS - 1 - x.leading_zeros())
+}
+
+/// Analytic per-rank edge schedules of the collectives, for the phantom
+/// engine (`crate::engine`).
+///
+/// Each function emits, for one local rank, the exact sequence of sends
+/// and receives the threaded implementation above would perform —
+/// payloads elided, byte counts preserved. A phantom-only subtree of a
+/// binomial collective therefore costs O(edges) host work instead of
+/// O(ranks) threads. **Keep these in lockstep with the threaded
+/// implementations**: `tests/phantom_equivalence.rs` proves bitwise
+/// clock agreement at p ≤ 64 and will catch any drift.
+pub(crate) mod sched {
+    use super::highest_bit;
+
+    /// One edge action, from one rank's point of view. Peers are local
+    /// ranks; `bytes` is the modelled payload size of the send (the
+    /// receive side takes its size from the matched message).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub(crate) enum Act {
+        Send { peer: u32, bytes: u64 },
+        Recv { peer: u32 },
+    }
+
+    /// Binomial fan-in to local rank 0, mirrored fan-out (`barrier`).
+    pub(crate) fn barrier(p: usize, r: usize, out: &mut Vec<Act>) {
+        if p == 1 {
+            return;
+        }
+        let mut k = 1;
+        while k < p {
+            if r & k != 0 {
+                out.push(Act::Send {
+                    peer: (r - k) as u32,
+                    bytes: 0,
+                });
+                break;
+            } else if r + k < p {
+                out.push(Act::Recv {
+                    peer: (r + k) as u32,
+                });
+            }
+            k <<= 1;
+        }
+        let mut k = {
+            let mut k = 1;
+            while k < p {
+                k <<= 1;
+            }
+            k >> 1
+        };
+        while k >= 1 {
+            if r & k != 0 {
+                out.push(Act::Recv {
+                    peer: (r - k) as u32,
+                });
+                break;
+            } else if r + k < p {
+                out.push(Act::Send {
+                    peer: (r + k) as u32,
+                    bytes: 0,
+                });
+            }
+            k >>= 1;
+        }
+    }
+
+    /// Binomial broadcast from local rank `root`; every forwarded
+    /// message carries the root's payload size.
+    pub(crate) fn bcast(p: usize, r: usize, root: usize, root_bytes: u64, out: &mut Vec<Act>) {
+        let rel = (r + p - root) % p;
+        if rel != 0 {
+            let k = highest_bit(rel);
+            out.push(Act::Recv {
+                peer: ((rel - k + root) % p) as u32,
+            });
+        }
+        let mut k = if rel == 0 { 1 } else { highest_bit(rel) << 1 };
+        while rel + k < p {
+            out.push(Act::Send {
+                peer: ((rel + k + root) % p) as u32,
+                bytes: root_bytes,
+            });
+            k <<= 1;
+        }
+    }
+
+    /// Binomial reduction to local rank `root`; each rank forwards its
+    /// accumulator, whose size never changes (`my_bytes`).
+    pub(crate) fn reduce(p: usize, r: usize, root: usize, my_bytes: u64, out: &mut Vec<Act>) {
+        let rel = (r + p - root) % p;
+        let mut k = 1;
+        while k < p {
+            if rel & k != 0 {
+                out.push(Act::Send {
+                    peer: ((rel - k + root) % p) as u32,
+                    bytes: my_bytes,
+                });
+                return;
+            } else if rel + k < p {
+                out.push(Act::Recv {
+                    peer: ((rel + k + root) % p) as u32,
+                });
+            }
+            k <<= 1;
+        }
+    }
+
+    /// Linear fan-in to local rank `root` (the rooted `gather` stays
+    /// root-serialised by design — it models small-message `Gatherv`).
+    pub(crate) fn gather(
+        p: usize,
+        r: usize,
+        root: usize,
+        bytes_of: &dyn Fn(usize) -> u64,
+        out: &mut Vec<Act>,
+    ) {
+        if r != root {
+            out.push(Act::Send {
+                peer: root as u32,
+                bytes: bytes_of(r),
+            });
+            return;
+        }
+        for src in 0..p {
+            if src != root {
+                out.push(Act::Recv { peer: src as u32 });
+            }
+        }
+    }
+
+    /// Bruck dissemination `allgather`: per round one length header
+    /// (8 bytes per block) plus the concatenated block payload.
+    pub(crate) fn allgather(
+        p: usize,
+        r: usize,
+        bytes_of: &dyn Fn(usize) -> u64,
+        out: &mut Vec<Act>,
+    ) {
+        let mut have = 1;
+        while have < p {
+            let cnt = have.min(p - have);
+            let dst = ((r + p - have) % p) as u32;
+            let src = ((r + have) % p) as u32;
+            out.push(Act::Send {
+                peer: dst,
+                bytes: 8 * cnt as u64,
+            });
+            let data: u64 = (0..cnt).map(|j| bytes_of((r + j) % p)).sum();
+            out.push(Act::Send {
+                peer: dst,
+                bytes: data,
+            });
+            out.push(Act::Recv { peer: src });
+            out.push(Act::Recv { peer: src });
+            have += cnt;
+        }
+    }
 }

@@ -6,6 +6,7 @@ use std::sync::Arc;
 
 use crossbeam::channel::{Receiver, Sender};
 
+use crate::clock::RankClock;
 #[cfg(feature = "faults")]
 use crate::fault::{FaultCtx, FaultPlan, FaultStats, MsgFault};
 use crate::netmodel::NetModel;
@@ -68,12 +69,9 @@ pub struct Ctx {
     pub(crate) outboxes: Vec<Sender<Message>>,
     pub(crate) topo: Torus3d,
     pub(crate) net: NetModel,
-    /// This rank's virtual clock, in simulated seconds.
-    pub(crate) vtime: f64,
-    /// Virtual time until which the injection (send) port is busy.
-    pub(crate) inject_free: f64,
-    /// Virtual time until which the drain (receive) port is busy.
-    pub(crate) port_free: f64,
+    /// Virtual clock + port occupancy; the arithmetic lives in
+    /// [`RankClock`] so the phantom engine replays it bit-for-bit.
+    pub(crate) clock: RankClock,
     /// Shared counter for allocating communicator ids.
     pub(crate) comm_counter: Arc<AtomicU64>,
     pub(crate) stats: CommStats,
@@ -107,7 +105,7 @@ impl Ctx {
     /// This rank's virtual clock in simulated seconds. Advanced by
     /// message transfers (per the [`NetModel`]) and by [`Ctx::compute`].
     pub fn vtime(&self) -> f64 {
-        self.vtime
+        self.clock.vtime
     }
 
     /// Advance the virtual clock by `seconds` of modelled computation.
@@ -126,14 +124,13 @@ impl Ctx {
             }
             None => seconds,
         };
-        self.vtime += seconds;
+        self.clock.compute(seconds);
         self.obs_sync();
     }
 
     /// Force the virtual clock to at least `t` (used by barriers).
     pub(crate) fn advance_to(&mut self, t: f64) {
-        if t > self.vtime {
-            self.vtime = t;
+        if self.clock.advance_to(t) {
             self.obs_sync();
         }
     }
@@ -143,7 +140,7 @@ impl Ctx {
     #[inline]
     pub(crate) fn obs_sync(&self) {
         #[cfg(feature = "obs")]
-        greem_obs::trace::set_vtime(self.vtime);
+        greem_obs::trace::set_vtime(self.clock.vtime);
     }
 
     /// Communication counters so far.
@@ -167,14 +164,14 @@ impl Ctx {
         self.stats.bytes_sent += bytes as u64;
         if dest == self.rank {
             // Pure memcpy: charge the self-transfer and bypass the NIC.
-            self.vtime += self.net.self_time(bytes);
+            let ready = self.clock.charge_self_send(&self.net, bytes);
             self.obs_sync();
             self.pending.push(Message {
                 src: self.rank,
                 comm_id,
                 tag,
                 bytes,
-                send_ready: self.vtime,
+                send_ready: ready,
                 hops: 0,
                 #[cfg(feature = "faults")]
                 fault: MsgFault::default(),
@@ -182,9 +179,7 @@ impl Ctx {
             });
             return;
         }
-        let send_ready = self.vtime.max(self.inject_free);
-        self.inject_free = send_ready + self.net.inject_time(bytes);
-        self.vtime = send_ready + self.net.send_overhead;
+        let send_ready = self.clock.charge_send(&self.net, bytes);
         self.obs_sync();
         let hops = self.topo.hops(self.rank, dest);
         self.stats.hops_sent += hops as u64;
@@ -230,10 +225,8 @@ impl Ctx {
             if !msg.fault.is_clean() {
                 arrival += self.apply_msg_fault(&msg.fault);
             }
-            let start = self.port_free.max(arrival);
-            let done = start + self.net.drain_time(msg.bytes);
-            self.port_free = done;
-            self.advance_to(done);
+            self.clock.charge_recv(&self.net, arrival, msg.bytes);
+            self.obs_sync();
         } else {
             self.advance_to(msg.send_ready);
         }

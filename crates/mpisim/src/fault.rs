@@ -255,6 +255,26 @@ impl FaultPlan {
         self.crashes.iter().any(|&(r, s)| r == rank && s == step)
     }
 
+    /// True when the plan can inject message faults at all. The phantom
+    /// engine keys its per-rank send-sequence allocation off this, so a
+    /// plan with only crashes/stragglers costs phantom ranks nothing.
+    pub fn has_msg_faults(&self) -> bool {
+        self.drop_prob > 0.0 || self.delay_prob > 0.0
+    }
+
+    /// True when any straggler window exists (on any rank). A false
+    /// here lets the engine's compute fast path skip the per-rank
+    /// factor lookup entirely.
+    pub fn has_stragglers(&self) -> bool {
+        !self.stragglers.is_empty()
+    }
+
+    /// True when `rank` has at least one scheduled crash — ranks
+    /// without one need no fired-crash state.
+    pub fn rank_has_crashes(&self, rank: usize) -> bool {
+        self.crashes.iter().any(|&(r, _)| r == rank)
+    }
+
     /// Combined slowdown factor of `rank` at `step` (1.0 = healthy).
     pub fn straggler_factor(&self, rank: usize, step: u64) -> f64 {
         self.stragglers

@@ -43,12 +43,25 @@
 //! the seed. See [`fault`] for the model; `greem_resil` builds the
 //! detection/rollback machinery on top. Without the feature every hook
 //! compiles out; without a plan each hook costs one `Option` branch.
+//!
+//! ## Virtual scaling (phantom mode)
+//!
+//! Thread-per-rank tops out around 64 ranks; the paper's runs are at
+//! 24576 and 82944. A declarative [`Script`] (compute charges +
+//! collectives) can instead run on a [`World::with_phantoms`] world: a
+//! single-threaded event engine replays the cost schedule for every
+//! rank with payloads elided (bytes/hops/vtime preserved), making
+//! full-machine worlds cheap while staying **bitwise identical** to
+//! the threaded runtime — see [`script`] and DESIGN.md §16.
 
+pub(crate) mod clock;
 pub mod comm;
 pub mod ctx;
+pub(crate) mod engine;
 #[cfg(feature = "faults")]
 pub mod fault;
 pub mod netmodel;
+pub mod script;
 pub mod topology;
 pub mod world;
 
@@ -57,5 +70,6 @@ pub use ctx::{CommStats, Ctx};
 #[cfg(feature = "faults")]
 pub use fault::{FaultPlan, FaultStats, MsgFault, RetryPolicy};
 pub use netmodel::NetModel;
+pub use script::{EngineReport, RankTimeline, Script, ScriptOutcome};
 pub use topology::Torus3d;
 pub use world::World;

@@ -159,4 +159,54 @@ mod tests {
         let k_full = Torus3d::new(32, 54, 48);
         assert_eq!(k_full.len(), 82944);
     }
+
+    #[test]
+    fn roughly_cubic_at_paper_node_counts() {
+        // §IV's two production points. 24576 = 2¹³·3 factors as
+        // 32×32×24 (surface 88, the minimum), and 82944 = 2¹⁰·3⁴ as
+        // 48×48×36 (surface 132). Both stay within aspect ratio 2, so
+        // weak-scaling worlds built with `World::new(p)` see a torus
+        // whose diameter and bisection behave like the real machine's
+        // allocation rather than a degenerate ring.
+        let t24 = Torus3d::roughly_cubic(24576);
+        let mut dims = [t24.nx, t24.ny, t24.nz];
+        dims.sort_unstable();
+        assert_eq!(dims, [24, 32, 32]);
+        assert_eq!(t24.len(), 24576);
+        assert_eq!(t24.diameter(), 12 + 16 + 16);
+
+        let t82 = Torus3d::roughly_cubic(82944);
+        let mut dims = [t82.nx, t82.ny, t82.nz];
+        dims.sort_unstable();
+        assert_eq!(dims, [36, 48, 48]);
+        assert_eq!(t82.len(), 82944);
+        assert_eq!(t82.diameter(), 18 + 24 + 24);
+
+        for t in [t24, t82] {
+            let longest = t.nx.max(t.ny).max(t.nz);
+            let shortest = t.nx.min(t.ny).min(t.nz);
+            assert!(longest <= 2 * shortest, "degenerate torus {t:?}");
+        }
+    }
+
+    #[test]
+    fn paper_shape_hop_counts() {
+        // Spot-check wrap-around Manhattan distances on the exact
+        // 32×54×48 grid the paper ran on (z fastest, row-major).
+        let t = Torus3d::new(32, 54, 48);
+        // One step along each axis.
+        assert_eq!(t.hops(t.rank(0, 0, 0), t.rank(1, 0, 0)), 1);
+        assert_eq!(t.hops(t.rank(0, 0, 0), t.rank(0, 1, 0)), 1);
+        assert_eq!(t.hops(t.rank(0, 0, 0), t.rank(0, 0, 1)), 1);
+        // Wrap-around beats the long way on every axis.
+        assert_eq!(t.hops(t.rank(0, 5, 5), t.rank(31, 5, 5)), 1);
+        assert_eq!(t.hops(t.rank(3, 0, 0), t.rank(3, 53, 0)), 1);
+        assert_eq!(t.hops(t.rank(3, 7, 0), t.rank(3, 7, 47)), 1);
+        // The antipode attains the diameter: 16 + 27 + 24 = 67.
+        assert_eq!(t.diameter(), 67);
+        assert_eq!(t.hops(t.rank(0, 0, 0), t.rank(16, 27, 24)), 67);
+        // A mid-grid pair, computed by hand: (10,50,2) -> (30,10,40)
+        // is min(20,12) + min(40,14) + min(38,10) = 12 + 14 + 10.
+        assert_eq!(t.hops(t.rank(10, 50, 2), t.rank(30, 10, 40)), 36);
+    }
 }

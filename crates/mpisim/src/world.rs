@@ -7,9 +7,11 @@ use crossbeam::channel::unbounded;
 
 use crate::comm::Comm;
 use crate::ctx::{Ctx, Message};
+use crate::engine::Engine;
 #[cfg(feature = "faults")]
 use crate::fault::{FaultCtx, FaultPlan};
 use crate::netmodel::NetModel;
+use crate::script::{self, Script, ScriptOutcome};
 use crate::topology::Torus3d;
 
 /// Builder for a simulated world: rank count, topology, network model.
@@ -28,6 +30,9 @@ pub struct World {
     n: usize,
     topo: Torus3d,
     net: NetModel,
+    /// Phantom mode: `Some(representatives)` switches
+    /// [`World::run_script`] to the single-threaded event engine.
+    phantoms: Option<Vec<usize>>,
     #[cfg(feature = "faults")]
     faults: Option<Arc<FaultPlan>>,
 }
@@ -41,6 +46,7 @@ impl World {
             n,
             topo: Torus3d::roughly_cubic(n),
             net: NetModel::default(),
+            phantoms: None,
             #[cfg(feature = "faults")]
             faults: None,
         }
@@ -72,6 +78,52 @@ impl World {
         self
     }
 
+    /// Switch to phantom-rank thinning: [`World::run_script`] runs on
+    /// the single-threaded event engine, with only the listed
+    /// `representatives` executing the script's real-work hooks and
+    /// every other rank a lightweight phantom that replays the cost
+    /// schedule with size-only messages (bytes/hops/vtime preserved,
+    /// payload contents elided — DESIGN.md §16). An empty list is a
+    /// fully phantom world. [`World::run`] is incompatible with this
+    /// mode (closures need real payloads) and will panic.
+    pub fn with_phantoms(mut self, representatives: impl IntoIterator<Item = usize>) -> Self {
+        let mut reps: Vec<usize> = representatives.into_iter().collect();
+        reps.sort_unstable();
+        reps.dedup();
+        assert!(
+            reps.iter().all(|&r| r < self.n),
+            "representative rank out of range"
+        );
+        self.phantoms = Some(reps);
+        self
+    }
+
+    /// Execute a [`Script`] on every rank and collect per-rank
+    /// timelines. On a plain world this spawns one thread per rank
+    /// (real payloads — the reference semantics); on a
+    /// [`World::with_phantoms`] world it runs the event-driven phantom
+    /// engine, which produces bitwise-identical timelines at a tiny
+    /// fraction of the host cost, making 10⁴–10⁵-rank worlds cheap.
+    pub fn run_script(mut self, script: &Script) -> ScriptOutcome {
+        if let Some(reps) = self.phantoms.take() {
+            let engine = Engine::new(
+                self.n,
+                self.topo,
+                self.net,
+                #[cfg(feature = "faults")]
+                self.faults.clone(),
+            );
+            return engine.run(script, &reps);
+        }
+        let phases = script.phases().to_vec();
+        let timelines = self.run(|ctx, world| script::interpret_threaded(script, ctx, world));
+        ScriptOutcome {
+            phases,
+            timelines,
+            engine: None,
+        }
+    }
+
     /// Run `f` on every rank (one host thread per rank) and collect the
     /// per-rank return values in rank order. `f` receives the rank's
     /// [`Ctx`] and the world communicator.
@@ -83,6 +135,10 @@ impl World {
         T: Send,
         F: Fn(&mut Ctx, &Comm) -> T + Send + Sync,
     {
+        assert!(
+            self.phantoms.is_none(),
+            "phantom worlds execute scripts: use World::run_script"
+        );
         let n = self.n;
         let (senders, receivers): (Vec<_>, Vec<_>) = (0..n).map(|_| unbounded::<Message>()).unzip();
         let senders = Arc::new(senders);
@@ -108,9 +164,7 @@ impl World {
                         outboxes: senders.as_ref().clone(),
                         topo,
                         net,
-                        vtime: 0.0,
-                        inject_free: 0.0,
-                        port_free: 0.0,
+                        clock: Default::default(),
                         comm_counter,
                         stats: Default::default(),
                         #[cfg(feature = "faults")]

@@ -109,6 +109,30 @@ impl TableOne {
         self.performance() / KMachine::new().peak_flops(self.nodes)
     }
 
+    /// The 13 phase rows as `(dotted name, seconds/step)` pairs, in the
+    /// table's order. The dotted names (`pm.fft`, `pp.force_calculation`,
+    /// …) are the cross-crate phase vocabulary: `StepBreakdown` reports
+    /// measured rows and the weak-scaling scripts charge virtual time
+    /// under the same keys, so model, measurement and simulation can be
+    /// joined by name.
+    pub fn phase_rows(&self) -> [(&'static str, f64); 13] {
+        [
+            ("pm.density_assignment", self.pm_density_assignment),
+            ("pm.communication", self.pm_communication),
+            ("pm.fft", self.pm_fft),
+            ("pm.accel_on_mesh", self.pm_accel_on_mesh),
+            ("pm.force_interpolation", self.pm_force_interpolation),
+            ("pp.local_tree", self.pp_local_tree),
+            ("pp.communication", self.pp_communication),
+            ("pp.tree_construction", self.pp_tree_construction),
+            ("pp.tree_traversal", self.pp_tree_traversal),
+            ("pp.force_calculation", self.pp_force_calculation),
+            ("dd.position_update", self.dd_position_update),
+            ("dd.sampling_method", self.dd_sampling_method),
+            ("dd.particle_exchange", self.dd_particle_exchange),
+        ]
+    }
+
     /// Render one column in the paper's layout.
     pub fn render(&self) -> String {
         fn row_into(s: &mut String, name: &str, v: f64) {
@@ -453,6 +477,18 @@ mod tests {
         );
         // Efficiency decreases with p (Amdahl via the flat FFT).
         assert!(m82.efficiency() < m24.efficiency());
+    }
+
+    #[test]
+    fn phase_rows_cover_the_table() {
+        let t = paper_table(24576);
+        let rows = t.phase_rows();
+        let sum: f64 = rows.iter().map(|(_, v)| v).sum();
+        assert!(rel(sum, t.total()) < 1e-12, "rows must sum to the total");
+        for section in ["pm.", "pp.", "dd."] {
+            assert!(rows.iter().any(|(n, _)| n.starts_with(section)));
+        }
+        assert_eq!(rows[9], ("pp.force_calculation", t.pp_force_calculation));
     }
 
     #[test]

@@ -44,9 +44,15 @@ fn collectives_conserve_global_traffic() {
                 let summed = world.reduce(ctx, root, vec![me as u64, 1], |a, b| *a += *b);
                 let total = world.bcast(ctx, root, summed);
                 assert_eq!(total[1], p as u64);
-                // Allgather + barrier round out the schedule.
+                // Allgather + barrier round out the schedule. Ragged
+                // blocks exercise the Bruck dissemination's length
+                // headers (empty blocks included).
                 let everyone = world.allgather(ctx, vec![me as u16]);
                 assert_eq!(everyone.len(), p);
+                let ragged = world.allgather(ctx, vec![me as u32; me % 3]);
+                for (src, blk) in ragged.iter().enumerate() {
+                    assert_eq!(blk, &vec![src as u32; src % 3]);
+                }
                 world.barrier(ctx);
                 ctx.comm_stats()
             });
@@ -55,6 +61,32 @@ fn collectives_conserve_global_traffic() {
             let hops: u64 = stats.iter().map(|s| s.hops_sent).sum();
             assert!(hops > 0, "p={p}: no torus hops recorded");
         }
+    }
+}
+
+#[test]
+fn phantom_engine_conserves_global_traffic() {
+    // The single-threaded event engine must honour the same invariant
+    // as the threaded runtime, over every scripted collective shape —
+    // including at a rank count no thread-per-rank world could reach.
+    use mpisim::Script;
+    for p in [5usize, 64, 4096] {
+        let mut s = Script::new();
+        s.compute("pp.force_calculation", |_| 1e-4);
+        s.gather("dd.sampling_method", 0, |r| 24 * (r % 5 + 1));
+        s.bcast("dd.sampling_method", 0, |_| 512);
+        s.allgather("ctl.monitor", |r| 16 + 8 * (r % 4));
+        s.group_reduce("pm.communication", |r| (r % 3) as u64, |_| 4096);
+        s.allreduce("ctl.balancer", |_| 40);
+        s.barrier("ctl.barrier");
+        let out = World::new(p)
+            .with_net(NetModel::k_computer())
+            .with_phantoms([0])
+            .run_script(&s);
+        let stats: Vec<CommStats> = out.timelines.iter().map(|t| t.stats).collect();
+        assert_conserved(&format!("phantom engine p={p}"), &stats);
+        let hops: u64 = stats.iter().map(|s| s.hops_sent).sum();
+        assert!(hops > 0, "p={p}: no torus hops recorded");
     }
 }
 

@@ -18,7 +18,12 @@
 //! sweep on phantom-rank worlds up to the paper's 82944 nodes
 //! (`--small` for the CI smoke points; gated against
 //! `baselines/weakscale_*.json` when a baseline exists,
-//! `--update-baselines` records one); plus `regress` — the perf-regression gate (see
+//! `--update-baselines` records one); plus `galaxy` — the isolated
+//! Plummer galaxy collapse (`crates/astro`: open-boundary PM, Yoshida
+//! integrator, BH capture/merger events, mid-collapse checkpoint
+//! recovery), with an absolute energy-drift gate on `--small` and
+//! `Exact`-gated event counts against `baselines/galaxy_*.json`;
+//! plus `regress` — the perf-regression gate (see
 //! DESIGN.md §13):
 //! measure the fixed regression workload, judge it against the
 //! committed baseline in `baselines/` (override with `--baseline-dir`),
@@ -304,6 +309,13 @@ fn run_bench_summary(args: &HarnessArgs) {
     w.bool_(Some("small"), true);
     weakscale::write_sweep(&wsp, &mut w);
     w.end_obj();
+    // The isolated-system scenario (small collapse): energy drift, BH
+    // event counts and the mid-collapse recovery rehearsal.
+    let gx = galaxy::run(true);
+    w.begin_obj(Some("galaxy"));
+    w.bool_(Some("small"), true);
+    galaxy::write_outcome(&gx, &mut w);
+    w.end_obj();
     w.end_obj();
     args.deliver(&w.finish());
 }
@@ -364,6 +376,34 @@ fn run_weakscale(args: &HarnessArgs) -> ! {
     }
 }
 
+/// `harness galaxy`: the isolated Plummer collapse scenario. With the
+/// obs feature the deterministic event counts are gated against
+/// `baselines/galaxy_*.json` (`--update-baselines` records one) and
+/// the small config must hold the absolute 1e-3 energy-drift gate and
+/// a bitwise checkpoint recovery even without a baseline.
+fn run_galaxy(args: &HarnessArgs) -> ! {
+    #[cfg(feature = "obs")]
+    {
+        let code = galaxy::gate(
+            args.small,
+            args.json,
+            args.update_baselines,
+            args.baseline_dir.as_deref(),
+        );
+        std::process::exit(code);
+    }
+    #[cfg(not(feature = "obs"))]
+    {
+        let out = if args.json {
+            galaxy::summary_json(args.small)
+        } else {
+            galaxy::report(args.small)
+        };
+        println!("{out}");
+        std::process::exit(0);
+    }
+}
+
 /// `harness regress`: the perf-regression gate. Exits 0 on pass,
 /// 1 on regression, 2 on setup/usage errors.
 fn run_regress(args: &HarnessArgs) -> ! {
@@ -399,6 +439,7 @@ fn main() {
         "bench-summary" => return run_bench_summary(&args),
         "serve-bench" => run_serve_bench(&args),
         "weakscale" => run_weakscale(&args),
+        "galaxy" => run_galaxy(&args),
         "regress" => run_regress(&args),
         _ => {}
     }
@@ -428,7 +469,7 @@ fn main() {
             Some(r) => println!("{r}"),
             None => {
                 eprintln!(
-                    "unknown command '{}'. Available: {EXPERIMENTS:?}, 'all', 'trace', 'bench-summary', 'serve-bench', 'weakscale', 'regress'",
+                    "unknown command '{}'. Available: {EXPERIMENTS:?}, 'all', 'trace', 'bench-summary', 'serve-bench', 'weakscale', 'galaxy', 'regress'",
                     args.command
                 );
                 std::process::exit(2);

@@ -4,6 +4,26 @@ use greem_math::ForceSplit;
 use greem_pm::PmParams;
 use greem_tree::{Multipole, TraverseParams, TreeParams};
 
+/// Boundary condition of the gravity solve.
+///
+/// * [`Boundary::Periodic`] — the paper's cosmology box: minimum-image
+///   tree walk, periodic FFT Poisson solve with the uniform background
+///   subtracted (the k = 0 "Jeans swindle").
+/// * [`Boundary::Isolated`] — open space: the tree walk uses plain
+///   (non-wrapping) distances, the PM half runs James'-method
+///   zero-padded convolution on a 2× mesh
+///   ([`greem_pm::IsolatedPmSolver`]), and drifts do not wrap positions.
+///   This is the boundary condition of the `greem-astro` scenario
+///   engine (star clusters, galaxy collapse — DESIGN.md §17).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Boundary {
+    /// Periodic unit torus (default; the paper's setup).
+    #[default]
+    Periodic,
+    /// Open boundary: no periodic images anywhere in the force path.
+    Isolated,
+}
+
 /// Every knob of the TreePM solver, with the paper's choices as
 /// defaults.
 #[derive(Debug, Clone, Copy)]
@@ -56,6 +76,11 @@ pub struct TreePmConfig {
     /// (see `crate::resident`). Monopole-only; quadrupole runs always
     /// walk fresh.
     pub list_reuse: bool,
+    /// Boundary condition: periodic torus (the paper's box) or isolated
+    /// open space (scenario engine). Selects the PM backend, switches
+    /// the PP walk's minimum-image logic, and decides whether drifts
+    /// wrap positions.
+    pub boundary: Boundary,
 }
 
 impl TreePmConfig {
@@ -74,6 +99,16 @@ impl TreePmConfig {
             modeled_pp_cost: None,
             autotune: false,
             list_reuse: true,
+            boundary: Boundary::Periodic,
+        }
+    }
+
+    /// Paper-standard configuration with isolated (open) boundaries —
+    /// the scenario-engine counterpart of [`TreePmConfig::standard`].
+    pub fn isolated(n_mesh: usize) -> Self {
+        TreePmConfig {
+            boundary: Boundary::Isolated,
+            ..Self::standard(n_mesh)
         }
     }
 
@@ -90,13 +125,14 @@ impl TreePmConfig {
         }
     }
 
-    /// Tree traversal parameters (periodic, cutoff-pruned).
+    /// Tree traversal parameters (cutoff-pruned; minimum-image geometry
+    /// only under periodic boundaries).
     pub fn traverse_params(&self) -> TraverseParams {
         TraverseParams {
             theta: self.theta,
             group_size: self.group_size,
             r_cut: Some(self.r_cut),
-            periodic: true,
+            periodic: self.boundary == Boundary::Periodic,
             multipole: self.multipole,
         }
     }
@@ -134,5 +170,18 @@ mod tests {
         assert_eq!(c.traverse_params().r_cut, Some(c.r_cut));
         assert_eq!(c.pm_params().n_mesh, 32);
         assert_eq!(c.tree_params().leaf_capacity, c.leaf_capacity);
+    }
+
+    #[test]
+    fn boundary_threads_into_traverse_params() {
+        let p = TreePmConfig::standard(32);
+        assert_eq!(p.boundary, Boundary::Periodic);
+        assert!(p.traverse_params().periodic);
+        let i = TreePmConfig::isolated(32);
+        assert_eq!(i.boundary, Boundary::Isolated);
+        assert!(!i.traverse_params().periodic);
+        // Everything else matches the periodic standard.
+        assert_eq!(i.r_cut, p.r_cut);
+        assert_eq!(i.group_size, p.group_size);
     }
 }

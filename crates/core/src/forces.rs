@@ -11,11 +11,11 @@ use std::time::Instant;
 
 use greem_kernels::{pp_accel_dispatch, SourceList, Targets};
 use greem_math::{Aabb, Vec3};
-use greem_pm::{PmResult, PmSolver};
+use greem_pm::{IsolatedPmSolver, PmPipeline, PmResult, PmSolver};
 use greem_tree::{GroupWalk, Octree, SourceEntry, WalkStats};
 use rayon::prelude::*;
 
-use crate::config::TreePmConfig;
+use crate::config::{Boundary, TreePmConfig};
 
 /// Per-thread scratch reused across groups in [`TreePm::compute_pp`]:
 /// the walk's stack and interaction list plus the kernel's SoA
@@ -90,16 +90,23 @@ pub struct ForceResult {
 /// ```
 pub struct TreePm {
     cfg: TreePmConfig,
-    pm: PmSolver,
+    /// PM backend selected by `cfg.boundary`: the periodic torus solver
+    /// or the James'-method zero-padded isolated solver. The phase
+    /// structure of [`TreePm::compute_pm`] is identical either way.
+    pm: Box<dyn PmPipeline>,
 }
 
 impl TreePm {
-    /// Build a solver from a configuration.
+    /// Build a solver from a configuration. The boundary condition
+    /// selects the PM backend (periodic FFT vs zero-padded open-space
+    /// convolution); the PP half reads the same flag through
+    /// [`TreePmConfig::traverse_params`].
     pub fn new(cfg: TreePmConfig) -> Self {
-        TreePm {
-            pm: PmSolver::new(cfg.pm_params()),
-            cfg,
-        }
+        let pm: Box<dyn PmPipeline> = match cfg.boundary {
+            Boundary::Periodic => Box::new(PmSolver::new(cfg.pm_params())),
+            Boundary::Isolated => Box::new(IsolatedPmSolver::new(cfg.pm_params())),
+        };
+        TreePm { pm, cfg }
     }
 
     /// The configuration.
@@ -253,21 +260,9 @@ impl TreePm {
     pub fn potential_energy(&self, pos: &[Vec3], mass: &[f64]) -> f64 {
         // PM part.
         let (pm, _) = self.compute_pm(pos, mass);
-        // Self-energy of the S2-filtered particle: φ_self =
-        // −(2/π)·(2/r_cut)·∫₀^∞ S̃2(u)² du per unit mass.
-        let s2_int = {
-            // ∫ S̃2² du converges fast (integrand ~ u^-8 beyond u≈5).
-            let n = 200_000;
-            let du = 60.0 / n as f64;
-            (0..n)
-                .map(|i| {
-                    let u = (i as f64 + 0.5) * du;
-                    let w = greem_math::s2_fourier(u);
-                    w * w * du
-                })
-                .sum::<f64>()
-        };
-        let phi_self_per_mass = -(2.0 / std::f64::consts::PI) * (2.0 / self.cfg.r_cut) * s2_int;
+        // Self-energy of the S2-filtered particle, subtracted per unit
+        // mass (the isolated kernel carries the same value at r = 0).
+        let phi_self_per_mass = greem_math::s2_self_potential(self.cfg.r_cut);
         let mut u_pm = 0.0;
         for (&m, &phi) in mass.iter().zip(&pm.potential) {
             u_pm += 0.5 * m * (phi - m * phi_self_per_mass);
@@ -388,6 +383,29 @@ mod tests {
                 res.pm_accel[0].x
             );
         }
+    }
+
+    #[test]
+    fn isolated_boundary_removes_ewald_suppression_at_wide_separation() {
+        // At r = 0.3 the periodic images and neutralising background
+        // pull the true periodic force ~15 % below 1/r² (see the test
+        // above); under isolated boundaries the same pair must feel the
+        // plain Newtonian attraction through both halves of the split.
+        let solver = TreePm::new(TreePmConfig::isolated(32));
+        let r: f64 = 0.3;
+        let pos = vec![Vec3::new(0.3, 0.5, 0.5), Vec3::new(0.3 + r, 0.5, 0.5)];
+        let mass = vec![1.0, 1.0];
+        let res = solver.compute(&pos, &mass);
+        let newton = 1.0 / (r * r);
+        assert!(
+            (res.accel[0].x - newton).abs() < 0.05 * newton,
+            "isolated total {} vs newton {newton}",
+            res.accel[0].x
+        );
+        assert!(
+            (res.accel[0] + res.accel[1]).norm() < 1e-6 * newton,
+            "isolated pair must be antisymmetric"
+        );
     }
 
     #[test]

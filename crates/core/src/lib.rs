@@ -30,6 +30,7 @@ pub mod config;
 pub mod diagnostics;
 pub mod forces;
 pub mod halos;
+pub mod integrator;
 pub mod io;
 pub mod parallel;
 pub mod particle;
@@ -39,13 +40,14 @@ pub mod stats;
 pub mod store;
 
 pub use autotune::{autotune_enabled, NiTuner};
-pub use config::TreePmConfig;
+pub use config::{Boundary, TreePmConfig};
 pub use diagnostics::{projected_density, Snapshot};
 pub use forces::{ForceResult, TreePm};
 pub use halos::{find_halos, friends_of_friends, Halo};
+pub use integrator::{Integrator, IntegratorKind, Leapfrog, Yoshida4};
 pub use io::{read_snapshot, write_snapshot, SnapshotError, SnapshotHeader};
 pub use parallel::{ParallelStepStats, ParallelTreePm, RankState};
-pub use particle::Body;
+pub use particle::{species_id, species_of_id, Body};
 pub use resident::{PpOutcome, ResidentPp};
 pub use simulation::{Simulation, SimulationMode};
 pub use stats::StepBreakdown;

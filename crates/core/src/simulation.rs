@@ -20,8 +20,9 @@
 use greem_cosmo::Cosmology;
 use greem_math::Vec3;
 
-use crate::config::TreePmConfig;
+use crate::config::{Boundary, TreePmConfig};
 use crate::forces::TreePm;
+use crate::integrator::IntegratorKind;
 use crate::particle::Body;
 use crate::resident::ResidentPp;
 use crate::stats::StepBreakdown;
@@ -72,6 +73,9 @@ pub struct Simulation {
     /// budget of the interaction-list cache.
     last_drift: f64,
     steps_taken: u64,
+    /// Static-mode integrator (cosmological steps always use the
+    /// dedicated ΛCDM leapfrog below).
+    integrator: IntegratorKind,
 }
 
 impl Simulation {
@@ -89,9 +93,22 @@ impl Simulation {
             pm_accel: Vec::new(),
             last_drift: 0.0,
             steps_taken: 0,
+            integrator: IntegratorKind::default(),
         };
         sim.refresh_forces();
         sim
+    }
+
+    /// Select the static-mode integrator (ignored by cosmological
+    /// steps). Safe mid-run: every integrator leaves cached forces
+    /// consistent at step boundaries.
+    pub fn set_integrator(&mut self, kind: IntegratorKind) {
+        self.integrator = kind;
+    }
+
+    /// The active static-mode integrator.
+    pub fn integrator(&self) -> IntegratorKind {
+        self.integrator
     }
 
     fn refresh_forces(&mut self) {
@@ -159,6 +176,17 @@ impl Simulation {
         &self.solver
     }
 
+    /// The configuration.
+    pub fn config(&self) -> &TreePmConfig {
+        &self.cfg
+    }
+
+    /// The resident particle store (current Morton row order; use
+    /// [`Simulation::bodies`] for an id-stable view).
+    pub fn store(&self) -> &ParticleStore {
+        &self.store
+    }
+
     /// Kinetic + potential energy (static mode; diagnostics).
     pub fn energy(&self) -> f64 {
         let kinetic: f64 = (0..self.store.len())
@@ -208,7 +236,11 @@ impl Simulation {
     pub fn step(&mut self, dt: f64) -> StepBreakdown {
         let mut bd = StepBreakdown::default();
         match self.mode {
-            SimulationMode::Static => self.step_static(dt, &mut bd),
+            SimulationMode::Static => {
+                self.integrator
+                    .as_integrator()
+                    .step_static(self, dt, &mut bd);
+            }
             SimulationMode::Cosmological { cosmology, a } => {
                 let a_next = dt;
                 assert!(
@@ -224,26 +256,6 @@ impl Simulation {
         }
         self.steps_taken += 1;
         bd
-    }
-
-    /// Static-box step: plain-time kicks/drifts.
-    fn step_static(&mut self, dt: f64, bd: &mut StepBreakdown) {
-        // PM half kick.
-        self.kick_pm(0.5 * dt);
-        // Two PP sub-cycles of δ = dt/2 each. The first walks fresh
-        // (recording interaction lists); the second asks the engine to
-        // replay them, falling back to a fresh walk when the drift
-        // exceeded the recorded margin.
-        let delta = 0.5 * dt;
-        for cycle in 0..2 {
-            self.kick_pp(0.5 * delta);
-            self.drift(delta, bd);
-            self.recompute_pp(cycle == 1, bd);
-            self.kick_pp(0.5 * delta);
-        }
-        // Refresh PM at the new positions; closing half kick.
-        self.recompute_pm(bd);
-        self.kick_pm(0.5 * dt);
     }
 
     /// Cosmological step from `a0` to `a1` with ΛCDM kick/drift factors
@@ -278,21 +290,26 @@ impl Simulation {
         self.kick_pm(pm_half);
     }
 
-    fn kick_pm(&mut self, w: f64) {
+    pub(crate) fn kick_pm(&mut self, w: f64) {
         self.store.kick(&self.pm_accel, w);
     }
 
-    fn kick_pp(&mut self, w: f64) {
+    pub(crate) fn kick_pp(&mut self, w: f64) {
         self.store.kick(&self.pp_accel, w);
     }
 
-    fn drift(&mut self, w: f64, bd: &mut StepBreakdown) {
+    /// Drift positions by `w`: wrapped into the torus under periodic
+    /// boundaries, plain open-space translation under isolated ones.
+    pub(crate) fn drift(&mut self, w: f64, bd: &mut StepBreakdown) {
         let t0 = std::time::Instant::now();
-        self.last_drift = self.store.drift_wrap(w);
+        self.last_drift = match self.cfg.boundary {
+            Boundary::Periodic => self.store.drift_wrap(w),
+            Boundary::Isolated => self.store.drift_free(w),
+        };
         bd.dd_position_update += t0.elapsed().as_secs_f64();
     }
 
-    fn recompute_pp(&mut self, try_replay: bool, bd: &mut StepBreakdown) {
+    pub(crate) fn recompute_pp(&mut self, try_replay: bool, bd: &mut StepBreakdown) {
         let out = self.engine.compute(
             &self.cfg,
             &mut self.store,
@@ -310,7 +327,7 @@ impl Simulation {
         bd.pp_group_size = out.group_size as f64;
     }
 
-    fn recompute_pm(&mut self, bd: &mut StepBreakdown) {
+    pub(crate) fn recompute_pm(&mut self, bd: &mut StepBreakdown) {
         let pos = self.store.positions();
         let mass = self.store.masses();
         let (res, times) = self.solver.compute_pm(&pos, &mass);

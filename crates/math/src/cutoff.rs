@@ -117,6 +117,94 @@ pub fn h_p3m(xi: f64) -> f64 {
     xi * simpson_adaptive(&integrand, xi, 2.0, 1e-12, 40)
 }
 
+/// Grid resolution of the tabulated [`h_p3m_fast`] evaluation.
+const H_TABLE_N: usize = 4096;
+
+static H_TABLE: std::sync::OnceLock<Vec<f64>> = std::sync::OnceLock::new();
+
+fn h_table() -> &'static [f64] {
+    H_TABLE.get_or_init(|| {
+        // h(ξ) = ξ·∫_ξ² g/t² dt diverges like 1/ξ inside the integral, so
+        // tabulate the regularised remainder J(ξ) = ∫_ξ² (g(t) − 1)/t² dt
+        // instead: the integrand is smooth and bounded on [0, 2] (g − 1 is
+        // O(t³) at the origin), and h(ξ) = 1 − ξ/2 + ξ·J(ξ) exactly.
+        // Backward composite Simpson accumulation is O(n) for the whole
+        // table and leaves quadrature error far below the interpolation
+        // error of the lookup.
+        let dx = 2.0 / H_TABLE_N as f64;
+        let f = |t: f64| {
+            if t <= 0.0 {
+                0.0
+            } else {
+                (g_p3m(t) - 1.0) / (t * t)
+            }
+        };
+        let mut j = vec![0.0; H_TABLE_N + 1];
+        for i in (0..H_TABLE_N).rev() {
+            let a = i as f64 * dx;
+            let b = a + dx;
+            j[i] = j[i + 1] + dx / 6.0 * (f(a) + 4.0 * f(0.5 * (a + b)) + f(b));
+        }
+        (0..=H_TABLE_N)
+            .map(|i| {
+                let xi = i as f64 * dx;
+                1.0 - 0.5 * xi + xi * j[i]
+            })
+            .collect()
+    })
+}
+
+/// Fast tabulated evaluation of [`h_p3m`], linearly interpolated on a
+/// 4096-point grid built once per process.
+///
+/// The adaptive-Simpson [`h_p3m`] recurses deeply for small `ξ` (the
+/// integrand `g/t²` steepens like `1/ξ` toward the lower limit), which
+/// makes per-pair use in an O(N²) energy sum prohibitively slow when the
+/// cutoff is large compared to typical separations. The table costs one
+/// O(n) sweep at first use and evaluates in a handful of flops with
+/// absolute error below `1e-7` (interpolation-limited; `h` has bounded
+/// curvature on `[0, 2]`).
+#[inline]
+pub fn h_p3m_fast(xi: f64) -> f64 {
+    if xi >= 2.0 {
+        return 0.0;
+    }
+    if xi <= 0.0 {
+        return 1.0;
+    }
+    let x = xi * (H_TABLE_N as f64 / 2.0);
+    let i = (x as usize).min(H_TABLE_N - 1);
+    let frac = x - i as f64;
+    let t = h_table();
+    t[i] * (1.0 - frac) + t[i + 1] * frac
+}
+
+/// Self-potential of an S2-filtered particle: the `r → 0` limit of the
+/// long-range potential `φ_long(r) = −G·(1 − h(2r/r_cut))/r`, per unit
+/// mass (G = 1),
+///
+/// ```text
+/// φ_self = −(2/π)·(2/r_cut)·∫₀^∞ S̃2(u)² du
+/// ```
+///
+/// Used twice: the PM energy diagnostic subtracts it from each mesh
+/// potential sample (a particle must not feel its own S2 cloud), and
+/// the isolated (zero-padded) solver uses it as the `r = 0` value of
+/// its real-space kernel. The integrand decays like `u⁻⁸` beyond
+/// `u ≈ 5`, so the fixed midpoint rule below is fully converged.
+pub fn s2_self_potential(r_cut: f64) -> f64 {
+    let n = 200_000;
+    let du = 60.0 / n as f64;
+    let s2_int = (0..n)
+        .map(|i| {
+            let u = (i as f64 + 0.5) * du;
+            let w = s2_fourier(u);
+            w * w * du
+        })
+        .sum::<f64>();
+    -(2.0 / std::f64::consts::PI) * (2.0 / r_cut) * s2_int
+}
+
 /// Adaptive Simpson quadrature with absolute tolerance `tol`.
 fn simpson_adaptive(f: &dyn Fn(f64) -> f64, a: f64, b: f64, tol: f64, depth: u32) -> f64 {
     fn simpson(a: f64, fa: f64, b: f64, fb: f64, fm: f64) -> f64 {
@@ -233,13 +321,22 @@ impl ForceSplit {
     }
 
     /// Short-range pair potential energy (per unit G) between unit masses
-    /// at separation `r` (softening ignored; diagnostics only).
+    /// at separation `r` (diagnostics only).
+    ///
+    /// Uses the softened radius `r̃ = √(r² + ε²)` exactly as
+    /// [`ForceSplit::pp_accel`] does, so this is the *antiderivative of
+    /// the implemented force*: `−d/dr[−h(2r̃/rc)/r̃] = g(2r̃/rc)·r/r̃³`,
+    /// which is the kernel's magnitude identically. Energy drift
+    /// measured with this potential therefore reflects the integrator,
+    /// not a force/potential mismatch at close encounters.
     #[inline]
     pub fn pp_potential(&self, r: f64) -> f64 {
-        if r <= 0.0 {
+        let soft2 = r * r + self.eps * self.eps;
+        if soft2 == 0.0 {
             return f64::NEG_INFINITY;
         }
-        -h_p3m(2.0 * r / self.r_cut) / r
+        let rs = soft2.sqrt();
+        -h_p3m(2.0 * rs / self.r_cut) / rs
     }
 
     /// The k-space filter of the long-range (PM) force: the factor that
@@ -403,6 +500,25 @@ mod tests {
             let h = h_p3m(xi);
             assert!(h <= prev + 1e-10, "h not monotone at xi={xi}");
             prev = h;
+        }
+    }
+
+    #[test]
+    fn h_p3m_fast_matches_adaptive() {
+        assert_eq!(h_p3m_fast(0.0), 1.0);
+        assert_eq!(h_p3m_fast(2.0), 0.0);
+        assert_eq!(h_p3m_fast(5.0), 0.0);
+        // Sweep the full range including very small ξ, where the adaptive
+        // quadrature is at its most expensive and the table relies on the
+        // regularised 1 − ξ/2 + ξ·J(ξ) form.
+        for i in 0..=2000 {
+            let xi = 1e-4 + (2.0 - 2e-4) * i as f64 / 2000.0;
+            let exact = h_p3m(xi);
+            let fast = h_p3m_fast(xi);
+            assert!(
+                (fast - exact).abs() < 1e-7,
+                "xi={xi}: table {fast} vs adaptive {exact}"
+            );
         }
     }
 

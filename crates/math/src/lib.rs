@@ -36,7 +36,7 @@ pub mod testutil;
 pub mod vec3;
 
 pub use aabb::Aabb;
-pub use cutoff::{g_p3m, s2_density, s2_fourier, ForceSplit};
+pub use cutoff::{g_p3m, h_p3m, h_p3m_fast, s2_density, s2_fourier, s2_self_potential, ForceSplit};
 pub use eigen::{eigen_sym3, Eigen3, Sym3};
 pub use morton::MortonKey;
 pub use periodic::{min_image, min_image_vec, wrap01, wrap_unit};

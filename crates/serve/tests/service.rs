@@ -186,6 +186,80 @@ fn crash_mid_job_resumes_subscriber_stream_to_final_step() {
     handle.shutdown();
 }
 
+/// The isolated-system workload as a service job: a `galaxy-collapse`
+/// submission runs the single-rank scenario engine, streams snapshots
+/// carrying the running BH event counters and a species-resolved halo
+/// census, and reports the event totals in its terminal summary.
+#[test]
+fn galaxy_collapse_job_streams_species_census() {
+    let handle = start(test_config("galaxy")).unwrap();
+    let addr = handle.addr_str();
+
+    let (status, sub) = submit(
+        &addr,
+        r#"{"n": 64, "steps": 6, "scenario": "galaxy-collapse", "snapshot_every": 2, "ckpt_every": 3}"#,
+    );
+    assert_eq!(status, 202);
+    let id = sub.get("id").and_then(Value::as_str).unwrap().to_string();
+    let done = wait_done(&addr, &id, Duration::from_secs(60));
+    assert_eq!(done.get("state").and_then(Value::as_str), Some("done"));
+    // The echoed config shows the scenario-selected knobs.
+    let cfg = done.get("config").expect("status echoes config");
+    assert_eq!(
+        cfg.get("scenario").and_then(Value::as_str),
+        Some("galaxy-collapse")
+    );
+    assert_eq!(cfg.get("ranks").and_then(Value::as_f64), Some(1.0));
+    let summary = done.get("summary").expect("summary present");
+    assert_eq!(summary.get("steps_done").and_then(Value::as_f64), Some(6.0));
+    // Steps 2, 4 and 6 publish on the cadence.
+    assert_eq!(
+        summary.get("snapshots_published").and_then(Value::as_f64),
+        Some(3.0)
+    );
+    // GREEMAS1 scenario checkpoints at steps 3 and 6.
+    assert_eq!(
+        summary.get("checkpoints_written").and_then(Value::as_f64),
+        Some(2.0)
+    );
+    assert!(summary.get("bh_mergers").is_some());
+    assert!(summary.get("bh_captures").is_some());
+
+    // Replay the stream: every snapshot line carries the census.
+    let lines = read_stream(&addr, &format!("/jobs/{id}/stream?from=0"));
+    assert_eq!(lines.len(), 4, "3 snapshots + terminal line");
+    for line in &lines[..3] {
+        assert!(line.get("bh_mergers").is_some());
+        assert!(line.get("bh_captures").is_some());
+        let census = line.get("census").and_then(Value::as_arr).unwrap();
+        assert_eq!(census.len(), 3, "one row per species");
+        let mut total = 0.0;
+        let mut mass = 0.0;
+        for (row, want) in census.iter().zip(["star", "dm", "bh"]) {
+            assert_eq!(row.get("species").and_then(Value::as_str), Some(want));
+            total += row.get("count").and_then(Value::as_f64).unwrap();
+            mass += row.get("mass").and_then(Value::as_f64).unwrap();
+            let in_halos = row.get("in_halos").and_then(Value::as_f64).unwrap();
+            assert!(in_halos <= row.get("count").and_then(Value::as_f64).unwrap());
+        }
+        // Captures/mergers only remove bodies; mass is conserved.
+        assert!(total <= 64.0 && total > 0.0);
+        assert!((mass - 1.0).abs() < 1e-9, "total mass drifted: {mass}");
+        assert_eq!(line.get("n").and_then(Value::as_f64), Some(total));
+    }
+    let terminal = lines.last().unwrap();
+    assert_eq!(terminal.get("done"), Some(&Value::Bool(true)));
+
+    // Cosmological jobs are unchanged: no census key on their lines.
+    let (_, sub) = submit(&addr, r#"{"n": 64, "steps": 1, "ranks": 1, "mesh": 8}"#);
+    let id2 = sub.get("id").and_then(Value::as_str).unwrap().to_string();
+    wait_done(&addr, &id2, Duration::from_secs(60));
+    let lines = read_stream(&addr, &format!("/jobs/{id2}/stream?from=0"));
+    assert!(lines[0].get("census").is_none());
+
+    handle.shutdown();
+}
+
 #[test]
 fn full_queue_gets_429_with_retry_after() {
     let cfg = ServerConfig {

@@ -37,6 +37,7 @@
 use std::collections::VecDeque;
 
 use greem::{ParallelStepStats, ParallelTreePm};
+use greem_obs::sketch::Rollup;
 use mpisim::{Comm, Ctx};
 
 use crate::imbalance::imbalance_factor;
@@ -173,6 +174,12 @@ pub struct Monitor {
     last_factor: f64,
     last_bytes: f64,
     last_rate: f64,
+    /// Cross-rank distribution sketches, fed from the same allgathered
+    /// signal vector the detectors consume: every per-rank pp-cost,
+    /// comm-byte and interaction sample folds into a mergeable
+    /// [`Rollup`], so quantiles-over-ranks survive at any p with
+    /// bounded memory (DESIGN.md §18).
+    rollup: Rollup,
 }
 
 impl Monitor {
@@ -191,6 +198,7 @@ impl Monitor {
             last_factor: 1.0,
             last_bytes: 0.0,
             last_rate: 0.0,
+            rollup: Rollup::default(),
         }
     }
 
@@ -243,6 +251,17 @@ impl Monitor {
         let step = self.steps_seen;
         self.steps_seen += 1;
         let warm = step as usize >= self.cfg.warmup;
+
+        // Fold every per-rank sample into the cross-rank sketches —
+        // this is the bounded-memory replacement for keeping per-rank
+        // series, and it rides the allgather the detectors already pay
+        // for. The step duration gets one sample per step.
+        for i in 0..sig.pp_cost.len() {
+            self.rollup.observe("pp_cost", sig.pp_cost[i]);
+            self.rollup.observe("comm_bytes", sig.comm_bytes[i]);
+            self.rollup.observe("interactions", sig.interactions[i]);
+        }
+        self.rollup.observe("step_elapsed_s", sig.elapsed_s);
 
         // Straggler: per-interaction PP cost skew (balancer-immune — a
         // slow node stays slow per interaction no matter how small its
@@ -395,6 +414,13 @@ impl Monitor {
         self.steps_seen
     }
 
+    /// The cross-rank signal sketches accumulated so far (`pp_cost`,
+    /// `comm_bytes`, `interactions` keyed per rank-sample;
+    /// `step_elapsed_s` keyed per step).
+    pub fn rollup(&self) -> &Rollup {
+        &self.rollup
+    }
+
     /// Publish `analysis_*` series into a registry: one
     /// `analysis_alerts_total{detector=…}` counter per detector
     /// (zero-valued when silent) plus last-value gauges.
@@ -409,6 +435,16 @@ impl Monitor {
         reg.gauge_set("analysis_pp_imbalance_factor", self.last_factor);
         reg.gauge_set("analysis_comm_bytes_per_step", self.last_bytes);
         reg.gauge_set("analysis_interactions_per_vsecond", self.last_rate);
+        // Cross-rank distribution quantiles, one labeled series per
+        // allgathered signal.
+        for (name, sk) in self.rollup.iter() {
+            reg.with_label("signal", name, |r| {
+                r.gauge_set("analysis_signal_p50", sk.quantile(0.50).unwrap_or(0.0));
+                r.gauge_set("analysis_signal_p95", sk.quantile(0.95).unwrap_or(0.0));
+                r.gauge_set("analysis_signal_p99", sk.quantile(0.99).unwrap_or(0.0));
+                r.gauge_set("analysis_signal_max", sk.max().unwrap_or(0.0));
+            });
+        }
     }
 }
 
@@ -506,6 +542,26 @@ mod tests {
         slow.elapsed_s = 4.0; // same work, 4× the time → 25 % of peak rate
         m.record(&slow);
         assert_eq!(m.count(DetectorKind::EfficiencyCollapse), 1);
+    }
+
+    #[test]
+    fn rollup_accumulates_cross_rank_distributions() {
+        let mut m = Monitor::new(DetectorConfig::default());
+        for _ in 0..10 {
+            let mut sig = clean(8);
+            sig.pp_cost[3] = 4.0; // one hot rank every step
+            m.record(&sig);
+        }
+        let r = m.rollup();
+        let pp = r.get("pp_cost").expect("pp_cost sketch");
+        assert_eq!(pp.count(), 80, "one sample per rank per step");
+        assert_eq!(r.get("step_elapsed_s").unwrap().count(), 10);
+        // p50 sees the 1.0 bulk; max catches the hot rank exactly.
+        let p50 = pp.quantile(0.5).unwrap();
+        assert!((p50 - 1.0).abs() <= pp.alpha() * 1.0 + 1e-12);
+        assert_eq!(pp.max(), Some(4.0));
+        // The whole per-signal state stays tiny — that is the point.
+        assert!(r.summary_bytes() < 2048);
     }
 
     #[test]

@@ -20,6 +20,12 @@
 //!   deltas, and fires straggler / comm-spike / imbalance-drift /
 //!   efficiency-collapse / comm-fault alerts, published as
 //!   `analysis_*` registry series and `analysis.*` trace instants.
+//! * **Adaptive trace retention** ([`retain`]): at full-machine scale
+//!   only a sampled rank set keeps its complete span stream — always
+//!   the critical-path rank, every detector-flagged rank, plus K
+//!   seeded-random controls, capped at 8 — while every other rank's
+//!   spans fold into mergeable duration sketches
+//!   ([`greem_obs::sketch`]) as the trace drains (DESIGN.md §18).
 //! * **Regression gate** ([`regress`]): a metric schema with explicit
 //!   noise tolerances and better/worse directions, serialized to the
 //!   committed `baselines/*.json` store and compared by
@@ -35,6 +41,7 @@ pub mod detect;
 pub mod efficiency;
 pub mod imbalance;
 pub mod regress;
+pub mod retain;
 pub mod segments;
 
 pub use critpath::{critical_path, CriticalPath, PhasePath};
@@ -42,4 +49,5 @@ pub use detect::{Alert, DetectorConfig, DetectorKind, Monitor, StepSignals};
 pub use efficiency::{efficiency, efficiency_at, Efficiency};
 pub use imbalance::{imbalance_factor, phase_imbalance, PhaseImbalance};
 pub use regress::{compare, Baseline, Comparison, Direction, Finding, MetricSpec, Verdict};
+pub use retain::{fold_events, RetentionPolicy};
 pub use segments::{leaf_segments, Segment};

@@ -47,6 +47,10 @@ struct HarnessArgs {
     out: Option<String>,
     update_baselines: bool,
     baseline_dir: Option<String>,
+    /// `--agg`: aggregate telemetry views — `weakscale` embeds the
+    /// cross-rank sketch roll-up, `trace` emits folded stacks
+    /// (flamegraph input) instead of Chrome-trace JSON.
+    agg: bool,
 }
 
 impl HarnessArgs {
@@ -56,6 +60,7 @@ impl HarnessArgs {
         let mut out = None;
         let mut update_baselines = false;
         let mut baseline_dir = None;
+        let mut agg = false;
         let mut command = None;
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
@@ -64,6 +69,7 @@ impl HarnessArgs {
                 "--json" => json = true,
                 "--out" => out = Some(args.next().ok_or("--out needs a path")?),
                 "--update-baselines" => update_baselines = true,
+                "--agg" => agg = true,
                 "--baseline-dir" => {
                     baseline_dir = Some(args.next().ok_or("--baseline-dir needs a path")?);
                 }
@@ -89,6 +95,7 @@ impl HarnessArgs {
             out,
             update_baselines,
             baseline_dir,
+            agg,
         })
     }
 
@@ -194,13 +201,31 @@ fn json_summary(name: &str, small: bool) -> Option<String> {
 }
 
 /// `harness trace`: capture the relay schedule, validate the export,
-/// and deliver the Chrome-trace JSON.
+/// and deliver the Chrome-trace JSON. `--agg` delivers folded stacks
+/// (flamegraph.pl input, virtual-clock self-time) instead.
 fn run_trace(args: &HarnessArgs) {
     let run = if args.small {
         TraceRun::small()
     } else {
         TraceRun::standard()
     };
+    if args.agg {
+        match greem_bench::trace::relay_folded_stacks(run) {
+            Ok((folded, lines)) => {
+                eprintln!(
+                    "harness trace --agg: {} ranks, {lines} folded stacks",
+                    run.p
+                );
+                args.deliver(&folded);
+            }
+            Err(e) => {
+                eprintln!("harness trace --agg: {e}");
+                eprintln!("(the 'trace' command needs the default 'obs' feature)");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
     match relay_trace_validated(run) {
         Ok((json, summary)) => {
             eprintln!(
@@ -307,7 +332,7 @@ fn run_bench_summary(args: &HarnessArgs) {
     let wsp = weakscale::run_sweep(true);
     w.begin_obj(Some("weakscale"));
     w.bool_(Some("small"), true);
-    weakscale::write_sweep(&wsp, &mut w);
+    weakscale::write_sweep(&wsp, &mut w, false);
     w.end_obj();
     // The isolated-system scenario (small collapse): energy drift, BH
     // event counts and the mid-collapse recovery rehearsal.
@@ -361,15 +386,16 @@ fn run_weakscale(args: &HarnessArgs) -> ! {
             args.json,
             args.update_baselines,
             args.baseline_dir.as_deref(),
+            args.agg,
         );
         std::process::exit(code);
     }
     #[cfg(not(feature = "obs"))]
     {
         let out = if args.json {
-            weakscale::summary_json(args.small)
+            weakscale::summary_json(args.small, args.agg)
         } else {
-            weakscale::report(args.small)
+            weakscale::report(args.small, args.agg)
         };
         println!("{out}");
         std::process::exit(0);

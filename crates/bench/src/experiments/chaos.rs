@@ -26,6 +26,10 @@ pub struct ChaosOutcome {
     /// `Some(true)` when the scenario also ran an uninterrupted
     /// reference and the recovered state matched it bitwise.
     pub final_matches_clean: Option<bool>,
+    /// Post-mortem flight-recorder bundles the scenario dumped (paths,
+    /// one per crashed-rank detection; empty when the recorder was off
+    /// or nothing crashed). The files are left on disk for inspection.
+    pub flight_bundles: Vec<String>,
 }
 
 const RANKS: usize = 4;
@@ -68,14 +72,34 @@ pub fn run_scenario(
     plan: FaultPlan,
     check_bitwise: bool,
 ) -> ChaosOutcome {
+    run_scenario_with_flight(scenario, bodies, steps, plan, check_bitwise, None)
+}
+
+/// Like [`run_scenario`], with the per-rank flight recorder armed:
+/// crash detections dump post-mortem bundles into `flight_dir`, which
+/// are listed (and left on disk) in the outcome.
+pub fn run_scenario_with_flight(
+    scenario: &'static str,
+    bodies: &[Body],
+    steps: usize,
+    plan: FaultPlan,
+    check_bitwise: bool,
+    flight_dir: Option<&std::path::Path>,
+) -> ChaosOutcome {
     let reference = check_bitwise.then(|| clean_run(bodies, steps));
     let dir = chaos_dir(scenario);
     std::fs::remove_dir_all(&dir).ok();
+    if let Some(fd) = flight_dir {
+        // Fresh bundle dir per scenario, so the listing below is this
+        // run's dumps and nothing stale.
+        std::fs::remove_dir_all(fd).ok();
+    }
     let dts = vec![1e-3; steps];
     let cfg = cfg();
     let out = {
         let bodies = bodies.to_vec();
         let dir = dir.clone();
+        let flight = flight_dir.map(|d| d.to_path_buf());
         World::new(RANKS)
             .with_net(NetModel::free())
             .with_faults(plan)
@@ -93,6 +117,9 @@ pub fn run_scenario(
                 );
                 let mut rc = ResilConfig::new(&dir);
                 rc.every = 3;
+                if let Some(fd) = &flight {
+                    rc = rc.with_flight(fd);
+                }
                 let mut resil =
                     ResilientSim::new(ctx, world, sim, rc).expect("checkpoint dir writable");
                 let stats = resil.run(ctx, world, &dts).expect("recovery converges");
@@ -105,27 +132,44 @@ pub fn run_scenario(
     let vtime = out.iter().map(|&(_, v, _)| v).fold(0.0, f64::max);
     let final_matches_clean =
         reference.map(|want| out[0].2.as_deref().expect("root gathers") == &want[..]);
+    let mut flight_bundles = Vec::new();
+    if let Some(fd) = flight_dir {
+        if let Ok(entries) = std::fs::read_dir(fd) {
+            for e in entries.flatten() {
+                let p = e.path();
+                if p.extension().is_some_and(|x| x == "json") {
+                    flight_bundles.push(p.display().to_string());
+                }
+            }
+        }
+        flight_bundles.sort();
+    }
     ChaosOutcome {
         scenario,
         steps,
         stats: aggregate(&per_rank),
         vtime,
         final_matches_clean,
+        flight_bundles,
     }
 }
 
-/// The scenario suite at a given particle count.
+/// The scenario suite at a given particle count. Scenarios that crash
+/// run with the flight recorder armed; their post-mortem bundles land
+/// under `greem_chaos_flight_*` in the temp dir and stay on disk (the
+/// `--json` summary lists the paths).
 pub fn run_suite(n: usize, steps: usize) -> Vec<ChaosOutcome> {
     let pos = workloads::clustered(n, 3, 0.35, 123);
     let bodies = workloads::bodies_at_rest(&pos);
     let mid = (steps / 2) as u64;
     vec![
-        run_scenario(
+        run_scenario_with_flight(
             "crash",
             &bodies,
             steps,
             FaultPlan::new(7).crash(2, mid),
             true,
+            Some(&chaos_dir("flight_crash")),
         ),
         run_scenario(
             "straggler",
@@ -143,7 +187,7 @@ pub fn run_suite(n: usize, steps: usize) -> Vec<ChaosOutcome> {
                 .delay_messages(0.1, 2e-5),
             false,
         ),
-        run_scenario(
+        run_scenario_with_flight(
             "chaos",
             &bodies,
             steps,
@@ -153,6 +197,7 @@ pub fn run_suite(n: usize, steps: usize) -> Vec<ChaosOutcome> {
                 .drop_messages(0.02)
                 .delay_messages(0.05, 2e-5),
             false,
+            Some(&chaos_dir("flight_chaos")),
         ),
     ]
 }
@@ -175,11 +220,11 @@ pub fn report(n: usize) -> String {
         "=== chaos: fault injection + rollback recovery ==================\n\n\
          4 ranks on the simulated torus; sharded GREEMSN2 checkpoints\n\
          every 3 steps; seeded FaultPlan per scenario.\n\n\
-         scenario    crashes  rollbacks  ckpts  lost vt(s)  dropped  delayed  bitwise\n",
+         scenario    crashes  rollbacks  ckpts  lost vt(s)  dropped  delayed  flight  bitwise\n",
     );
     for o in &outcomes {
         s.push_str(&format!(
-            "{:<11} {:>7} {:>10} {:>6} {:>11.4} {:>8} {:>8}  {}\n",
+            "{:<11} {:>7} {:>10} {:>6} {:>11.4} {:>8} {:>8} {:>7}  {}\n",
             o.scenario,
             o.stats.crashes_detected,
             o.stats.rollbacks,
@@ -187,6 +232,7 @@ pub fn report(n: usize) -> String {
             o.stats.lost_vtime,
             o.stats.dropped_messages,
             o.stats.delayed_messages,
+            o.flight_bundles.len(),
             match o.final_matches_clean {
                 Some(true) => "MATCH",
                 Some(false) => "DIVERGED",
@@ -196,8 +242,15 @@ pub fn report(n: usize) -> String {
     }
     s.push_str(
         "\n(crash scenario replays against an uninterrupted run: MATCH means\n\
-         the recovered final particle state is bitwise identical.)\n",
+         the recovered final particle state is bitwise identical. 'flight'\n\
+         counts the post-mortem flight-recorder bundles dumped on crash\n\
+         detection — see DESIGN.md §18.)\n",
     );
+    for o in &outcomes {
+        if let Some(b) = o.flight_bundles.first() {
+            s.push_str(&format!("  {} flight bundle: {b}\n", o.scenario));
+        }
+    }
     s
 }
 
@@ -227,6 +280,12 @@ pub fn summary_json(small: bool) -> String {
         if let Some(m) = o.final_matches_clean {
             w.bool_(Some("bitwise_match"), m);
         }
+        w.u64(Some("flight_dumps"), o.flight_bundles.len() as u64);
+        w.begin_arr(Some("flight_bundles"));
+        for b in &o.flight_bundles {
+            w.str_(None, b);
+        }
+        w.end_arr();
         w.end_obj();
     }
     w.end_arr();
@@ -253,5 +312,35 @@ mod tests {
         let o = run_scenario("crash", &bodies, 6, FaultPlan::new(3).crash(1, 3), true);
         assert_eq!(o.stats.rollbacks, 1);
         assert_eq!(o.final_matches_clean, Some(true));
+        assert!(o.flight_bundles.is_empty(), "recorder off by default");
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn crash_scenario_dumps_flight_bundles() {
+        let pos = workloads::clustered(250, 3, 0.35, 11);
+        let bodies = workloads::bodies_at_rest(&pos);
+        let fd = chaos_dir("flight_test");
+        let o = run_scenario_with_flight(
+            "crash",
+            &bodies,
+            6,
+            FaultPlan::new(3).crash(1, 3),
+            false,
+            Some(&fd),
+        );
+        assert_eq!(
+            o.flight_bundles.len(),
+            RANKS,
+            "every rank dumps one post-mortem bundle: {:?}",
+            o.flight_bundles
+        );
+        let src = std::fs::read_to_string(&o.flight_bundles[0]).unwrap();
+        let v = greem_obs::json::parse(&src).expect("bundle parses");
+        assert_eq!(
+            v.get("bundle").and_then(|x| x.as_str()),
+            Some("flight-recorder")
+        );
+        std::fs::remove_dir_all(&fd).ok();
     }
 }

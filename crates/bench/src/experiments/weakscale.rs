@@ -21,7 +21,9 @@ use std::sync::{Arc, Mutex};
 
 use greem::{Simulation, SimulationMode, TreePmConfig};
 use greem_analysis::efficiency::FLOPS_PER_INTERACTION;
-use greem_analysis::{critical_path, efficiency_at, Segment};
+use greem_analysis::{critical_path, efficiency_at, RetentionPolicy, Segment};
+use greem_obs::json::JsonWriter;
+use greem_obs::sketch::Rollup;
 use greem_perfmodel::{model_table, paper_table, KMachine, RunShape};
 use mpisim::{NetModel, Script, World};
 
@@ -141,6 +143,94 @@ pub struct PhaseLoss {
     pub lost_points: f64,
 }
 
+/// Cross-rank telemetry roll-up for one sweep point (DESIGN.md §18).
+/// Every rank's per-phase virtual seconds fold into mergeable
+/// [`DdSketch`]es keyed by phase name; only the retained rank set —
+/// the critical-path rank plus seeded random controls, capped by
+/// [`RetentionPolicy::max_ranks`] — keeps its full timeline. The whole
+/// artifact is rendered up front so its byte cost is itself a metric:
+/// `telemetry_bytes` is what the bounded roll-up costs,
+/// `full_timeline_bytes` what shipping every rank's timeline would
+/// have cost at the same `p`.
+///
+/// [`DdSketch`]: greem_obs::sketch::DdSketch
+pub struct PointTelemetry {
+    /// Rank with the largest final virtual clock (ties → lowest).
+    pub critical_rank: u32,
+    /// Retained rank set, sorted (always contains `critical_rank`).
+    pub retained: Vec<u32>,
+    /// Per-phase duration sketches over all `p` ranks.
+    pub rollup: Rollup,
+    /// The rendered telemetry JSON object (embedded under `--agg`).
+    pub blob: String,
+    /// `blob.len()` — the bounded artifact's actual size.
+    pub telemetry_bytes: u64,
+    /// Size of the unfolded alternative: one rendered per-rank
+    /// timeline entry × `p`.
+    pub full_timeline_bytes: u64,
+}
+
+fn timeline_entry(w: &mut JsonWriter, outcome: &mpisim::ScriptOutcome, r: u32) {
+    let t = &outcome.timelines[r as usize];
+    w.begin_obj(None);
+    w.u64(Some("rank"), r as u64);
+    w.f64(Some("vtime"), t.vtime);
+    w.begin_arr(Some("phase_vtime"));
+    for &d in &t.phase_vtime {
+        w.f64(None, d);
+    }
+    w.end_arr();
+    w.end_obj();
+}
+
+/// Fold a sweep point's outcome into its bounded telemetry artifact.
+pub fn build_telemetry(outcome: &mpisim::ScriptOutcome, p: usize) -> PointTelemetry {
+    let mut rollup = Rollup::default();
+    let (mut critical_rank, mut worst) = (0u32, f64::NEG_INFINITY);
+    for (r, t) in outcome.timelines.iter().enumerate() {
+        if t.vtime > worst {
+            worst = t.vtime;
+            critical_rank = r as u32;
+        }
+        for (i, &name) in outcome.phases.iter().enumerate() {
+            let d = t.phase_vtime.get(i).copied().unwrap_or(0.0);
+            if d > 0.0 {
+                rollup.observe(name, d);
+            }
+        }
+    }
+    let retained = RetentionPolicy::default().select(p, critical_rank, &[]);
+    let mut w = JsonWriter::new();
+    w.begin_obj(None);
+    w.f64(Some("alpha"), rollup.alpha());
+    w.u64(Some("ranks"), p as u64);
+    w.u64(Some("critical_rank"), critical_rank as u64);
+    w.begin_arr(Some("retained_ranks"));
+    for &r in &retained {
+        w.u64(None, r as u64);
+    }
+    w.end_arr();
+    rollup.write_json(&mut w, Some("phases"));
+    w.begin_arr(Some("retained_timelines"));
+    for &r in &retained {
+        timeline_entry(&mut w, outcome, r);
+    }
+    w.end_arr();
+    w.end_obj();
+    let blob = w.finish();
+    let mut one = JsonWriter::new();
+    timeline_entry(&mut one, outcome, critical_rank);
+    let per_rank = one.finish().len() as u64 + 1; // trailing comma
+    PointTelemetry {
+        critical_rank,
+        retained,
+        rollup,
+        telemetry_bytes: blob.len() as u64,
+        full_timeline_bytes: per_rank * p as u64,
+        blob,
+    }
+}
+
 /// One sweep point.
 pub struct WeakScalePoint {
     pub p: usize,
@@ -163,6 +253,8 @@ pub struct WeakScalePoint {
     /// Host wall seconds for this point.
     pub wall_s: f64,
     pub losses: Vec<PhaseLoss>,
+    /// Cross-rank roll-up + retained timelines (DESIGN.md §18).
+    pub telemetry: PointTelemetry,
 }
 
 /// Fold per-rank phase timings into critical-path phase losses. The
@@ -253,6 +345,7 @@ pub fn run_point(p: usize, steps: u64, small: bool) -> WeakScalePoint {
     let bytes_sent: u64 = outcome.timelines.iter().map(|t| t.stats.bytes_sent).sum();
     let messages = outcome.engine.as_ref().map(|e| e.messages).unwrap_or(0);
     let losses = attribute_losses(&outcome, p, steps as f64, eff.pct_of_peak);
+    let telemetry = build_telemetry(&outcome, p);
     WeakScalePoint {
         p,
         steps,
@@ -266,6 +359,7 @@ pub fn run_point(p: usize, steps: u64, small: bool) -> WeakScalePoint {
         rep_interactions: work.interactions.load(Ordering::Relaxed),
         wall_s,
         losses,
+        telemetry,
     }
 }
 
@@ -281,13 +375,14 @@ pub fn run_sweep(small: bool) -> Vec<WeakScalePoint> {
 }
 
 /// The human-readable report: the §IV efficiency curve plus the
-/// critical-path loss attribution at the largest point.
-pub fn report(small: bool) -> String {
+/// critical-path loss attribution at the largest point. `agg` appends
+/// the cross-rank telemetry roll-up (DESIGN.md §18).
+pub fn report(small: bool, agg: bool) -> String {
     let points = run_sweep(small);
-    render(&points)
+    render(&points, agg)
 }
 
-fn render(points: &[WeakScalePoint]) -> String {
+fn render(points: &[WeakScalePoint], agg: bool) -> String {
     let mut s = String::from(
         "=== Sec. IV: weak scaling to the full machine (virtual) =========\n\n\
          Phantom-rank worlds on the K-like torus replay the Table-I cost\n\
@@ -327,12 +422,38 @@ fn render(points: &[WeakScalePoint]) -> String {
             "\n  representative's real kernel: {} interactions over {} steps\n",
             last.rep_interactions, last.steps
         ));
+        if agg {
+            let tel = &last.telemetry;
+            s.push_str(&format!(
+                "\ncross-rank telemetry at p = {} (α = {:.3}, all ranks folded):\n\
+                 phase                            p50(s)     p95(s)     p99(s)     max(s)\n",
+                last.p,
+                tel.rollup.alpha()
+            ));
+            for (name, sk) in tel.rollup.iter() {
+                s.push_str(&format!(
+                    "  {:<28} {:>9.3} {:>10.3} {:>10.3} {:>10.3}\n",
+                    name,
+                    sk.quantile(0.50).unwrap_or(0.0),
+                    sk.quantile(0.95).unwrap_or(0.0),
+                    sk.quantile(0.99).unwrap_or(0.0),
+                    sk.max().unwrap_or(0.0),
+                ));
+            }
+            s.push_str(&format!(
+                "  retained full timelines: {:?} (critical-path rank {})\n\
+                 \x20 telemetry artifact: {} bytes (full per-rank timelines ≈ {} bytes)\n",
+                tel.retained, tel.critical_rank, tel.telemetry_bytes, tel.full_timeline_bytes
+            ));
+        }
     }
     s
 }
 
-/// Shared JSON body for one point.
-fn write_point(pt: &WeakScalePoint, w: &mut greem_obs::json::JsonWriter) {
+/// Shared JSON body for one point. The artifact sizes are always
+/// recorded (so telemetry growth is regression-gatable); the full
+/// roll-up object is embedded only under `agg`.
+fn write_point(pt: &WeakScalePoint, w: &mut greem_obs::json::JsonWriter, agg: bool) {
     w.u64(Some("p"), pt.p as u64);
     w.u64(Some("steps"), pt.steps);
     w.f64(Some("vtime_per_step"), pt.vtime_per_step);
@@ -356,25 +477,33 @@ fn write_point(pt: &WeakScalePoint, w: &mut greem_obs::json::JsonWriter) {
         w.end_obj();
     }
     w.end_arr();
+    w.u64(Some("telemetry_bytes"), pt.telemetry.telemetry_bytes);
+    w.u64(
+        Some("full_timeline_bytes"),
+        pt.telemetry.full_timeline_bytes,
+    );
+    if agg {
+        w.raw(Some("telemetry"), &pt.telemetry.blob);
+    }
 }
 
 /// Shared JSON body for a whole sweep (also embedded by
 /// `bench-summary`'s `weakscale` section).
-pub fn write_sweep(points: &[WeakScalePoint], w: &mut greem_obs::json::JsonWriter) {
+pub fn write_sweep(points: &[WeakScalePoint], w: &mut greem_obs::json::JsonWriter, agg: bool) {
     w.begin_arr(Some("points"));
     for pt in points {
         w.begin_obj(None);
-        write_point(pt, w);
+        write_point(pt, w, agg);
         w.end_obj();
     }
     w.end_arr();
 }
 
 /// Machine-readable summary (`--json`).
-pub fn summary_json(small: bool) -> String {
+pub fn summary_json(small: bool, agg: bool) -> String {
     let points = run_sweep(small);
     let mut w = super::summary_writer("weakscale", small);
-    write_sweep(&points, &mut w);
+    write_sweep(&points, &mut w, agg);
     w.end_obj();
     w.finish()
 }
@@ -424,6 +553,23 @@ fn metric_specs(points: &[WeakScalePoint]) -> Vec<greem_analysis::MetricSpec> {
             false,
             Direction::LowerIsBetter,
         ));
+        // The bounded telemetry artifact must not silently balloon:
+        // gated with 25 % headroom over the baseline. The unfolded
+        // alternative is recorded ungated, for the contrast.
+        m.push(MetricSpec::new(
+            format!("p{p}_telemetry_bytes"),
+            pt.telemetry.telemetry_bytes as f64,
+            0.25,
+            true,
+            Direction::LowerIsBetter,
+        ));
+        m.push(MetricSpec::new(
+            format!("p{p}_full_timeline_bytes"),
+            pt.telemetry.full_timeline_bytes as f64,
+            0.25,
+            false,
+            Direction::LowerIsBetter,
+        ));
     }
     m
 }
@@ -436,7 +582,13 @@ fn metric_specs(points: &[WeakScalePoint]) -> Vec<greem_analysis::MetricSpec> {
 /// `--update-baselines` records the baseline. Exit codes otherwise
 /// mirror `regress`: 0 pass, 1 regression, 2 setup error.
 #[cfg(feature = "obs")]
-pub fn gate(small: bool, json_out: bool, update: bool, baseline_dir: Option<&str>) -> i32 {
+pub fn gate(
+    small: bool,
+    json_out: bool,
+    update: bool,
+    baseline_dir: Option<&str>,
+    agg: bool,
+) -> i32 {
     use greem_analysis::{compare, Baseline, Verdict};
 
     let name = if small {
@@ -454,7 +606,7 @@ pub fn gate(small: bool, json_out: bool, update: bool, baseline_dir: Option<&str
     let emit = |points: &[WeakScalePoint], cmp: Option<&greem_analysis::Comparison>| {
         if json_out {
             let mut w = super::summary_writer("weakscale", small);
-            write_sweep(points, &mut w);
+            write_sweep(points, &mut w, agg);
             if let Some(cmp) = cmp {
                 w.bool_(Some("pass"), cmp.pass);
                 w.begin_arr(Some("findings"));
@@ -477,7 +629,7 @@ pub fn gate(small: bool, json_out: bool, update: bool, baseline_dir: Option<&str
             w.end_obj();
             println!("{}", w.finish());
         } else {
-            print!("{}", render(points));
+            print!("{}", render(points, agg));
             if let Some(cmp) = cmp {
                 println!(
                     "  gate vs baseline: {}",
@@ -624,5 +776,105 @@ mod tests {
             pt.pct_of_peak
         );
         assert!(pt.messages > 0 && pt.bytes_sent > 0);
+    }
+
+    #[test]
+    fn telemetry_rollup_matches_exact_quantiles_and_stays_bounded() {
+        // The acceptance bar for the roll-up: sketch quantiles within
+        // the documented α relative-error bound of an exact sort over
+        // the per-rank phase times, artifact ≤ 1 MiB and far below the
+        // unfolded per-rank timelines, retained set ≤ 8 ranks and
+        // containing the critical-path rank.
+        let p = 128;
+        let work = rep_work(true);
+        let script = build_script(p, 1, &work);
+        let outcome = World::new(p)
+            .with_net(NetModel::k_computer())
+            .with_phantoms([0])
+            .run_script(&script);
+        let tel = build_telemetry(&outcome, p);
+
+        assert!(tel.retained.len() <= RetentionPolicy::default().max_ranks);
+        assert!(
+            tel.retained.contains(&tel.critical_rank),
+            "critical-path rank {} not retained in {:?}",
+            tel.critical_rank,
+            tel.retained
+        );
+        assert!(
+            tel.telemetry_bytes <= 1 << 20,
+            "artifact {} bytes exceeds the 1 MiB budget",
+            tel.telemetry_bytes
+        );
+        assert!(
+            tel.telemetry_bytes < tel.full_timeline_bytes,
+            "roll-up ({}) should undercut full timelines ({})",
+            tel.telemetry_bytes,
+            tel.full_timeline_bytes
+        );
+
+        for (i, &name) in outcome.phases.iter().enumerate() {
+            let mut exact: Vec<f64> = outcome
+                .timelines
+                .iter()
+                .filter_map(|t| t.phase_vtime.get(i).copied())
+                .filter(|&d| d > 0.0)
+                .collect();
+            if exact.is_empty() {
+                continue;
+            }
+            exact.sort_by(f64::total_cmp);
+            let sk = tel.rollup.get(name).expect("phase sketch missing");
+            assert_eq!(sk.count(), exact.len() as u64, "{name}: count");
+            assert_eq!(
+                sk.max().unwrap().to_bits(),
+                exact.last().unwrap().to_bits(),
+                "{name}: max is exact"
+            );
+            for q in [0.5, 0.95, 0.99] {
+                let est = sk.quantile(q).unwrap();
+                let idx = ((q * (exact.len() - 1) as f64).floor() as usize).min(exact.len() - 1);
+                let truth = exact[idx];
+                assert!(
+                    (est - truth).abs() <= sk.alpha() * truth.abs() + 1e-12,
+                    "{name} q{q}: sketch {est} vs exact {truth} breaks the α bound"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn point_json_records_artifact_sizes_and_agg_embeds_quantiles() {
+        let pt = run_point(16, 1, true);
+        let mut w = greem_obs::json::JsonWriter::new();
+        w.begin_obj(None);
+        write_point(&pt, &mut w, true);
+        w.end_obj();
+        let v = greem_obs::json::parse(&w.finish()).expect("point JSON parses");
+        assert!(v.get("telemetry_bytes").and_then(|x| x.as_f64()).unwrap() > 0.0);
+        assert!(
+            v.get("full_timeline_bytes")
+                .and_then(|x| x.as_f64())
+                .unwrap()
+                > 0.0
+        );
+        let tel = v.get("telemetry").expect("--agg embeds the roll-up");
+        assert_eq!(
+            tel.get("critical_rank").and_then(|x| x.as_f64()).unwrap(),
+            pt.telemetry.critical_rank as f64
+        );
+        let phases = tel.get("phases").expect("per-phase sketch summaries");
+        let pp = phases.get("pp.force_calculation").expect("force row");
+        for k in ["count", "min", "max", "p50", "p95", "p99"] {
+            assert!(pp.get(k).is_some(), "phase summary missing '{k}'");
+        }
+        // Without --agg the blob is absent but the sizes remain.
+        let mut w = greem_obs::json::JsonWriter::new();
+        w.begin_obj(None);
+        write_point(&pt, &mut w, false);
+        w.end_obj();
+        let v = greem_obs::json::parse(&w.finish()).unwrap();
+        assert!(v.get("telemetry").is_none());
+        assert!(v.get("telemetry_bytes").is_some());
     }
 }

@@ -85,6 +85,19 @@ pub fn capture_relay_trace(run: TraceRun) -> String {
     chrome_trace(&capture_relay_events(run), Clock::Virtual)
 }
 
+/// Capture the relay run and export it as folded stacks (flamegraph.pl
+/// input, self-time in virtual µs) — the `harness trace --agg` payload.
+/// Returns the folded text plus the line count.
+pub fn relay_folded_stacks(run: TraceRun) -> Result<(String, usize), String> {
+    let events = capture_relay_events(run);
+    let folded = greem_obs::export::folded_stacks(&events, Clock::Virtual);
+    if folded.is_empty() {
+        return Err("relay capture folded to zero stacks".into());
+    }
+    let lines = folded.lines().count();
+    Ok((folded, lines))
+}
+
 /// Capture, export, and schema-validate in one go — the `harness trace`
 /// entry point. Returns the JSON plus the validator's summary.
 pub fn relay_trace_validated(run: TraceRun) -> Result<(String, TraceSummary), String> {
@@ -113,5 +126,18 @@ mod tests {
         assert!(json.contains("traceEvents"));
         assert_eq!(summary.processes, run.p);
         assert!(summary.spans > 0);
+    }
+
+    #[test]
+    fn small_relay_folds_to_stacks() {
+        let (folded, lines) = relay_folded_stacks(TraceRun::small()).expect("folded stacks");
+        assert!(lines > 0);
+        // Every line is `rank N;stack;frames <µs>` — one root frame per
+        // simulated rank, integer self-time.
+        for line in folded.lines() {
+            let (stack, us) = line.rsplit_once(' ').expect("stack + self-time");
+            assert!(stack.starts_with("rank "), "bad root frame: {line}");
+            us.parse::<u64>().expect("integer µs");
+        }
     }
 }

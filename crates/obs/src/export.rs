@@ -43,6 +43,14 @@ struct CompleteSpan {
 /// pairs are folded into complete (`ph: "X"`) events; a Begin left open at
 /// drain time is closed at its thread's last timestamp.
 pub fn chrome_trace(events: &[Event], clock: Clock) -> String {
+    chrome_trace_with_drops(events, clock, 0)
+}
+
+/// [`chrome_trace`] with ring-overflow accounting: a nonzero
+/// `spans_dropped` is recorded as a top-level `spans_dropped` field and
+/// a per-trace `M` metadata event, so a viewer (and the CI schema
+/// check) can tell a complete trace from one that overflowed its rings.
+pub fn chrome_trace_with_drops(events: &[Event], clock: Clock, spans_dropped: u64) -> String {
     let mut spans: Vec<CompleteSpan> = Vec::new();
     let mut instants: Vec<&Event> = Vec::new();
     // Per-(rank, tid) stack of open Begin events, and last seen timestamp.
@@ -105,7 +113,18 @@ pub fn chrome_trace(events: &[Event], clock: Clock) -> String {
         Some("displayTimeUnit"),
         if clock == Clock::Virtual { "ns" } else { "ms" },
     );
+    w.u64(Some("spans_dropped"), spans_dropped);
     w.begin_arr(Some("traceEvents"));
+    if spans_dropped > 0 {
+        w.begin_obj(None);
+        w.str_(Some("name"), "spans_dropped");
+        w.str_(Some("ph"), "M");
+        w.u64(Some("pid"), 0);
+        w.begin_obj(Some("args"));
+        w.u64(Some("count"), spans_dropped);
+        w.end_obj();
+        w.end_obj();
+    }
     // Metadata: name each pid track after its simulated rank.
     let mut pids: Vec<u32> = spans
         .iter()
@@ -271,6 +290,71 @@ pub fn validate_chrome_trace(src: &str) -> Result<TraceSummary, String> {
     })
 }
 
+/// Render events as collapsed ("folded") stacks — the input format of
+/// `flamegraph.pl` and speedscope: one line per distinct span stack,
+/// `rank <r>;outer;inner <self-time-µs>`, aggregated over all
+/// occurrences. Self time is a span's duration minus its children's, so
+/// the column heights of the resulting flamegraph add up to wall (or
+/// virtual) time instead of double-counting nested spans. Stray `End`
+/// events are ignored; a `Begin` left open folds at its track's last
+/// observed timestamp, mirroring [`chrome_trace`].
+pub fn folded_stacks(events: &[Event], clock: Clock) -> String {
+    // Per (rank, tid): stack of (name, start_ts, child_time).
+    type OpenFrame = (&'static str, f64, f64);
+    let mut open: BTreeMap<(u32, u32), Vec<OpenFrame>> = BTreeMap::new();
+    let mut last_ts: BTreeMap<(u32, u32), f64> = BTreeMap::new();
+    let mut folded: BTreeMap<String, f64> = BTreeMap::new();
+
+    let close = |stack: &mut Vec<OpenFrame>, rank: u32, t: f64, out: &mut BTreeMap<String, f64>| {
+        let (name, ts, child) = stack.pop().expect("close on empty stack");
+        let total = (t - ts).max(0.0);
+        let mut path = format!("rank {rank}");
+        for (n, _, _) in stack.iter() {
+            path.push(';');
+            path.push_str(n);
+        }
+        path.push(';');
+        path.push_str(name);
+        *out.entry(path).or_insert(0.0) += (total - child).max(0.0);
+        if let Some((_, _, parent_child)) = stack.last_mut() {
+            *parent_child += total;
+        }
+    };
+
+    for e in events {
+        let key = (e.rank, e.tid);
+        let t = ts_us(e, clock);
+        let slot = last_ts.entry(key).or_insert(t);
+        *slot = slot.max(t);
+        match e.phase {
+            Phase::Begin => open.entry(key).or_default().push((e.name, t, 0.0)),
+            Phase::End => {
+                if let Some(stack) = open.get_mut(&key) {
+                    if !stack.is_empty() {
+                        close(stack, e.rank, t, &mut folded);
+                    }
+                }
+            }
+            Phase::Instant => {}
+        }
+    }
+    for ((rank, tid), mut stack) in open {
+        let end = last_ts.get(&(rank, tid)).copied().unwrap_or(0.0);
+        while !stack.is_empty() {
+            close(&mut stack, rank, end, &mut folded);
+        }
+    }
+
+    let mut out = String::new();
+    for (path, us) in folded {
+        out.push_str(&path);
+        out.push(' ');
+        out.push_str(&format!("{}", us.round().max(0.0) as u64));
+        out.push('\n');
+    }
+    out
+}
+
 /// One step-report JSONL line: `{"step":…,"time":…,"metrics":[…]}`.
 pub fn step_report_line(step: u64, sim_time: f64, reg: &Registry) -> String {
     let mut w = JsonWriter::new();
@@ -423,6 +507,79 @@ mod tests {
         let json = chrome_trace(&events, Clock::Wall);
         let summary = validate_chrome_trace(&json).unwrap();
         assert_eq!(summary.spans, 2);
+    }
+
+    #[test]
+    fn folded_stacks_attribute_self_time() {
+        // rank 0: step [0, 10ms] containing fft [2ms, 6ms] → step self
+        // 6000 µs, step;fft self 4000 µs. rank 1: a bare 1 ms span.
+        let mk = |seq: u64, phase, name, vtime_ms: f64, rank| {
+            let mut e = ev(seq, phase, name, "step", rank);
+            e.vtime = vtime_ms * 1e-3;
+            e
+        };
+        let events = vec![
+            mk(0, Phase::Begin, "step", 0.0, 0),
+            mk(1, Phase::Begin, "fft", 2.0, 0),
+            mk(2, Phase::End, "fft", 6.0, 0),
+            mk(3, Phase::End, "step", 10.0, 0),
+            mk(4, Phase::Begin, "step", 0.0, 1),
+            mk(5, Phase::End, "step", 1.0, 1),
+        ];
+        let folded = folded_stacks(&events, Clock::Virtual);
+        let lines: Vec<&str> = folded.lines().collect();
+        assert!(lines.contains(&"rank 0;step 6000"), "got: {folded}");
+        assert!(lines.contains(&"rank 0;step;fft 4000"), "got: {folded}");
+        assert!(lines.contains(&"rank 1;step 1000"), "got: {folded}");
+        // Self times sum to total tracked time (10 ms + 1 ms).
+        let total: u64 = lines
+            .iter()
+            .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+            .sum();
+        assert_eq!(total, 11_000);
+    }
+
+    #[test]
+    fn folded_stacks_handle_unbalanced_streams() {
+        let events = vec![
+            ev(0, Phase::End, "stray", "step", 0),
+            ev(1, Phase::Begin, "a", "step", 0),
+            ev(2, Phase::Begin, "dangling", "step", 0),
+            ev(3, Phase::Instant, "tick", "step", 0),
+        ];
+        let folded = folded_stacks(&events, Clock::Wall);
+        assert!(folded.contains("rank 0;a "));
+        assert!(folded.contains("rank 0;a;dangling "));
+        assert!(!folded.contains("stray"));
+        assert!(!folded.contains("tick"));
+    }
+
+    #[test]
+    fn chrome_trace_records_spans_dropped() {
+        let events = vec![
+            ev(0, Phase::Begin, "a", "step", 0),
+            ev(1, Phase::End, "a", "step", 0),
+        ];
+        let json = chrome_trace_with_drops(&events, Clock::Wall, 42);
+        validate_chrome_trace(&json).unwrap();
+        let doc = json::parse(&json).unwrap();
+        assert_eq!(doc.get("spans_dropped").and_then(Value::as_f64), Some(42.0));
+        let meta = doc
+            .get("traceEvents")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .find(|e| e.get("name").and_then(Value::as_str) == Some("spans_dropped"))
+            .expect("metadata event");
+        assert_eq!(
+            meta.get("args").unwrap().get("count").unwrap().as_f64(),
+            Some(42.0)
+        );
+        // The default exporter reports zero and omits the meta event.
+        let clean = chrome_trace(&events, Clock::Wall);
+        let doc = json::parse(&clean).unwrap();
+        assert_eq!(doc.get("spans_dropped").and_then(Value::as_f64), Some(0.0));
     }
 
     #[test]

@@ -1,0 +1,288 @@
+//! Flight recorder: a bounded ring of recent spans and metric lines
+//! that turns into a post-mortem bundle the moment something goes
+//! wrong.
+//!
+//! At scale nobody streams every rank's telemetry to disk on the
+//! chance a fault fires; the aircraft answer is a small ring that
+//! always holds the *last* few seconds and is dumped only on trigger.
+//! Each rank owns one [`FlightRecorder`]; the step loop feeds it a
+//! metric line per step (and, when tracing is on, the newest events of
+//! its ring via [`trace::recent`]), and the resilience layer or an
+//! anomaly detector calls [`FlightRecorder::dump`] when a fault is
+//! detected or a detector trips. The bundle holds the retained spans
+//! (as a Chrome trace), the recent metric lines, a registry snapshot,
+//! and the detector verdicts that triggered it — DESIGN.md §18 lists
+//! the trigger matrix.
+
+use std::collections::VecDeque;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::export::{chrome_trace_with_drops, Clock};
+use crate::json::JsonWriter;
+use crate::metrics::Registry;
+use crate::trace::{self, Event};
+
+/// One detector/fault verdict attached to a dump — the "why" of the
+/// bundle. `greem_analysis` alerts and `resil` fault detections both
+/// lower into this shape (keeping `greem_obs` dependency-free).
+#[derive(Debug, Clone)]
+pub struct FlightVerdict {
+    /// Trigger source, e.g. `"straggler"` or `"fault.crash"`.
+    pub detector: String,
+    /// Step at which the trigger fired.
+    pub step: u64,
+    /// Implicated rank, or -1 when collective/unknown.
+    pub rank: i64,
+    /// Observed value that tripped the trigger.
+    pub value: f64,
+    /// The threshold it crossed (0 when not threshold-based).
+    pub threshold: f64,
+}
+
+impl FlightVerdict {
+    pub fn write_json(&self, w: &mut JsonWriter, key: Option<&str>) {
+        w.begin_obj(key);
+        w.str_(Some("detector"), &self.detector);
+        w.u64(Some("step"), self.step);
+        w.i64(Some("rank"), self.rank);
+        w.f64(Some("value"), self.value);
+        w.f64(Some("threshold"), self.threshold);
+        w.end_obj();
+    }
+}
+
+/// Bounded ring of recent spans + metric lines for one rank.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    rank: u32,
+    capacity: usize,
+    spans: VecDeque<Event>,
+    metric_lines: VecDeque<String>,
+    /// Highest event seq absorbed, for idempotent ring snapshots.
+    last_seq: Option<u64>,
+    evicted_spans: u64,
+    evicted_metrics: u64,
+    dumps: u64,
+}
+
+impl FlightRecorder {
+    /// A recorder for `rank` retaining at most `capacity` spans and
+    /// `capacity` metric lines (min 8 each).
+    pub fn new(rank: usize, capacity: usize) -> Self {
+        FlightRecorder {
+            rank: rank as u32,
+            capacity: capacity.max(8),
+            spans: VecDeque::new(),
+            metric_lines: VecDeque::new(),
+            last_seq: None,
+            evicted_spans: 0,
+            evicted_metrics: 0,
+            dumps: 0,
+        }
+    }
+
+    pub fn rank(&self) -> u32 {
+        self.rank
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Dumps written so far.
+    pub fn dumps(&self) -> u64 {
+        self.dumps
+    }
+
+    pub fn spans_held(&self) -> usize {
+        self.spans.len()
+    }
+
+    pub fn metric_lines_held(&self) -> usize {
+        self.metric_lines.len()
+    }
+
+    /// Append one newline-free metric line (any single-line JSON; the
+    /// step loops feed [`crate::export::step_report_line`]-shaped
+    /// records). Oldest lines are evicted beyond capacity.
+    pub fn push_metric_line(&mut self, line: impl Into<String>) {
+        if self.metric_lines.len() == self.capacity {
+            self.metric_lines.pop_front();
+            self.evicted_metrics += 1;
+        }
+        self.metric_lines.push_back(line.into());
+    }
+
+    /// Convenience: record a `{"step":…,"vtime_s":…,k:v,…}` line.
+    pub fn record_step(&mut self, step: u64, vtime: f64, extra: &[(&str, f64)]) {
+        let mut w = JsonWriter::new();
+        w.begin_obj(None);
+        w.u64(Some("step"), step);
+        w.f64(Some("vtime_s"), vtime);
+        for &(k, v) in extra {
+            w.f64(Some(k), v);
+        }
+        w.end_obj();
+        self.push_metric_line(w.finish());
+    }
+
+    /// Append events (oldest evicted beyond capacity). Events already
+    /// absorbed — by seq — are skipped, so feeding overlapping
+    /// [`trace::recent`] snapshots never duplicates.
+    pub fn push_events(&mut self, events: &[Event]) {
+        for e in events {
+            if self.last_seq.is_some_and(|s| e.seq <= s) {
+                continue;
+            }
+            self.last_seq = Some(e.seq);
+            if self.spans.len() == self.capacity {
+                self.spans.pop_front();
+                self.evicted_spans += 1;
+            }
+            self.spans.push_back(*e);
+        }
+    }
+
+    /// Pull the newest events of the *current thread's* trace ring in,
+    /// non-destructively (a concurrent full-trace capture still drains
+    /// everything). No-op while recording is disabled or off-feature.
+    pub fn absorb_recent(&mut self) {
+        let recent = trace::recent(self.capacity);
+        self.push_events(&recent);
+    }
+
+    /// Write the post-mortem bundle `<dir>/<tag>.json` and return its
+    /// path: retained spans as an embedded Chrome trace (virtual
+    /// clock), recent metric lines, an optional registry snapshot, and
+    /// the verdicts that triggered the dump.
+    pub fn dump(
+        &mut self,
+        dir: &Path,
+        tag: &str,
+        reason: &str,
+        registry: Option<&Registry>,
+        verdicts: &[FlightVerdict],
+    ) -> io::Result<PathBuf> {
+        self.absorb_recent();
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{tag}.json"));
+        let spans: Vec<Event> = self.spans.iter().copied().collect();
+
+        let mut w = JsonWriter::new();
+        w.begin_obj(None);
+        w.str_(Some("bundle"), "flight-recorder");
+        w.str_(Some("reason"), reason);
+        w.u64(Some("rank"), u64::from(self.rank));
+        w.u64(Some("spans_held"), spans.len() as u64);
+        w.u64(Some("spans_evicted"), self.evicted_spans);
+        w.u64(Some("metric_lines_evicted"), self.evicted_metrics);
+        w.u64(Some("spans_dropped_total"), trace::spans_dropped());
+        w.begin_arr(Some("verdicts"));
+        for v in verdicts {
+            v.write_json(&mut w, None);
+        }
+        w.end_arr();
+        w.begin_arr(Some("metrics_recent"));
+        for line in &self.metric_lines {
+            w.raw(None, line);
+        }
+        w.end_arr();
+        if let Some(reg) = registry {
+            reg.write_json(&mut w, Some("registry"));
+        }
+        w.raw(
+            Some("trace"),
+            &chrome_trace_with_drops(&spans, Clock::Virtual, 0),
+        );
+        w.end_obj();
+
+        std::fs::write(&path, w.finish())?;
+        self.dumps += 1;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{self, Value};
+    use crate::trace::{Args, Phase};
+
+    fn ev(seq: u64) -> Event {
+        Event {
+            seq,
+            phase: Phase::Instant,
+            name: "tick",
+            cat: "test",
+            wall_ns: seq * 1000,
+            vtime: seq as f64 * 1e-3,
+            rank: 0,
+            tid: 0,
+            args: Args::default(),
+        }
+    }
+
+    #[test]
+    fn ring_bounds_and_dedups() {
+        let mut fr = FlightRecorder::new(0, 8);
+        let events: Vec<Event> = (0..20).map(ev).collect();
+        fr.push_events(&events[..12]);
+        // Overlapping snapshot: only seq > 11 is new.
+        fr.push_events(&events[8..20]);
+        assert_eq!(fr.spans_held(), 8);
+        assert_eq!(fr.evicted_spans, 12);
+        for i in 0..20 {
+            fr.record_step(i, i as f64, &[("pp_cost", 1.0)]);
+        }
+        assert_eq!(fr.metric_lines_held(), 8);
+    }
+
+    #[test]
+    fn dump_bundle_schema() {
+        let dir = std::env::temp_dir().join("greem-flight-test");
+        std::fs::remove_dir_all(&dir).ok();
+        let mut fr = FlightRecorder::new(3, 16);
+        fr.push_events(&(0..4).map(ev).collect::<Vec<_>>());
+        fr.record_step(7, 0.5, &[("pp_cost", 2.0)]);
+        let mut reg = Registry::new();
+        reg.counter_add("resil_rollbacks_total", 1.0);
+        let verdicts = vec![FlightVerdict {
+            detector: "fault.crash".into(),
+            step: 7,
+            rank: 1,
+            value: 1.0,
+            threshold: 0.0,
+        }];
+        let path = fr
+            .dump(
+                &dir,
+                "crash-step7-r3",
+                "crash detected",
+                Some(&reg),
+                &verdicts,
+            )
+            .unwrap();
+        assert_eq!(fr.dumps(), 1);
+        let doc = json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(
+            doc.get("bundle").and_then(Value::as_str),
+            Some("flight-recorder")
+        );
+        assert_eq!(doc.get("rank").and_then(Value::as_f64), Some(3.0));
+        let verdicts = doc.get("verdicts").and_then(Value::as_arr).unwrap();
+        assert_eq!(
+            verdicts[0].get("detector").and_then(Value::as_str),
+            Some("fault.crash")
+        );
+        let lines = doc.get("metrics_recent").and_then(Value::as_arr).unwrap();
+        assert_eq!(lines[0].get("step").and_then(Value::as_f64), Some(7.0));
+        assert!(doc.get("registry").is_some());
+        // The embedded trace is itself a valid Chrome trace document.
+        assert!(doc
+            .get("trace")
+            .and_then(|t| t.get("traceEvents"))
+            .is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -12,8 +12,16 @@
 //!   label sets. Existing stats structs (`PhaseTimer`, `CommStats`,
 //!   `WalkStats`, `StepBreakdown`, …) feed it through the [`Observe`]
 //!   trait, unifying them under one schema.
+//! * [`sketch`] — mergeable log-bucketed quantile sketches ([`DdSketch`])
+//!   and keyed families of them ([`sketch::Rollup`]): the bounded-memory
+//!   cross-rank per-phase distribution machinery that replaces
+//!   keep-every-span telemetry at full-machine scale (DESIGN.md §18).
+//! * [`flight`] — a bounded flight recorder of recent spans + metric
+//!   lines that dumps a post-mortem bundle when a fault fires or a
+//!   detector trips.
 //! * [`export`] — exporters: Chrome-trace/Perfetto JSON (one "process" per
-//!   simulated rank), a step-report JSONL stream, and human text tables.
+//!   simulated rank), a folded-stack flamegraph exporter, a step-report
+//!   JSONL stream, and human text tables.
 //! * [`json`] — a dependency-free JSON writer and a minimal parser used by
 //!   the exporters and by tests/CI that validate emitted files.
 //! * [`clock`] — the `Clock` seam (wall vs manual): lets the service
@@ -25,10 +33,14 @@
 
 pub mod clock;
 pub mod export;
+pub mod flight;
 pub mod json;
 pub mod metrics;
+pub mod sketch;
 pub mod trace;
 
 pub use clock::{Clock, ManualClock, WallClock};
+pub use flight::{FlightRecorder, FlightVerdict};
 pub use metrics::{Observe, Registry};
+pub use sketch::{DdSketch, Rollup};
 pub use trace::{Event, Span};

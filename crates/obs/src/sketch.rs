@@ -1,0 +1,596 @@
+//! Mergeable streaming quantile sketches (DDSketch-style).
+//!
+//! At p = 82944 the telemetry question flips: nobody can keep every
+//! span of every rank, yet the numbers the paper reports (Table I's
+//! per-phase breakdown, the min/mean/max-over-nodes tables of the
+//! GreeM papers) are *distributions across ranks*. A [`DdSketch`]
+//! answers quantile queries over a stream of values with a fixed
+//! relative-error guarantee and O(log(range)/α) memory, and two
+//! sketches merge exactly — so per-rank observations fold into a
+//! cross-rank roll-up of bounded size at any scale.
+//!
+//! ## Error model
+//!
+//! Values are binned into geometric buckets `(γ^(k-1), γ^k]` with
+//! `γ = (1+α)/(1−α)`; a bucket's representative value `2γ^k/(γ+1)`
+//! is within relative error α of anything in the bucket. A quantile
+//! query walks the cumulative counts to the bucket holding the
+//! nearest-rank element, so for any q the estimate satisfies
+//! `|est − exact| ≤ α·|exact|` whenever `|exact| ≥ MIN_TRACKED`
+//! (tinier magnitudes collapse into an exact zero bucket). The
+//! default α is 1% ([`DEFAULT_ALPHA`]); the bound is test-enforced
+//! against exact sorted references on adversarial distributions.
+//!
+//! ## Exact merge-order invariance
+//!
+//! The sketch state is `{bucket counts, zero count, count, min, max}`.
+//! Every component merges by an associative, commutative, *exact*
+//! operation (`u64` addition; `f64` min/max over non-NaN, non-zero
+//! magnitudes), so any merge tree over the same observations yields
+//! bitwise-identical state — the cross-rank reduction can happen in
+//! whatever order the allgather delivers. The sketch deliberately
+//! does **not** track a raw `f64` running sum (float addition is not
+//! associative); [`DdSketch::mean`] is estimated from bucket
+//! representatives instead, with the same α bound. This is also why
+//! there is no bucket-collapsing cap: collapsing is insertion-order
+//! dependent. Bucket count is bounded by the value range — phase
+//! timings spanning 1 ns..10⁴ s fit in < 3000 buckets at α = 1%.
+
+use crate::json::JsonWriter;
+use std::collections::BTreeMap;
+
+/// Default relative-error bound (1%).
+pub const DEFAULT_ALPHA: f64 = 0.01;
+
+/// Magnitudes below this are counted in the exact zero bucket; the
+/// relative-error guarantee applies above it.
+pub const MIN_TRACKED: f64 = 1e-12;
+
+/// A mergeable log-bucketed quantile sketch.
+#[derive(Debug, Clone)]
+pub struct DdSketch {
+    alpha: f64,
+    /// ln γ where γ = (1+α)/(1−α); the bucket key of `v > 0` is
+    /// `ceil(ln v / ln γ)`.
+    ln_gamma: f64,
+    /// Bucket key → count, positive values.
+    pos: BTreeMap<i32, u64>,
+    /// Bucket key of |v| → count, negative values.
+    neg: BTreeMap<i32, u64>,
+    /// Values with |v| < [`MIN_TRACKED`], stored exactly as 0.
+    zero: u64,
+    count: u64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for DdSketch {
+    fn default() -> Self {
+        Self::new(DEFAULT_ALPHA)
+    }
+}
+
+impl DdSketch {
+    /// A sketch with relative-error bound `alpha` (0 < α < 1).
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha < 1.0,
+            "sketch alpha must be in (0, 1), got {alpha}"
+        );
+        DdSketch {
+            alpha,
+            ln_gamma: ((1.0 + alpha) / (1.0 - alpha)).ln(),
+            pos: BTreeMap::new(),
+            neg: BTreeMap::new(),
+            zero: 0,
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact minimum observed value (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (!self.is_empty()).then_some(self.min)
+    }
+
+    /// Exact maximum observed value (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (!self.is_empty()).then_some(self.max)
+    }
+
+    /// Distinct buckets currently held (memory footprint proxy).
+    pub fn num_buckets(&self) -> usize {
+        self.pos.len() + self.neg.len() + usize::from(self.zero > 0)
+    }
+
+    fn key_of(&self, magnitude: f64) -> i32 {
+        (magnitude.ln() / self.ln_gamma).ceil() as i32
+    }
+
+    /// Representative value of positive bucket `key`: `2γ^k/(γ+1)`,
+    /// within α of everything in `(γ^(k−1), γ^k]`.
+    fn value_of(&self, key: i32) -> f64 {
+        let gamma = (1.0 + self.alpha) / (1.0 - self.alpha);
+        2.0 * (f64::from(key) * self.ln_gamma).exp() / (gamma + 1.0)
+    }
+
+    /// Fold one value in. Non-finite values are ignored (a NaN must
+    /// not poison min/max merge-invariance).
+    pub fn observe(&mut self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        if v.abs() < MIN_TRACKED {
+            self.zero += 1;
+            // The zero bucket reads back as exactly 0.0; min/max follow.
+            self.min = self.min.min(0.0);
+            self.max = self.max.max(0.0);
+        } else {
+            if v > 0.0 {
+                *self.pos.entry(self.key_of(v)).or_insert(0) += 1;
+            } else {
+                *self.neg.entry(self.key_of(-v)).or_insert(0) += 1;
+            }
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+    }
+
+    /// Fold another sketch in. Both sides must share the same α —
+    /// bucket keys are only compatible within one resolution.
+    pub fn merge(&mut self, other: &DdSketch) {
+        assert!(
+            self.alpha.to_bits() == other.alpha.to_bits(),
+            "cannot merge sketches with different alpha ({} vs {})",
+            self.alpha,
+            other.alpha
+        );
+        for (&k, &c) in &other.pos {
+            *self.pos.entry(k).or_insert(0) += c;
+        }
+        for (&k, &c) in &other.neg {
+            *self.neg.entry(k).or_insert(0) += c;
+        }
+        self.zero += other.zero;
+        self.count += other.count;
+        if !other.is_empty() {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
+    /// Nearest-rank quantile estimate for `q ∈ [0, 1]`; `None` when
+    /// empty. Walks negatives (ascending value), the zero bucket,
+    /// then positives; the bucket holding the rank-`⌊q(n−1)⌋` element
+    /// answers with its representative, clamped into `[min, max]` so
+    /// extreme quantiles report the exact observed extremes.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = (q * (self.count - 1) as f64).floor() as u64;
+        let mut cum = 0u64;
+        // Negative values ascend as |v| descends: iterate keys downward.
+        for (&k, &c) in self.neg.iter().rev() {
+            cum += c;
+            if cum > rank {
+                return Some((-self.value_of(k)).clamp(self.min, self.max));
+            }
+        }
+        cum += self.zero;
+        if cum > rank {
+            return Some(0.0f64.clamp(self.min, self.max));
+        }
+        for (&k, &c) in &self.pos {
+            cum += c;
+            if cum > rank {
+                return Some(self.value_of(k).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Mean estimated from bucket representatives (within α of the
+    /// true mean for same-sign streams; exact for the zero bucket).
+    /// Deterministic given the state — summation runs in key order.
+    pub fn mean(&self) -> Option<f64> {
+        if self.is_empty() {
+            return None;
+        }
+        let mut sum = 0.0;
+        for (&k, &c) in self.neg.iter().rev() {
+            sum += -self.value_of(k) * c as f64;
+        }
+        for (&k, &c) in &self.pos {
+            sum += self.value_of(k) * c as f64;
+        }
+        Some(sum / self.count as f64)
+    }
+
+    /// FNV-1a fingerprint of the complete sketch state. Two sketches
+    /// fed the same observations through any merge tree fingerprint
+    /// identically — the merge-order-invariance tests assert on this.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf29ce484222325;
+        const PRIME: u64 = 0x100000001b3;
+        let mut h = OFFSET;
+        let mut mix = |x: u64| {
+            for byte in x.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        mix(self.alpha.to_bits());
+        mix(self.count);
+        mix(self.zero);
+        mix(self.min.to_bits());
+        mix(self.max.to_bits());
+        for (&k, &c) in &self.neg {
+            mix(k as u32 as u64);
+            mix(c);
+        }
+        mix(u64::MAX); // domain separator between the two maps
+        for (&k, &c) in &self.pos {
+            mix(k as u32 as u64);
+            mix(c);
+        }
+        h
+    }
+
+    /// Summary object: count, exact min/max, estimated mean and the
+    /// standard quantiles, plus the bucket count (size proxy).
+    pub fn write_summary(&self, w: &mut JsonWriter, key: Option<&str>) {
+        w.begin_obj(key);
+        w.u64(Some("count"), self.count);
+        w.f64(Some("min"), self.min().unwrap_or(f64::NAN));
+        w.f64(Some("max"), self.max().unwrap_or(f64::NAN));
+        w.f64(Some("mean"), self.mean().unwrap_or(f64::NAN));
+        w.f64(Some("p50"), self.quantile(0.50).unwrap_or(f64::NAN));
+        w.f64(Some("p95"), self.quantile(0.95).unwrap_or(f64::NAN));
+        w.f64(Some("p99"), self.quantile(0.99).unwrap_or(f64::NAN));
+        w.u64(Some("buckets"), self.num_buckets() as u64);
+        w.end_obj();
+    }
+}
+
+/// A keyed family of sketches — one per phase (or span name), the
+/// unit the cross-rank roll-up and the trace-retention fold produce.
+/// Keys are held in a sorted map so a rollup's serialized form (and
+/// its merge) is independent of observation order.
+#[derive(Debug, Clone)]
+pub struct Rollup {
+    alpha: f64,
+    entries: BTreeMap<String, DdSketch>,
+}
+
+impl Default for Rollup {
+    fn default() -> Self {
+        Self::new(DEFAULT_ALPHA)
+    }
+}
+
+impl Rollup {
+    pub fn new(alpha: f64) -> Self {
+        Rollup {
+            alpha,
+            entries: BTreeMap::new(),
+        }
+    }
+
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Fold one observation into the named sketch.
+    pub fn observe(&mut self, name: &str, v: f64) {
+        match self.entries.get_mut(name) {
+            Some(s) => s.observe(v),
+            None => {
+                let mut s = DdSketch::new(self.alpha);
+                s.observe(v);
+                self.entries.insert(name.to_string(), s);
+            }
+        }
+    }
+
+    /// Fold another rollup in (union of keys; same-α required).
+    pub fn merge(&mut self, other: &Rollup) {
+        for (name, sk) in &other.entries {
+            match self.entries.get_mut(name) {
+                Some(mine) => mine.merge(sk),
+                None => {
+                    self.entries.insert(name.clone(), sk.clone());
+                }
+            }
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn get(&self, name: &str) -> Option<&DdSketch> {
+        self.entries.get(name)
+    }
+
+    /// Total observations across every sketch.
+    pub fn total_count(&self) -> u64 {
+        self.entries.values().map(DdSketch::count).sum()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &DdSketch)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// `{ "<name>": {count, min, max, mean, p50, p95, p99, buckets},
+    /// … }` in sorted key order.
+    pub fn write_json(&self, w: &mut JsonWriter, key: Option<&str>) {
+        w.begin_obj(key);
+        for (name, sk) in &self.entries {
+            sk.write_summary(w, Some(name));
+        }
+        w.end_obj();
+    }
+
+    /// Serialized summary size in bytes (artifact budget accounting).
+    pub fn summary_bytes(&self) -> usize {
+        let mut w = JsonWriter::new();
+        self.write_json(&mut w, None);
+        w.finish().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn uniform01(state: &mut u64) -> f64 {
+        (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Nearest-rank exact quantile, matching the sketch's definition.
+    fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+        let rank = (q * (sorted.len() - 1) as f64).floor() as usize;
+        sorted[rank]
+    }
+
+    fn assert_within_alpha(sk: &DdSketch, samples: &mut [f64], tag: &str) {
+        samples.sort_by(f64::total_cmp);
+        for &q in &[0.0, 0.01, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
+            let est = sk.quantile(q).unwrap();
+            let exact = exact_quantile(samples, q);
+            let tol = sk.alpha() * exact.abs() + MIN_TRACKED;
+            assert!(
+                (est - exact).abs() <= tol + 1e-12,
+                "{tag}: q={q} est={est} exact={exact} tol={tol}"
+            );
+        }
+        assert_eq!(sk.min().unwrap(), samples[0], "{tag}: exact min");
+        assert_eq!(
+            sk.max().unwrap(),
+            samples[samples.len() - 1],
+            "{tag}: exact max"
+        );
+    }
+
+    #[test]
+    fn error_bound_on_bimodal_distribution() {
+        // Two modes five decades apart — the regime where fixed-width
+        // histogram bounds fail and log buckets shine.
+        let mut st = 1u64;
+        let mut sk = DdSketch::default();
+        let mut xs = Vec::new();
+        for i in 0..4000 {
+            let x = if i % 2 == 0 {
+                1e-3 * (1.0 + uniform01(&mut st))
+            } else {
+                1e2 * (1.0 + uniform01(&mut st))
+            };
+            sk.observe(x);
+            xs.push(x);
+        }
+        assert_within_alpha(&sk, &mut xs, "bimodal");
+    }
+
+    #[test]
+    fn error_bound_on_heavy_tail() {
+        // Pareto-ish tail: u^(-1.5) spans many decades with rare huge
+        // values — the straggler-duration shape.
+        let mut st = 7u64;
+        let mut sk = DdSketch::default();
+        let mut xs = Vec::new();
+        for _ in 0..5000 {
+            let x = uniform01(&mut st).max(1e-9).powf(-1.5);
+            sk.observe(x);
+            xs.push(x);
+        }
+        assert_within_alpha(&sk, &mut xs, "heavy-tail");
+    }
+
+    #[test]
+    fn error_bound_on_constant_stream() {
+        let mut sk = DdSketch::default();
+        let mut xs = vec![42.0; 1000];
+        for &x in &xs {
+            sk.observe(x);
+        }
+        assert_within_alpha(&sk, &mut xs, "constant");
+        assert_eq!(sk.num_buckets(), 1);
+    }
+
+    #[test]
+    fn error_bound_with_negatives_and_zeros() {
+        let mut st = 11u64;
+        let mut sk = DdSketch::default();
+        let mut xs = Vec::new();
+        for i in 0..3000 {
+            let x = match i % 3 {
+                0 => -(1.0 + uniform01(&mut st) * 9.0),
+                1 => 0.0,
+                _ => 1.0 + uniform01(&mut st) * 9.0,
+            };
+            sk.observe(x);
+            xs.push(x);
+        }
+        assert_within_alpha(&sk, &mut xs, "signed");
+    }
+
+    #[test]
+    fn merge_is_order_invariant_bitwise() {
+        // The same 4 per-rank shards merged in 4 different trees must
+        // produce bitwise-identical state — and identical to a single
+        // sketch that saw every observation sequentially.
+        let mut st = 3u64;
+        let shards: Vec<DdSketch> = (0..4)
+            .map(|_| {
+                let mut s = DdSketch::default();
+                for _ in 0..500 {
+                    s.observe(uniform01(&mut st).max(1e-9).powf(-1.2));
+                }
+                s
+            })
+            .collect();
+        let mut sequential = DdSketch::default();
+        for s in &shards {
+            sequential.merge(s);
+        }
+        let orders: [[usize; 4]; 4] = [[0, 1, 2, 3], [3, 2, 1, 0], [2, 0, 3, 1], [1, 3, 0, 2]];
+        for order in orders {
+            let mut m = DdSketch::default();
+            for &i in &order {
+                m.merge(&shards[i]);
+            }
+            assert_eq!(
+                m.fingerprint(),
+                sequential.fingerprint(),
+                "merge order {order:?} changed the state"
+            );
+        }
+        // Tree-shaped merge: (s0+s1) + (s2+s3).
+        let mut left = shards[0].clone();
+        left.merge(&shards[1]);
+        let mut right = shards[2].clone();
+        right.merge(&shards[3]);
+        left.merge(&right);
+        assert_eq!(left.fingerprint(), sequential.fingerprint());
+    }
+
+    #[test]
+    fn empty_and_single_sample_edges() {
+        let empty = DdSketch::default();
+        assert!(empty.is_empty());
+        assert_eq!(empty.quantile(0.5), None);
+        assert_eq!(empty.mean(), None);
+        assert_eq!(empty.min(), None);
+
+        // Merging an empty sketch is the identity.
+        let mut one = DdSketch::default();
+        one.observe(3.25);
+        let fp = one.fingerprint();
+        one.merge(&empty);
+        assert_eq!(one.fingerprint(), fp);
+        let mut from_empty = DdSketch::default();
+        from_empty.merge(&one);
+        assert_eq!(from_empty.fingerprint(), fp);
+
+        // A single sample: every quantile reports it within α, and
+        // min/max are exact.
+        for &q in &[0.0, 0.5, 1.0] {
+            let est = one.quantile(q).unwrap();
+            assert!((est - 3.25).abs() <= one.alpha() * 3.25);
+        }
+        assert_eq!((one.min().unwrap(), one.max().unwrap()), (3.25, 3.25));
+        assert_eq!(one.count(), 1);
+    }
+
+    #[test]
+    fn non_finite_inputs_are_ignored() {
+        let mut sk = DdSketch::default();
+        sk.observe(f64::NAN);
+        sk.observe(f64::INFINITY);
+        sk.observe(f64::NEG_INFINITY);
+        assert!(sk.is_empty());
+        sk.observe(1.0);
+        assert_eq!(sk.count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different alpha")]
+    fn merge_rejects_mismatched_alpha() {
+        let mut a = DdSketch::new(0.01);
+        a.merge(&DdSketch::new(0.02));
+    }
+
+    #[test]
+    fn rollup_folds_merges_and_serializes() {
+        let mut a = Rollup::default();
+        let mut b = Rollup::default();
+        for i in 0..100 {
+            a.observe("pp", 1.0 + i as f64 * 1e-3);
+            b.observe("pp", 2.0 + i as f64 * 1e-3);
+            b.observe("fft", 0.5);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged.get("pp").unwrap().count(), 200);
+        assert_eq!(merged.get("fft").unwrap().count(), 100);
+        // Merge the other way: per-key sketches must agree bitwise.
+        let mut rev = b.clone();
+        rev.merge(&a);
+        for (name, sk) in merged.iter() {
+            assert_eq!(sk.fingerprint(), rev.get(name).unwrap().fingerprint());
+        }
+        let mut w = JsonWriter::new();
+        merged.write_json(&mut w, None);
+        let v = crate::json::parse(&w.finish()).unwrap();
+        let pp = v.get("pp").expect("pp key");
+        assert_eq!(pp.get("count").and_then(|c| c.as_f64()), Some(200.0));
+        assert!(pp.get("p95").and_then(|c| c.as_f64()).is_some());
+        assert!(merged.summary_bytes() < 1024, "two-phase rollup stays tiny");
+    }
+
+    #[test]
+    fn bucket_count_stays_bounded_over_wide_range() {
+        // 18 decades of magnitude — the worst realistic case — stays
+        // in a few thousand buckets at α = 1%.
+        let mut st = 5u64;
+        let mut sk = DdSketch::default();
+        for _ in 0..200_000 {
+            let exp = (uniform01(&mut st) * 18.0) - 9.0;
+            sk.observe(10f64.powf(exp));
+        }
+        assert!(
+            sk.num_buckets() < 5000,
+            "buckets = {} must stay bounded",
+            sk.num_buckets()
+        );
+    }
+}

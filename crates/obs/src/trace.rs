@@ -96,15 +96,22 @@ mod imp {
     use std::sync::{Arc, Mutex, OnceLock, PoisonError};
     use std::time::Instant;
 
-    /// Per-thread ring buffer capacity (events). Phase-level spans produce
-    /// tens of events per step, so this covers thousands of steps; overflow
-    /// drops the oldest events and is counted.
+    /// Default per-thread ring buffer capacity (events). Phase-level spans
+    /// produce tens of events per step, so this covers thousands of steps;
+    /// overflow drops the oldest events and is counted (see
+    /// [`spans_dropped`]).
     const RING_CAPACITY: usize = 1 << 16;
 
     static ENABLED: AtomicBool = AtomicBool::new(false);
     static SEQ: AtomicU64 = AtomicU64::new(0);
     static NEXT_TID: AtomicU32 = AtomicU32::new(0);
     static EPOCH: OnceLock<Instant> = OnceLock::new();
+    /// Capacity applied to rings created after a [`set_ring_capacity`]
+    /// call (existing rings keep theirs — capacity is fixed at creation).
+    static RING_CAP: AtomicU64 = AtomicU64::new(RING_CAPACITY as u64);
+    /// Process-lifetime total of events lost to ring overflow, across
+    /// all threads. Monotonic: never reset by drains.
+    static DROPPED_TOTAL: AtomicU64 = AtomicU64::new(0);
     /// All ring buffers ever registered (threads may exit before drain).
     static BUFFERS: Mutex<Vec<Arc<Mutex<Ring>>>> = Mutex::new(Vec::new());
     /// Serializes [`capture`] sections so concurrent tests don't interleave.
@@ -115,18 +122,35 @@ mod imp {
         /// Index of the oldest event once the buffer has wrapped.
         head: usize,
         dropped: u64,
+        capacity: usize,
     }
 
     impl Ring {
         fn push(&mut self, e: Event) {
-            if self.events.len() < RING_CAPACITY {
+            if self.events.len() < self.capacity {
                 self.events.push(e);
             } else {
                 self.events[self.head] = e;
-                self.head = (self.head + 1) % RING_CAPACITY;
+                self.head = (self.head + 1) % self.capacity;
                 self.dropped += 1;
+                DROPPED_TOTAL.fetch_add(1, Ordering::Relaxed);
             }
         }
+    }
+
+    /// Override the ring capacity for threads that register *after* this
+    /// call (min 4; existing rings are unaffected). Tests use a tiny
+    /// capacity to exercise the overflow accounting.
+    pub fn set_ring_capacity(capacity: usize) {
+        RING_CAP.store(capacity.max(4) as u64, Ordering::SeqCst);
+    }
+
+    /// Total events lost to ring-buffer overflow over the process
+    /// lifetime (all threads). Monotonic — exported as the
+    /// `obs_spans_dropped_total` registry counter and the
+    /// `spans_dropped` Chrome-trace metadata field.
+    pub fn spans_dropped() -> u64 {
+        DROPPED_TOTAL.load(Ordering::Relaxed)
     }
 
     thread_local! {
@@ -201,6 +225,7 @@ mod imp {
                     events: Vec::new(),
                     head: 0,
                     dropped: 0,
+                    capacity: RING_CAP.load(Ordering::SeqCst) as usize,
                 }));
                 lock(&BUFFERS).push(Arc::clone(&ring));
                 (tid, ring)
@@ -209,6 +234,25 @@ mod imp {
             e.tid = *tid;
             lock(ring).push(e);
         });
+    }
+
+    /// Copy (without draining) up to `max` of the newest events in the
+    /// *current thread's* ring, oldest first. The flight recorder's
+    /// post-mortem bundle snapshots the rank thread it runs on; other
+    /// threads' rings are untouched so a concurrent [`capture`] still
+    /// sees everything.
+    pub fn recent(max: usize) -> Vec<Event> {
+        RING.with(|cell| {
+            let Some((_, ring)) = cell.get() else {
+                return Vec::new();
+            };
+            let r = lock(ring);
+            let mut all = Vec::with_capacity(r.events.len());
+            all.extend_from_slice(&r.events[r.head..]);
+            all.extend_from_slice(&r.events[..r.head]);
+            let skip = all.len().saturating_sub(max);
+            all.split_off(skip)
+        })
     }
 
     /// Drain every thread's buffer, returning all events ordered by `seq`.
@@ -239,12 +283,20 @@ mod imp {
     /// parallel tests cannot interleave their event streams; events
     /// recorded outside the capture window are discarded.
     pub fn capture<R>(f: impl FnOnce() -> R) -> (R, Vec<Event>) {
+        let (out, events, _) = capture_counted(f);
+        (out, events)
+    }
+
+    /// [`capture`] that also reports how many events the window lost to
+    /// ring overflow (the per-window `spans_dropped` for trace exports).
+    pub fn capture_counted<R>(f: impl FnOnce() -> R) -> (R, Vec<Event>, u64) {
         let _guard = lock(&CAPTURE);
         drain(); // discard stale events from before this window
         enable();
         let out = f();
         disable();
-        (out, drain())
+        let (events, dropped) = drain_counted();
+        (out, events, dropped)
     }
 }
 
@@ -268,6 +320,15 @@ mod imp {
     pub fn clear_vtime() {}
     #[inline(always)]
     pub fn record(_phase: Phase, _cat: &'static str, _name: &'static str, _args: Args) {}
+    #[inline(always)]
+    pub fn set_ring_capacity(_capacity: usize) {}
+    #[inline(always)]
+    pub fn spans_dropped() -> u64 {
+        0
+    }
+    pub fn recent(_max: usize) -> Vec<Event> {
+        Vec::new()
+    }
     pub fn drain_counted() -> (Vec<Event>, u64) {
         (Vec::new(), 0)
     }
@@ -277,11 +338,14 @@ mod imp {
     pub fn capture<R>(f: impl FnOnce() -> R) -> (R, Vec<Event>) {
         (f(), Vec::new())
     }
+    pub fn capture_counted<R>(f: impl FnOnce() -> R) -> (R, Vec<Event>, u64) {
+        (f(), Vec::new(), 0)
+    }
 }
 
 pub use imp::{
-    capture, clear_vtime, disable, drain, drain_counted, enable, is_enabled, record, set_rank,
-    set_vtime,
+    capture, capture_counted, clear_vtime, disable, drain, drain_counted, enable, is_enabled,
+    recent, record, set_rank, set_ring_capacity, set_vtime, spans_dropped,
 };
 
 /// RAII span guard: records a `Begin` event on creation and the matching
@@ -389,6 +453,46 @@ mod tests {
         drop(_s);
         let ((), events) = capture(|| {});
         assert!(events.is_empty());
+    }
+
+    #[test]
+    fn tiny_ring_overflow_is_counted_not_silent() {
+        // A fresh thread registered under a tiny capacity overflows
+        // after `cap` events; the overwrite is counted per-window
+        // (capture_counted) and in the process-lifetime total.
+        let before_total = spans_dropped();
+        set_ring_capacity(8);
+        let ((), events, dropped) = capture_counted(|| {
+            std::thread::spawn(|| {
+                for _ in 0..20 {
+                    instant("test", "overflow", &[("x", 1.0)]);
+                }
+            })
+            .join()
+            .unwrap();
+        });
+        set_ring_capacity(1 << 16); // restore for later-registered threads
+        assert_eq!(dropped, 12, "20 events into an 8-slot ring drop 12");
+        assert_eq!(events.len(), 8, "the newest 8 survive");
+        // Newest-wins: the retained events are the last 8 recorded.
+        assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert!(spans_dropped() >= before_total + 12);
+    }
+
+    #[test]
+    fn recent_snapshot_is_non_destructive() {
+        let ((), events) = capture(|| {
+            for _ in 0..6 {
+                instant("test", "tick", &[]);
+            }
+            let tail = recent(4);
+            assert_eq!(tail.len(), 4, "recent caps at the requested max");
+            assert!(tail.windows(2).all(|w| w[0].seq < w[1].seq));
+            assert!(recent(100).len() >= 6, "max above fill returns all");
+        });
+        // The snapshot did not consume anything: the drain still sees
+        // every recorded event.
+        assert_eq!(events.len(), 6);
     }
 
     #[test]

@@ -46,6 +46,13 @@ pub struct ResilConfig {
     /// Keep this many most-recent generations on disk (older ones are
     /// garbage-collected after a successful checkpoint).
     pub keep_generations: u64,
+    /// When set (and the `obs` feature is on), each rank keeps a
+    /// bounded flight recorder of recent spans/metrics and dumps a
+    /// post-mortem bundle into this directory the moment the health
+    /// check detects a crash (`<dir>/crash-step<k>-r<rank>-<n>.json`).
+    pub flight_dir: Option<PathBuf>,
+    /// Flight-recorder ring capacity (spans and metric lines each).
+    pub flight_capacity: usize,
 }
 
 impl ResilConfig {
@@ -56,7 +63,15 @@ impl ResilConfig {
             max_rollbacks: 8,
             io_bandwidth: 1e9,
             keep_generations: 2,
+            flight_dir: None,
+            flight_capacity: 256,
         }
+    }
+
+    /// Enable the flight recorder, dumping bundles into `dir`.
+    pub fn with_flight(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.flight_dir = Some(dir.into());
+        self
     }
 }
 
@@ -165,6 +180,9 @@ pub struct ResilientSim {
     /// This rank's clock when the last checkpoint completed (measures
     /// the virtual time a rollback throws away).
     vtime_at_ckpt: f64,
+    /// Per-rank flight recorder (see [`ResilConfig::flight_dir`]).
+    #[cfg(feature = "obs")]
+    flight: Option<greem_obs::FlightRecorder>,
 }
 
 impl ResilientSim {
@@ -178,12 +196,19 @@ impl ResilientSim {
     ) -> Result<Self, ResilError> {
         std::fs::create_dir_all(&cfg.dir).map_err(CkptError::Io)?;
         world.barrier(ctx); // no rank writes before the dir exists
+        #[cfg(feature = "obs")]
+        let flight = cfg
+            .flight_dir
+            .is_some()
+            .then(|| greem_obs::FlightRecorder::new(world.rank(), cfg.flight_capacity));
         let mut s = ResilientSim {
             sim,
             cfg,
             stats: RecoveryStats::default(),
             generation: 0,
             vtime_at_ckpt: ctx.vtime(),
+            #[cfg(feature = "obs")]
+            flight,
         };
         s.checkpoint(ctx, world)?;
         Ok(s)
@@ -266,6 +291,19 @@ impl ResilientSim {
             }
             let st = self.sim.step(ctx, world, dts[k as usize]);
             on_step(ctx, world, &self.sim, &st, &self.stats);
+            #[cfg(feature = "obs")]
+            if let Some(fr) = self.flight.as_mut() {
+                fr.record_step(
+                    self.sim.steps_taken(),
+                    ctx.vtime(),
+                    &[
+                        ("pp_cost", self.sim.last_pp_cost()),
+                        ("rollbacks", self.stats.rollbacks as f64),
+                        ("interactions", st.breakdown.interactions() as f64),
+                    ],
+                );
+                fr.absorb_recent();
+            }
             if self.sim.steps_taken().is_multiple_of(self.cfg.every) {
                 self.checkpoint(ctx, world)?;
             }
@@ -296,7 +334,50 @@ impl ResilientSim {
             "resil.crash_detected",
             &[("ranks", crashed as f64)],
         );
+        #[cfg(feature = "obs")]
+        self.flight_dump(world, crashed);
         true
+    }
+
+    /// Post-mortem: write this rank's flight-recorder bundle (recent
+    /// spans + metric lines + recovery-counter snapshot + the crash
+    /// verdict). Best-effort — a failed dump must never abort recovery.
+    #[cfg(feature = "obs")]
+    fn flight_dump(&mut self, world: &Comm, crashed: u64) {
+        let (Some(fr), Some(dir)) = (self.flight.as_mut(), self.cfg.flight_dir.as_ref()) else {
+            return;
+        };
+        let step = self.sim.steps_taken();
+        let mut reg = greem_obs::Registry::new();
+        greem_obs::Observe::observe(&self.stats, &mut reg);
+        let verdict = greem_obs::FlightVerdict {
+            detector: "fault.crash".into(),
+            step,
+            rank: -1, // collective detection; the dead rank is silent
+            value: crashed as f64,
+            threshold: 0.0,
+        };
+        let tag = format!("crash-step{step}-r{}-{}", world.rank(), fr.dumps());
+        fr.dump(
+            dir,
+            &tag,
+            "crash detected by health check",
+            Some(&reg),
+            &[verdict],
+        )
+        .ok();
+    }
+
+    /// Flight-recorder bundles written by this rank so far.
+    pub fn flight_dumps(&self) -> u64 {
+        #[cfg(feature = "obs")]
+        {
+            self.flight.as_ref().map_or(0, |f| f.dumps())
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            0
+        }
     }
 
     fn checkpoint(&mut self, ctx: &mut Ctx, world: &Comm) -> Result<(), ResilError> {

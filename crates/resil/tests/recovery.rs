@@ -280,3 +280,82 @@ fn checkpoint_roundtrips_soa_store_bitwise() {
     assert_eq!(cont, replay, "restored-from-shard step diverged");
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// A crash with the flight recorder armed leaves a post-mortem bundle
+/// per rank: recent metric lines, the crash verdict, a recovery-counter
+/// snapshot, and (tracing was on) the rank's recent spans.
+#[test]
+fn crash_dumps_flight_recorder_bundles() {
+    let bodies = rand_bodies(96, 13);
+    let cfg = modeled_cfg();
+    let dts = [1e-3; 8];
+    let ckpt = tmpdir("flight_ckpt");
+    let flight = tmpdir("flight_dump");
+    let plan = FaultPlan::new(7).crash(2, 5);
+
+    let (out, _events) = greem_obs::trace::capture(|| {
+        World::new(4)
+            .with_net(NetModel::free())
+            .with_faults(plan)
+            .run({
+                let (ckpt, flight, bodies) = (ckpt.clone(), flight.clone(), bodies.clone());
+                move |ctx, world| {
+                    let root_bodies = (world.rank() == 0).then(|| bodies.clone());
+                    let sim = ParallelTreePm::new(
+                        ctx,
+                        world,
+                        cfg,
+                        [2, 2, 1],
+                        2,
+                        None,
+                        root_bodies,
+                        SimulationMode::Static,
+                    );
+                    let rc = ResilConfig::new(&ckpt).with_flight(&flight);
+                    let mut resil = ResilientSim::new(ctx, world, sim, rc).unwrap();
+                    resil.run(ctx, world, &dts).unwrap();
+                    resil.flight_dumps()
+                }
+            })
+    });
+    assert!(
+        out.iter().all(|&d| d == 1),
+        "every rank dumps exactly once: {out:?}"
+    );
+
+    let mut bundles: Vec<_> = std::fs::read_dir(&flight)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    bundles.sort();
+    assert_eq!(bundles.len(), 4, "one bundle per rank");
+    let doc = greem_obs::json::parse(&std::fs::read_to_string(&bundles[0]).unwrap()).unwrap();
+    use greem_obs::json::Value;
+    assert_eq!(
+        doc.get("bundle").and_then(Value::as_str),
+        Some("flight-recorder")
+    );
+    let verdicts = doc.get("verdicts").and_then(Value::as_arr).unwrap();
+    assert_eq!(
+        verdicts[0].get("detector").and_then(Value::as_str),
+        Some("fault.crash")
+    );
+    assert_eq!(verdicts[0].get("step").and_then(Value::as_f64), Some(5.0));
+    let lines = doc.get("metrics_recent").and_then(Value::as_arr).unwrap();
+    assert!(!lines.is_empty(), "per-step metric lines retained");
+    assert!(
+        lines
+            .iter()
+            .all(|l| l.get("pp_cost").and_then(Value::as_f64).is_some()),
+        "metric lines carry the balancer-visible cost"
+    );
+    // Tracing was enabled, so the bundle embeds real spans.
+    let trace = doc.get("trace").expect("embedded trace");
+    assert!(!trace
+        .get("traceEvents")
+        .and_then(Value::as_arr)
+        .unwrap()
+        .is_empty());
+    std::fs::remove_dir_all(&ckpt).ok();
+    std::fs::remove_dir_all(&flight).ok();
+}

@@ -7,8 +7,14 @@
 //! Prints one JSON line with the bound address on startup (port 0 in
 //! `--addr` picks a free port — CI uses this), then serves until
 //! SIGTERM/SIGINT or `POST /shutdown`, then drains gracefully: no new
-//! submissions, queued jobs finish, snapshot streams run to their
-//! terminal line, and the exit summary goes to stdout.
+//! submissions, queued jobs finish, snapshot streams and the
+//! `GET /telemetry` feed run to their terminal line, and the exit
+//! summary goes to stdout.
+//!
+//! Routes: `POST /jobs`, `GET /jobs[/:id[/stream]]`, `GET /metrics`,
+//! `GET /telemetry` (live NDJSON job-lifecycle feed with the cross-job
+//! duration sketch), `GET /trace/:id`, `GET /healthz`,
+//! `POST /shutdown`.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;

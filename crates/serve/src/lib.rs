@@ -15,6 +15,7 @@
 //! | `GET /jobs/:id` | one job's status, config echo, final summary |
 //! | `GET /jobs/:id/stream` | chunked NDJSON snapshot stream (`?from=0` replays retained history) |
 //! | `GET /metrics` | Prometheus exposition: the shared registry plus live `serve_*` gauges |
+//! | `GET /telemetry` | chunked NDJSON feed of job lifecycle events (`?from=N` replays), each `finished` line carrying the mergeable cross-job duration sketch (p50/p95/p99) |
 //! | `GET /trace/:id` | Perfetto/Chrome trace JSON of a `"trace": true` job |
 //! | `GET /healthz` | liveness |
 //! | `POST /shutdown` | graceful drain (same path as SIGTERM in the binary) |

@@ -30,6 +30,7 @@ use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock};
 use std::time::Duration;
 
 use greem_obs::json::JsonWriter;
+use greem_obs::sketch::DdSketch;
 use greem_obs::{Clock, Registry, WallClock};
 
 use crate::http;
@@ -114,6 +115,14 @@ struct JobsState {
     running: usize,
 }
 
+/// One event on the daemon-wide telemetry feed (`GET /telemetry`): a
+/// pre-rendered NDJSON line, published on every job lifecycle
+/// transition. Rendered once at publish time so N subscribers cost no
+/// extra serialization.
+struct TelemetryEvent {
+    line: String,
+}
+
 struct Shared {
     cfg: ServerConfig,
     jobs: Mutex<JobsState>,
@@ -134,6 +143,30 @@ struct Shared {
     /// one job's spans.
     trace_gate: RwLock<()>,
     open_connections: AtomicUsize,
+    /// Daemon-wide telemetry feed: job lifecycle events over a
+    /// never-blocking broadcast ring (`GET /telemetry` streams it as
+    /// chunked NDJSON). Closed during shutdown after the workers have
+    /// drained, so live listeners see a terminal line.
+    telemetry: Arc<Broadcast<TelemetryEvent>>,
+    /// Mergeable sketch of job wall durations, summarized into every
+    /// `finished` telemetry event (p50/p95/p99 over all jobs so far).
+    job_durations: Mutex<DdSketch>,
+}
+
+/// Render and publish one telemetry event; `fill` appends
+/// event-specific fields to the line object.
+fn publish_telemetry(shared: &Shared, event: &str, job: &str, fill: impl FnOnce(&mut JsonWriter)) {
+    let mut w = JsonWriter::new();
+    w.begin_obj(None);
+    w.str_(Some("event"), event);
+    w.str_(Some("job"), job);
+    w.f64(Some("t"), shared.cfg.clock.now());
+    fill(&mut w);
+    w.end_obj();
+    shared
+        .telemetry
+        .publish(TelemetryEvent { line: w.finish() });
+    lock(&shared.registry).counter_add("serve_telemetry_events", 1.0);
 }
 
 fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
@@ -155,6 +188,7 @@ pub fn start(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
     std::fs::create_dir_all(&cfg.data_dir)?;
+    let telemetry_capacity = cfg.ring_capacity;
     let shared = Arc::new(Shared {
         cfg,
         jobs: Mutex::new(JobsState::default()),
@@ -164,6 +198,8 @@ pub fn start(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
         accept_stop: AtomicBool::new(false),
         trace_gate: RwLock::new(()),
         open_connections: AtomicUsize::new(0),
+        telemetry: Broadcast::new(telemetry_capacity),
+        job_durations: Mutex::new(DdSketch::default()),
     });
     let mut workers = Vec::new();
     for w in 0..shared.cfg.workers.max(1) {
@@ -215,6 +251,9 @@ impl ServerHandle {
         for t in self.workers {
             t.join().ok();
         }
+        // Workers are done: close the telemetry feed so live
+        // `/telemetry` streams reach their terminal line.
+        self.shared.telemetry.close();
         self.shared.accept_stop.store(true, Ordering::SeqCst);
         self.acceptor.join().ok();
         // Streams end once their rings close (the workers closed every
@@ -298,6 +337,7 @@ fn run_one(shared: &Arc<Shared>, id: &str) {
         };
         (e.cfg.clone(), Arc::clone(&e.ring))
     };
+    publish_telemetry(shared, "running", id, |_| {});
     let started = shared.cfg.clock.now();
     let ckpt_dir = shared.cfg.data_dir.join(format!("ckpt-{id}"));
     let clock = Arc::clone(&shared.cfg.clock);
@@ -353,6 +393,25 @@ fn run_one(shared: &Arc<Shared>, id: &str) {
             }
         }
     }
+    // The finished event carries the outcome plus the cross-job
+    // duration sketch (p50/p95/p99 over every job so far).
+    {
+        let mut sk = lock(&shared.job_durations);
+        sk.observe((finished - started).max(0.0));
+        let state = if result.is_ok() { "done" } else { "failed" };
+        let summary = result.as_ref().ok().cloned();
+        let sk = sk.clone();
+        publish_telemetry(shared, "finished", id, move |w| {
+            w.str_(Some("state"), state);
+            w.f64(Some("duration_s"), finished - started);
+            if let Some(s) = &summary {
+                w.u64(Some("snapshots_published"), s.snapshots_published);
+                w.u64(Some("rollbacks"), s.rollbacks);
+                w.f64(Some("vtime_s"), s.vtime);
+            }
+            sk.write_summary(w, Some("job_duration_seconds"));
+        });
+    }
     let mut jobs = lock(&shared.jobs);
     if let Some(e) = jobs.map.get_mut(id) {
         e.finished_at = Some(finished);
@@ -398,6 +457,7 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
         ("GET", ["jobs", id]) => job_status(&mut stream, shared, id),
         ("GET", ["jobs", id, "stream"]) => stream_job(&mut stream, shared, id, &req),
         ("GET", ["metrics"]) => metrics(&mut stream, shared),
+        ("GET", ["telemetry"]) => stream_telemetry(&mut stream, shared, &req),
         ("GET", ["trace", id]) => trace_job(&mut stream, shared, id),
         ("GET", ["healthz"]) => http::respond_json(&mut stream, 200, "{\"ok\": true}"),
         ("POST", ["shutdown"]) => {
@@ -493,6 +553,9 @@ fn submit(
     drop(jobs);
     shared.work_cond.notify_all();
     lock(&shared.registry).counter_add("serve_jobs_submitted", 1.0);
+    publish_telemetry(shared, "submitted", &id, |w| {
+        w.u64(Some("queue_position"), position as u64);
+    });
 
     let mut w = JsonWriter::new();
     w.begin_obj(None);
@@ -625,6 +688,67 @@ fn stream_job(
             }
         }
     }
+    w.u64(Some("dropped_total"), sub.dropped_total());
+    w.end_obj();
+    let mut line = w.finish();
+    line.push('\n');
+    http::write_chunk(stream, line.as_bytes()).ok();
+    http::finish_chunked(stream)
+}
+
+/// `GET /telemetry`: live chunked-NDJSON stream of the daemon-wide
+/// telemetry feed — one line per job lifecycle event, with the
+/// cross-job duration sketch folded into every `finished` event.
+/// `?from=N` replays the retained ring history first. The stream runs
+/// until the client disconnects or the daemon drains; the terminal
+/// line carries totals so a consumer can account for ring evictions.
+fn stream_telemetry(
+    stream: &mut TcpStream,
+    shared: &Arc<Shared>,
+    req: &http::Request,
+) -> std::io::Result<()> {
+    let mut sub = match req.query_param("from").and_then(|v| v.parse::<u64>().ok()) {
+        Some(from) => shared.telemetry.subscribe_from(from),
+        None => shared.telemetry.subscribe_from(0),
+    };
+    lock(&shared.registry).counter_add("serve_telemetry_connects", 1.0);
+    http::start_chunked(stream, "application/x-ndjson")?;
+    while let Some(recv) = {
+        let mut got = None;
+        loop {
+            match sub.recv_timeout(Duration::from_millis(250)) {
+                Some(r) => {
+                    got = Some(r);
+                    break;
+                }
+                None if sub.is_closed() => break,
+                None => continue,
+            }
+        }
+        got
+    } {
+        let mut line = recv.item.line.clone();
+        if recv.dropped > 0 {
+            let mut w = JsonWriter::new();
+            w.begin_obj(None);
+            w.str_(Some("event"), "gap");
+            w.u64(Some("dropped"), recv.dropped);
+            w.end_obj();
+            let mut gap = w.finish();
+            gap.push('\n');
+            gap.push_str(&line);
+            line = gap;
+        }
+        line.push('\n');
+        if http::write_chunk(stream, line.as_bytes()).is_err() {
+            return Ok(()); // client went away; the feed is unaffected
+        }
+    }
+    let mut w = JsonWriter::new();
+    w.begin_obj(None);
+    w.str_(Some("event"), "closed");
+    w.bool_(Some("done"), true);
+    w.u64(Some("events_total"), shared.telemetry.published());
     w.u64(Some("dropped_total"), sub.dropped_total());
     w.end_obj();
     let mut line = w.finish();

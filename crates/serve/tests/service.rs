@@ -408,3 +408,88 @@ fn graceful_drain_rejects_new_work_and_finishes_queued() {
     // After the drain completes the socket is gone.
     assert!(http::request(&addr, "GET", "/healthz", None).is_err());
 }
+
+/// The `/telemetry` feed: lifecycle events for every job, the
+/// cross-job duration sketch on each `finished` line, `?from=0`
+/// replay, and a clean terminal line when the daemon drains.
+#[test]
+fn telemetry_feed_streams_lifecycle_events_with_duration_sketch() {
+    let handle = start(test_config("telemetry")).unwrap();
+    let addr = handle.addr_str();
+
+    // Attach a live listener before any job exists.
+    let mut live = http::open_stream(&addr, "/telemetry").unwrap();
+    assert_eq!(live.status, 200);
+
+    let mut ids = Vec::new();
+    for _ in 0..2 {
+        let (status, sub) = submit(&addr, r#"{"n": 64, "steps": 2, "ranks": 1, "mesh": 8}"#);
+        assert_eq!(status, 202);
+        ids.push(sub.get("id").and_then(Value::as_str).unwrap().to_string());
+    }
+    for id in &ids {
+        wait_done(&addr, id, Duration::from_secs(60));
+    }
+
+    // A late subscriber replays the retained history: submitted →
+    // running → finished for both jobs.
+    let mut late = http::open_stream(&addr, "/telemetry?from=0").unwrap();
+    assert_eq!(late.status, 200);
+
+    // The telemetry counter rides the shared registry.
+    let resp = http::request(&addr, "GET", "/metrics", None).unwrap();
+    let samples = parse_exposition(&resp.body_str()).unwrap();
+    let events = samples
+        .iter()
+        .find(|s| s.name == "serve_telemetry_events")
+        .expect("serve_telemetry_events counter");
+    assert!(events.value >= 6.0, "2 jobs × 3 lifecycle events");
+
+    handle.shutdown();
+
+    // Both streams (live-from-start and replay) end with the terminal
+    // line once the drain closes the feed.
+    for s in [&mut live, &mut late] {
+        let mut text = String::new();
+        while let Some(chunk) = s.next_chunk().unwrap() {
+            text.push_str(&String::from_utf8(chunk).unwrap());
+        }
+        let lines: Vec<Value> = text
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(|l| json::parse(l).unwrap())
+            .collect();
+        let last = lines.last().expect("terminal line");
+        assert_eq!(last.get("event").and_then(Value::as_str), Some("closed"));
+        assert_eq!(last.get("done"), Some(&Value::Bool(true)));
+        assert!(last.get("events_total").and_then(Value::as_f64).unwrap() >= 6.0);
+
+        for id in &ids {
+            for event in ["submitted", "running", "finished"] {
+                assert!(
+                    lines
+                        .iter()
+                        .any(|l| l.get("event").and_then(Value::as_str) == Some(event)
+                            && l.get("job").and_then(Value::as_str) == Some(id)),
+                    "missing {event} event for {id}"
+                );
+            }
+        }
+        // Every finished line carries the mergeable duration sketch;
+        // by the second job it has seen two observations.
+        let finished: Vec<&Value> = lines
+            .iter()
+            .filter(|l| l.get("event").and_then(Value::as_str) == Some("finished"))
+            .collect();
+        assert_eq!(finished.len(), 2);
+        let sk = finished
+            .last()
+            .unwrap()
+            .get("job_duration_seconds")
+            .expect("duration sketch summary");
+        assert_eq!(sk.get("count").and_then(Value::as_f64), Some(2.0));
+        for k in ["p50", "p95", "p99", "min", "max"] {
+            assert!(sk.get(k).is_some(), "sketch summary missing {k}");
+        }
+    }
+}
